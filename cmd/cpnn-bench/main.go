@@ -1,0 +1,61 @@
+// Command cpnn-bench regenerates the paper's evaluation figures (§V,
+// Figures 9–14) and prints the measured series as aligned tables.
+//
+// Usage:
+//
+//	cpnn-bench -fig 10 -queries 100
+//	cpnn-bench -fig 0                 # run every figure
+//
+// Absolute timings depend on the host; the orderings, ratios and crossovers
+// are the reproduction targets (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure to reproduce (9-14); 0 runs all")
+		queries    = flag.Int("queries", 100, "queries averaged per data point (paper: 100)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		n          = flag.Int("n", 0, "dataset size override (0 = Long Beach 53,144)")
+		basicSteps = flag.Int("basic-steps", 0, "Simpson steps for the Basic baseline (0 = automatic)")
+		gaussBars  = flag.Int("gauss-bars", 300, "histogram bars for Gaussian pdfs (paper: 300)")
+		tolerance  = flag.Float64("tolerance", 0.01, "default tolerance Delta (paper: 0.01)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{
+		Queries:    *queries,
+		Seed:       *seed,
+		DatasetN:   *n,
+		BasicSteps: *basicSteps,
+		GaussBars:  *gaussBars,
+		Tolerance:  *tolerance,
+	}
+	if *fig == 0 {
+		if err := exp.RunAll(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	run, ok := exp.Registry[*fig]
+	if !ok {
+		fatal(fmt.Errorf("unknown figure %d (valid: 9-14)", *fig))
+	}
+	table, err := run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	table.Print(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpnn-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command cpnn-query runs ad-hoc probabilistic nearest-neighbor queries over
+// a dataset file (in the format written by cpnn-datagen) or a freshly
+// generated Long-Beach-like dataset.
+//
+// Examples:
+//
+//	cpnn-query -gen -q 5000 -p 0.3 -delta 0.01
+//	cpnn-query -data intervals.txt -q 120.5 -p 0.5 -strategy basic
+//	cpnn-query -gen -q 5000 -pnn            # exact probabilities
+//	cpnn-query -gen -q 5000 -k 3 -p 0.5     # constrained 3-NN
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/uncertain"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "dataset file (one 'lo hi' or 'hist ...' line per object)")
+		gen      = flag.Bool("gen", false, "generate the Long-Beach-like dataset instead of loading one")
+		seed     = flag.Int64("seed", 1, "generator seed for -gen")
+		q        = flag.Float64("q", 0, "query point")
+		p        = flag.Float64("p", 0.3, "threshold P in (0,1]")
+		delta    = flag.Float64("delta", 0.01, "tolerance Delta in [0,1]")
+		strategy = flag.String("strategy", "vr", "evaluation strategy: vr, refine or basic")
+		pnnMode  = flag.Bool("pnn", false, "report exact qualification probabilities instead of a C-PNN")
+		k        = flag.Int("k", 0, "evaluate a constrained k-NN query with this k (0 = plain C-PNN)")
+		verbose  = flag.Bool("v", false, "print per-phase statistics")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*dataPath, *gen, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := core.NewEngine(ds)
+	if err != nil {
+		fatal(err)
+	}
+	c := verify.Constraint{P: *p, Delta: *delta}
+
+	switch {
+	case *pnnMode:
+		probs, st, err := eng.PNN(*q, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("PNN(q=%g): %d candidates\n", *q, st.Candidates)
+		for _, pr := range probs {
+			fmt.Printf("  object %6d  p=%.4f\n", pr.ID, pr.P)
+		}
+		if *verbose {
+			printStats(st)
+		}
+	case *k > 0:
+		answers, err := eng.CKNN(*q, c, core.KNNOptions{K: *k, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("C-P%dNN(q=%g, P=%g, Delta=%g):\n", *k, *q, *p, *delta)
+		for _, a := range answers {
+			if a.Status == verify.Satisfy {
+				fmt.Printf("  object %6d  p in [%.4f, %.4f]\n", a.ID, a.Bounds.L, a.Bounds.U)
+			}
+		}
+	default:
+		st, err := parseStrategy(*strategy)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := eng.CPNN(*q, c, core.Options{Strategy: st})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("C-PNN(q=%g, P=%g, Delta=%g) via %v: %d answers of %d candidates\n",
+			*q, *p, *delta, st, len(res.Answers), res.Stats.Candidates)
+		for _, a := range res.Answers {
+			fmt.Printf("  object %6d  p in [%.4f, %.4f]\n", a.ID, a.Bounds.L, a.Bounds.U)
+		}
+		if *verbose {
+			printStats(res.Stats)
+		}
+	}
+}
+
+func loadDataset(path string, gen bool, seed int64) (*uncertain.Dataset, error) {
+	switch {
+	case gen:
+		return uncertain.GenerateUniform(uncertain.LongBeachOptions(seed))
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return uncertain.Read(f)
+	default:
+		return nil, fmt.Errorf("provide -data FILE or -gen")
+	}
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "vr":
+		return core.VR, nil
+	case "refine":
+		return core.Refine, nil
+	case "basic":
+		return core.Basic, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (vr, refine, basic)", s)
+	}
+}
+
+func printStats(st core.Stats) {
+	fmt.Printf("stats: |C|=%d M=%d f_min=%.3f filter=%v init=%v verify=%v refine=%v\n",
+		st.Candidates, st.Subregions, st.FMin,
+		st.FilterTime, st.InitTime, st.VerifyTime, st.RefineTime)
+	if len(st.VerifiersApplied) > 0 {
+		fmt.Printf("verifiers: %v unknown-after=%v refined=%d integrations=%d\n",
+			st.VerifiersApplied, st.UnknownAfter, st.RefinedObjects, st.Integrations)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpnn-query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want core.Strategy
+		ok   bool
+	}{
+		{"vr", core.VR, true},
+		{"refine", core.Refine, true},
+		{"basic", core.Basic, true},
+		{"BASIC", 0, false},
+		{"", 0, false},
+		{"monte-carlo", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseStrategy(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseStrategy(%q) error = %v", tc.in, err)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseStrategy(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	if _, err := loadDataset("", false, 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadDataset("/nonexistent/file", false, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "ds.txt")
+	if err := os.WriteFile(path, []byte("1 2\n5 9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := loadDataset(path, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Errorf("loaded %d objects", ds.Len())
+	}
+}
+
+func TestLoadDatasetGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Long Beach generation in -short mode")
+	}
+	ds, err := loadDataset("", true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 53144 {
+		t.Errorf("generated %d objects, want 53144", ds.Len())
+	}
+}

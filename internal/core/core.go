@@ -1,0 +1,568 @@
+// Package core is the C-PNN query engine — the paper's primary contribution
+// assembled from its substrates: R-tree filtering (internal/filter),
+// distance-distribution derivation (internal/dist), subregion decomposition
+// (internal/subregion), probabilistic verification (internal/verify) and
+// incremental refinement (internal/refine).
+//
+// The engine evaluates Constrained Probabilistic Nearest-Neighbor queries
+// under three strategies mirroring the paper's experimental section:
+//
+//	Basic  — compute every candidate's exact probability by direct numeric
+//	         integration, then threshold (the method of Cheng et al. '03).
+//	Refine — skip verification; run incremental refinement with trivial
+//	         per-subregion priors.
+//	VR     — run the verifier chain, then incrementally refine only the
+//	         objects the verifiers leave unknown (the paper's solution).
+//
+// It also answers plain PNN queries (exact probabilities for the whole
+// candidate set), probabilistic min/max queries (PNN with q at −∞/+∞, per the
+// paper's introduction), and constrained probabilistic k-NN queries — the
+// paper's stated future work — via sampling.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/filter"
+	"repro/internal/pdf"
+	"repro/internal/refine"
+	"repro/internal/subregion"
+	"repro/internal/uncertain"
+	"repro/internal/verify"
+)
+
+// Strategy selects the C-PNN evaluation method.
+type Strategy int
+
+const (
+	// VR is verification followed by incremental refinement (the paper's
+	// proposed solution).
+	VR Strategy = iota
+	// Refine is incremental refinement without verification.
+	Refine
+	// Basic is exact evaluation of every candidate.
+	Basic
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case VR:
+		return "VR"
+	case Refine:
+		return "Refine"
+	case Basic:
+		return "Basic"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options tunes query evaluation. The zero value selects the paper's
+// defaults.
+type Options struct {
+	// Strategy is the evaluation method; the zero value is VR.
+	Strategy Strategy
+	// Verifiers overrides the verifier chain; nil means the paper's
+	// RS → L-SR → U-SR order.
+	Verifiers []verify.Verifier
+	// GLNodes overrides the Gauss–Legendre rule size for subregion
+	// integration; 0 selects the exactness-preserving automatic size.
+	GLNodes int
+	// BasicSteps is the Simpson step count of the Basic strategy; 0 means
+	// 1000.
+	BasicSteps int
+	// Bins is the histogram resolution used to discretize analytic pdfs;
+	// 0 means dist.DefaultBins (300, as in the paper).
+	Bins int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Verifiers == nil {
+		o.Verifiers = verify.DefaultChain()
+	}
+	if o.BasicSteps == 0 {
+		o.BasicSteps = 1000
+	}
+	if o.Bins == 0 {
+		o.Bins = dist.DefaultBins
+	}
+	return o
+}
+
+// Engine answers probabilistic nearest-neighbor queries over one dataset.
+type Engine struct {
+	ds *uncertain.Dataset
+	ix *filter.Index
+}
+
+// NewEngine indexes the dataset and returns a ready engine.
+func NewEngine(ds *uncertain.Dataset) (*Engine, error) {
+	ix, err := filter.NewIndex(ds)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Engine{ds: ds, ix: ix}, nil
+}
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *uncertain.Dataset { return e.ds }
+
+// Answer is one object of a query result.
+type Answer struct {
+	// ID is the object's dataset ID.
+	ID int
+	// Bounds is the final probability bound established for the object; for
+	// the Basic strategy it is a point bound.
+	Bounds verify.Bounds
+	// Status is the final classification.
+	Status verify.Status
+}
+
+// Stats records per-phase costs of one query, the quantities behind the
+// paper's Figures 9–14.
+type Stats struct {
+	// FilterTime is the time spent computing the candidate set.
+	FilterTime time.Duration
+	// InitTime covers distance pdf/cdf derivation and subregion-table
+	// construction (the paper counts this within verification).
+	InitTime time.Duration
+	// VerifyTime is the verifier-chain time.
+	VerifyTime time.Duration
+	// RefineTime covers all probability integration.
+	RefineTime time.Duration
+	// Candidates is |C|, the candidate-set size.
+	Candidates int
+	// Subregions is M.
+	Subregions int
+	// FMin is the filtering bound.
+	FMin float64
+	// VerifiersApplied names the verifiers that ran, in order.
+	VerifiersApplied []string
+	// UnknownAfter[k] is the number of unknown objects after
+	// VerifiersApplied[k] (paper Fig. 12).
+	UnknownAfter []int
+	// RefinedObjects counts objects that needed refinement.
+	RefinedObjects int
+	// Integrations counts subregion integrations performed.
+	Integrations int
+}
+
+// Total returns the end-to-end query time.
+func (s Stats) Total() time.Duration {
+	return s.FilterTime + s.InitTime + s.VerifyTime + s.RefineTime
+}
+
+// Result is a C-PNN answer set with per-candidate detail and statistics.
+type Result struct {
+	// Answers holds the objects that satisfy the C-PNN, sorted by ID.
+	Answers []Answer
+	// Candidates holds the classification of every candidate-set object
+	// (including failures), sorted by ID.
+	Candidates []Answer
+	// Stats records the per-phase costs.
+	Stats Stats
+}
+
+// AnswerIDs returns the IDs of the satisfying objects.
+func (r *Result) AnswerIDs() []int {
+	ids := make([]int, len(r.Answers))
+	for i, a := range r.Answers {
+		ids[i] = a.ID
+	}
+	return ids
+}
+
+// CPNN evaluates a constrained probabilistic nearest-neighbor query at point
+// q under the given constraint and options.
+func (e *Engine) CPNN(q float64, c verify.Constraint, opt Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+
+	res := &Result{}
+	start := time.Now()
+	fr := e.ix.Candidates(q)
+	res.Stats.FilterTime = time.Since(start)
+	res.Stats.Candidates = len(fr.IDs)
+	res.Stats.FMin = fr.FMin
+	if len(fr.IDs) == 0 {
+		return res, nil
+	}
+
+	start = time.Now()
+	cands, err := e.distanceCandidates(fr.IDs, q, opt.Bins)
+	if err != nil {
+		return nil, err
+	}
+
+	if opt.Strategy == Basic {
+		res.Stats.InitTime = time.Since(start)
+		return cpnnBasic(cands, c, opt, res)
+	}
+
+	table, err := subregion.Build(cands)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res.Stats.InitTime = time.Since(start)
+	res.Stats.Subregions = table.NumSubregions()
+	return finishVerifyRefine(table, c, opt, res)
+}
+
+// finishVerifyRefine runs the verification and refinement phases over a
+// built subregion table, shared by the 1-D and 2-D engines.
+func finishVerifyRefine(table *subregion.Table, c verify.Constraint, opt Options, res *Result) (*Result, error) {
+	n := table.NumCandidates()
+	bounds := make([]verify.Bounds, n)
+	status := make([]verify.Status, n)
+	for i := range bounds {
+		bounds[i] = verify.Bounds{L: 0, U: 1}
+	}
+
+	var prior refine.Prior = refine.TrivialPrior{}
+	if opt.Strategy == VR {
+		start := time.Now()
+		vres, err := verify.Run(table, c, opt.Verifiers)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.VerifyTime = time.Since(start)
+		res.Stats.VerifiersApplied = vres.Applied
+		res.Stats.UnknownAfter = vres.UnknownAfter
+		bounds, status = vres.Bounds, vres.Status
+		prior = refine.VerifierPrior{}
+	}
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if status[i] != verify.Unknown {
+			continue
+		}
+		r, err := refine.Incremental(table, i, c, bounds[i], prior, opt.GLNodes)
+		if err != nil {
+			return nil, err
+		}
+		bounds[i], status[i] = r.Bounds, r.Status
+		res.Stats.RefinedObjects++
+		res.Stats.Integrations += r.Integrations
+	}
+	res.Stats.RefineTime = time.Since(start)
+
+	collect(res, table.IDs(), bounds, status)
+	return res, nil
+}
+
+// exactAll integrates every candidate of a table exactly.
+func exactAll(table *subregion.Table, glNodes int) ([]Probability, error) {
+	out := make([]Probability, table.NumCandidates())
+	for i := range out {
+		p, err := refine.Exact(table, i, glNodes)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Probability{ID: table.IDs()[i], P: p}
+	}
+	return out, nil
+}
+
+// cpnnBasic finishes a query under the Basic strategy: exact integration for
+// every candidate, then thresholding. It is shared by the 1-D and 2-D
+// engines.
+func cpnnBasic(cands []subregion.Candidate, c verify.Constraint, opt Options, res *Result) (*Result, error) {
+	start := time.Now()
+	probs, err := refine.BasicAll(cands, opt.BasicSteps)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.RefineTime = time.Since(start)
+	res.Stats.RefinedObjects = len(cands)
+
+	ids := make([]int, len(cands))
+	bounds := make([]verify.Bounds, len(cands))
+	status := make([]verify.Status, len(cands))
+	for i, cand := range cands {
+		ids[i] = cand.ID
+		bounds[i] = verify.Bounds{L: probs[i], U: probs[i]}
+		status[i] = verify.Classify(bounds[i], c)
+	}
+	collect(res, ids, bounds, status)
+	return res, nil
+}
+
+// collect fills a Result's answer slices, sorted by object ID.
+func collect(res *Result, ids []int, bounds []verify.Bounds, status []verify.Status) {
+	for i, id := range ids {
+		a := Answer{ID: id, Bounds: bounds[i], Status: status[i]}
+		res.Candidates = append(res.Candidates, a)
+		if a.Status == verify.Satisfy {
+			res.Answers = append(res.Answers, a)
+		}
+	}
+	sort.Slice(res.Candidates, func(a, b int) bool { return res.Candidates[a].ID < res.Candidates[b].ID })
+	sort.Slice(res.Answers, func(a, b int) bool { return res.Answers[a].ID < res.Answers[b].ID })
+}
+
+// distanceCandidates derives the distance pdf of every candidate.
+func (e *Engine) distanceCandidates(ids []int, q float64, bins int) ([]subregion.Candidate, error) {
+	cands := make([]subregion.Candidate, len(ids))
+	for i, id := range ids {
+		obj := e.ds.Object(id)
+		var (
+			d   *pdf.Histogram
+			err error
+		)
+		switch p := obj.PDF.(type) {
+		case *pdf.Histogram:
+			d, err = dist.FoldHistogram(p, q)
+		case pdf.Uniform:
+			d, err = dist.FromPDF(p, q)
+		default:
+			var h *pdf.Histogram
+			h, err = pdf.Discretize(obj.PDF, bins)
+			if err == nil {
+				d, err = dist.FoldHistogram(h, q)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: object %d: %w", id, err)
+		}
+		cands[i] = subregion.Candidate{ID: id, Dist: d}
+	}
+	return cands, nil
+}
+
+// Probability is an object ID paired with its exact qualification
+// probability.
+type Probability struct {
+	ID int
+	P  float64
+}
+
+// PNN computes the exact qualification probability of every candidate —
+// the unconstrained query of the paper's Fig. 2 — sorted by descending
+// probability.
+func (e *Engine) PNN(q float64, opt Options) ([]Probability, Stats, error) {
+	opt = opt.withDefaults()
+	var st Stats
+	start := time.Now()
+	fr := e.ix.Candidates(q)
+	st.FilterTime = time.Since(start)
+	st.Candidates = len(fr.IDs)
+	st.FMin = fr.FMin
+	if len(fr.IDs) == 0 {
+		return nil, st, nil
+	}
+	start = time.Now()
+	cands, err := e.distanceCandidates(fr.IDs, q, opt.Bins)
+	if err != nil {
+		return nil, st, err
+	}
+	table, err := subregion.Build(cands)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: %w", err)
+	}
+	st.InitTime = time.Since(start)
+	st.Subregions = table.NumSubregions()
+
+	start = time.Now()
+	out, err := exactAll(table, opt.GLNodes)
+	if err != nil {
+		return nil, st, err
+	}
+	st.RefineTime = time.Since(start)
+	st.RefinedObjects = len(out)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].P != out[b].P {
+			return out[a].P > out[b].P
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, st, nil
+}
+
+// Min answers a constrained probabilistic minimum query: which objects have
+// probability >= P of holding the minimum value. Per the paper's
+// introduction, a minimum query is the PNN with q at −∞; any query point at
+// or below every uncertainty region is equivalent, so the engine uses the
+// domain's lower edge.
+func (e *Engine) Min(c verify.Constraint, opt Options) (*Result, error) {
+	if e.ds.Len() == 0 {
+		return &Result{}, nil
+	}
+	return e.CPNN(e.ds.Domain().Lo, c, opt)
+}
+
+// Max answers the symmetric constrained probabilistic maximum query (q at
+// +∞, realized as the domain's upper edge).
+func (e *Engine) Max(c verify.Constraint, opt Options) (*Result, error) {
+	if e.ds.Len() == 0 {
+		return &Result{}, nil
+	}
+	return e.CPNN(e.ds.Domain().Hi, c, opt)
+}
+
+// KNNOptions tunes the sampling-based constrained k-NN evaluation.
+type KNNOptions struct {
+	// K is the neighbor count; it must be at least 1.
+	K int
+	// Samples is the Monte-Carlo sample count; 0 means 10000.
+	Samples int
+	// Seed makes the evaluation deterministic.
+	Seed int64
+	// Bins is the discretization resolution for analytic pdfs; 0 means
+	// dist.DefaultBins.
+	Bins int
+}
+
+// KNNAnswer is one object of a constrained k-NN result.
+type KNNAnswer struct {
+	// ID is the object's dataset ID.
+	ID int
+	// Bounds is the estimated probability of being among the k nearest
+	// neighbors, widened to a ±4σ confidence bound.
+	Bounds verify.Bounds
+	// Status is the classification against the constraint.
+	Status verify.Status
+}
+
+// CKNN evaluates a constrained probabilistic k-nearest-neighbor query — the
+// paper's stated future work — by filtering against the k-th smallest far
+// point (the natural generalization of the RS pruning rule) and estimating
+// membership probabilities by Monte-Carlo over the surviving candidates.
+// Bounds carry a ±4σ normal-approximation confidence width, and objects are
+// classified with the same Definition 1 rules as the C-PNN.
+func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnswer, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.K < 1 {
+		return nil, fmt.Errorf("core: k = %d < 1", opt.K)
+	}
+	if opt.Samples == 0 {
+		opt.Samples = 10000
+	}
+	if opt.Bins == 0 {
+		opt.Bins = dist.DefaultBins
+	}
+	n := e.ds.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	k := opt.K
+	if k > n {
+		k = n
+	}
+	// f_k: the k-th smallest far point. Objects whose near point exceeds it
+	// cannot be among the k nearest, because k objects are certainly closer.
+	fars := make([]float64, n)
+	for i, o := range e.ds.Objects() {
+		fars[i] = o.Region().MaxDist(q)
+	}
+	sort.Float64s(fars)
+	fk := fars[k-1]
+	var ids []int
+	for _, o := range e.ds.Objects() {
+		if o.Region().MinDist(q) <= fk {
+			ids = append(ids, o.ID)
+		}
+	}
+	cands, err := e.distanceCandidates(ids, q, opt.Bins)
+	if err != nil {
+		return nil, err
+	}
+
+	// Analytic pre-verification (the RS rule generalized to k-NN): an
+	// object is in the k-NN set only if its distance is at most f_k, so
+	// Pr(X_i ∈ kNN) <= D_i(f_k). Candidates whose analytic upper bound
+	// already fails the threshold skip the sampling phase entirely.
+	preFailed := make([]bool, len(cands))
+	preUpper := make([]float64, len(cands))
+	active := 0
+	for i, cand := range cands {
+		preUpper[i] = cand.Dist.CDF(fk)
+		if preUpper[i] < c.P {
+			preFailed[i] = true
+		} else {
+			active++
+		}
+	}
+	if active == 0 {
+		out := make([]KNNAnswer, len(cands))
+		for i, cand := range cands {
+			b := verify.Bounds{L: 0, U: preUpper[i]}
+			out[i] = KNNAnswer{ID: cand.ID, Bounds: b, Status: verify.Fail}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+		return out, nil
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	counts := make([]int, len(cands))
+	dists := make([]float64, len(cands))
+	idx := make([]int, len(cands))
+	for s := 0; s < opt.Samples; s++ {
+		for i, cand := range cands {
+			dists[i] = cand.Dist.Sample(rng)
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+		top := k
+		if top > len(idx) {
+			top = len(idx)
+		}
+		for _, i := range idx[:top] {
+			counts[i]++
+		}
+	}
+
+	out := make([]KNNAnswer, len(cands))
+	for i, cand := range cands {
+		if preFailed[i] {
+			out[i] = KNNAnswer{
+				ID:     cand.ID,
+				Bounds: verify.Bounds{L: 0, U: preUpper[i]},
+				Status: verify.Fail,
+			}
+			continue
+		}
+		p := float64(counts[i]) / float64(opt.Samples)
+		sigma := 4 * sampleSigma(p, opt.Samples)
+		b := verify.Bounds{L: clamp01(p - sigma), U: clamp01(p + sigma)}
+		// The analytic bound may beat the sampling bound; intersect.
+		if preUpper[i] < b.U {
+			b.U = preUpper[i]
+			if b.L > b.U {
+				b.L = b.U
+			}
+		}
+		out[i] = KNNAnswer{ID: cand.ID, Bounds: b, Status: verify.Classify(b, c)}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+func sampleSigma(p float64, n int) float64 {
+	v := p * (1 - p) / float64(n)
+	if v <= 0 {
+		// Zero or full tallies still carry sampling error ~1/n.
+		return 1 / float64(n)
+	}
+	return math.Sqrt(v)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/verify"
+)
+
+func circles2D() []Object2D {
+	return []Object2D{
+		{ID: 0, Region: geom.Circle{Center: geom.Point{X: 3, Y: 0}, Radius: 2}},
+		{ID: 1, Region: geom.Circle{Center: geom.Point{X: 0, Y: 4}, Radius: 2.5}},
+		{ID: 2, Region: geom.Circle{Center: geom.Point{X: -5, Y: -1}, Radius: 3}},
+		{ID: 3, Region: geom.Circle{Center: geom.Point{X: 40, Y: 40}, Radius: 1}},
+	}
+}
+
+func TestEngine2DValidation(t *testing.T) {
+	if _, err := NewEngine2D([]Object2D{{ID: 0, Region: geom.Circle{Radius: 0}}}); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := NewEngine2D([]Object2D{
+		{ID: 7, Region: geom.Circle{Radius: 1}},
+		{ID: 7, Region: geom.Circle{Radius: 1}},
+	}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestEngine2DEmpty(t *testing.T) {
+	e, err := NewEngine2D(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.CPNN(geom.Point{}, verify.Constraint{P: 0.3}, Options2D{})
+	if err != nil || len(res.Answers) != 0 {
+		t.Errorf("empty 2-D engine: %v, %v", res, err)
+	}
+}
+
+func TestEngine2DFiltersFarObject(t *testing.T) {
+	e, err := NewEngine2D(circles2D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.CPNN(geom.Point{X: 0, Y: 0}, verify.Constraint{P: 0.1, Delta: 0.01}, Options2D{Bins: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Candidates != 3 {
+		t.Errorf("candidates = %d, want 3 (far disk pruned)", res.Stats.Candidates)
+	}
+	for _, a := range res.Candidates {
+		if a.ID == 3 {
+			t.Error("far disk survived filtering")
+		}
+	}
+}
+
+func TestEngine2DPNNMatchesMonteCarlo(t *testing.T) {
+	objs := circles2D()
+	e, err := NewEngine2D(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Point{X: 0, Y: 0}
+	probs, err := e.PNN(q, Options2D{Bins: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	exact := map[int]float64{}
+	for _, p := range probs {
+		sum += p.P
+		exact[p.ID] = p.P
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("Σ p = %g", sum)
+	}
+	// Ground truth from disk sampling.
+	rng := rand.New(rand.NewSource(5))
+	const samples = 120000
+	counts := map[int]float64{}
+	for s := 0; s < samples; s++ {
+		best, bi := math.Inf(1), -1
+		for _, o := range objs {
+			var p geom.Point
+			for {
+				p = geom.Point{
+					X: o.Region.Center.X - o.Region.Radius + 2*o.Region.Radius*rng.Float64(),
+					Y: o.Region.Center.Y - o.Region.Radius + 2*o.Region.Radius*rng.Float64(),
+				}
+				if o.Region.Center.Dist(p) <= o.Region.Radius {
+					break
+				}
+			}
+			if d := p.Dist(q); d < best {
+				best, bi = d, o.ID
+			}
+		}
+		counts[bi]++
+	}
+	for id, c := range counts {
+		mc := c / samples
+		if diff := math.Abs(mc - exact[id]); diff > 0.012 {
+			t.Errorf("object %d: PNN %g vs MC %g", id, exact[id], mc)
+		}
+	}
+}
+
+func TestEngine2DStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var objs []Object2D
+	for i := 0; i < 60; i++ {
+		objs = append(objs, Object2D{
+			ID: i,
+			Region: geom.Circle{
+				Center: geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+				Radius: 1 + rng.Float64()*6,
+			},
+		})
+	}
+	e, err := NewEngine2D(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := verify.Constraint{P: 0.3, Delta: 0}
+	for _, q := range []geom.Point{{X: 50, Y: 50}, {X: 20, Y: 80}, {X: 66, Y: 10}} {
+		vr, err := e.CPNN(q, c, Options2D{Bins: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		basic, err := e.CPNN(q, c, Options2D{Strategy: Basic, Bins: 128, BasicSteps: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(vr.AnswerIDs(), basic.AnswerIDs()) {
+			t.Errorf("q=%v: VR %v vs Basic %v", q, vr.AnswerIDs(), basic.AnswerIDs())
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package filter
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+func mkDataset(intervals [][2]float64) *uncertain.Dataset {
+	pdfs := make([]pdf.PDF, len(intervals))
+	for i, iv := range intervals {
+		pdfs[i] = pdf.MustUniform(iv[0], iv[1])
+	}
+	return uncertain.NewDataset(pdfs)
+}
+
+func TestCandidatesHandExample(t *testing.T) {
+	// Objects around q=10. Far points: A:8 (f=8? |10-2|=8, |10-6|=4 -> 8),
+	// B:[9,11] -> far 1, C:[12,13] -> far 3, D:[30,40] -> far 30.
+	// f_min = 1 (object B). Candidates: near point <= 1:
+	// A near = 4 -> out; B near = 0 -> in; C near = 2 -> out; D near 20 -> out.
+	ds := mkDataset([][2]float64{{2, 6}, {9, 11}, {12, 13}, {30, 40}})
+	ix, err := NewIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Candidates(10)
+	if math.Abs(res.FMin-1) > 1e-12 {
+		t.Fatalf("FMin = %g, want 1", res.FMin)
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != 1 {
+		t.Fatalf("IDs = %v, want [1]", res.IDs)
+	}
+}
+
+func TestCandidatesOverlapping(t *testing.T) {
+	// Heavily overlapping regions: everyone is a candidate.
+	ds := mkDataset([][2]float64{{0, 10}, {1, 9}, {2, 8}, {3, 7}})
+	ix, err := NewIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Candidates(5)
+	if len(res.IDs) != 4 {
+		t.Fatalf("IDs = %v, want all four", res.IDs)
+	}
+	// f_min = far point of [3,7] from 5 = 2.
+	if math.Abs(res.FMin-2) > 1e-12 {
+		t.Errorf("FMin = %g, want 2", res.FMin)
+	}
+}
+
+func TestCandidatesMatchLinear(t *testing.T) {
+	opt := uncertain.GenOptions{N: 3000, Domain: 5000, MeanLen: 12, MinLen: 0.5, MaxLen: 60, Seed: 77}
+	ds, err := uncertain.GenerateUniform(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range uncertain.QueryWorkload(25, opt.Domain, 123) {
+		got := ix.Candidates(q)
+		want := LinearCandidates(ds, q)
+		if math.Abs(got.FMin-want.FMin) > 1e-9 {
+			t.Fatalf("q=%g: FMin %g vs %g", q, got.FMin, want.FMin)
+		}
+		sort.Ints(got.IDs)
+		sort.Ints(want.IDs)
+		if len(got.IDs) != len(want.IDs) {
+			t.Fatalf("q=%g: %d candidates vs %d", q, len(got.IDs), len(want.IDs))
+		}
+		for i := range got.IDs {
+			if got.IDs[i] != want.IDs[i] {
+				t.Fatalf("q=%g: candidate %d: %d vs %d", q, i, got.IDs[i], want.IDs[i])
+			}
+		}
+	}
+}
+
+func TestCandidatesEmpty(t *testing.T) {
+	ds := uncertain.NewDataset(nil)
+	ix, err := NewIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Candidates(5)
+	if len(res.IDs) != 0 {
+		t.Error("empty dataset produced candidates")
+	}
+	lin := LinearCandidates(ds, 5)
+	if len(lin.IDs) != 0 {
+		t.Error("linear scan on empty dataset produced candidates")
+	}
+}
+
+func TestCandidatesSingleObject(t *testing.T) {
+	ds := mkDataset([][2]float64{{5, 8}})
+	ix, err := NewIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Candidates(100)
+	if len(res.IDs) != 1 || res.IDs[0] != 0 {
+		t.Fatalf("IDs = %v", res.IDs)
+	}
+	if math.Abs(res.FMin-95) > 1e-12 {
+		t.Errorf("FMin = %g, want 95", res.FMin)
+	}
+}
+
+func TestInsertKeepsIndexConsistent(t *testing.T) {
+	ds := mkDataset([][2]float64{{0, 2}, {10, 12}})
+	ix, err := NewIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new tight object right at the query point shrinks f_min so the old
+	// candidates are pruned.
+	if err := ix.Insert(uncertain.Object{ID: 2, PDF: pdf.MustUniform(5.9, 6.1)}); err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Candidates(6)
+	if len(res.IDs) != 1 || res.IDs[0] != 2 {
+		t.Fatalf("IDs = %v, want [2]", res.IDs)
+	}
+}
+
+func TestCandidateSetSizeLongBeachScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-beach-scale generation in -short mode")
+	}
+	// Calibration check for the paper's §V-A figure of ~96 candidates.
+	opt := uncertain.LongBeachOptions(5)
+	ds, err := uncertain.GenerateUniform(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	queries := uncertain.QueryWorkload(50, opt.Domain, 99)
+	for _, q := range queries {
+		total += len(ix.Candidates(q).IDs)
+	}
+	avg := float64(total) / float64(len(queries))
+	if avg < 40 || avg > 220 {
+		t.Errorf("average candidate-set size %g too far from the paper's ~96", avg)
+	}
+	t.Logf("average candidate-set size: %.1f (paper: ~96)", avg)
+}

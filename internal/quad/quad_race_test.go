@@ -1,0 +1,64 @@
+package quad
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestGaussLegendreConcurrentAccess hammers the rule cache from many
+// goroutines; run with -race to validate the locking.
+func TestGaussLegendreConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 1; n <= 32; n++ {
+				nodes, weights, err := GaussLegendre(n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(nodes) != n || len(weights) != n {
+					errs <- errMismatch(n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch int
+
+func (e errMismatch) Error() string { return "rule size mismatch" }
+
+// TestGLConcurrentIntegration integrates in parallel using shared cached
+// rules; results must be identical across goroutines.
+func TestGLConcurrentIntegration(t *testing.T) {
+	want, err := GL(math.Sin, 0, math.Pi, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := GL(math.Sin, 0, math.Pi, 24)
+				if err != nil || got != want {
+					t.Errorf("concurrent GL = %g, %v (want %g)", got, err, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,323 @@
+// Package refine computes exact qualification probabilities — the last
+// phase of the C-PNN pipeline (paper §IV-D) — plus the Basic baseline of
+// Cheng et al. (SIGMOD'03) and a Monte-Carlo evaluator in the style of
+// Kriegel et al. (DASFAA'07), used for cross-validation and as the paper's
+// sampling-based comparison point [9].
+//
+// Incremental refinement exploits the subregion table: the qualification
+// probability decomposes as p_i = Σ_j s_ij·q_ij, and within one subregion
+// every distance cdf is linear, so the conditional probability q_ij is the
+// average of a polynomial over the subregion — integrable exactly by
+// Gauss–Legendre quadrature. Subregions are collapsed one at a time (largest
+// mass first), the running bound is re-classified after each collapse, and
+// refinement stops as soon as the classifier decides, which is the whole
+// point: most objects need only a few subregions.
+package refine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/quad"
+	"repro/internal/subregion"
+	"repro/internal/verify"
+)
+
+// Prior supplies the per-subregion bounds [q_ij.l, q_ij.u] that incremental
+// refinement starts from for not-yet-integrated subregions.
+type Prior interface {
+	// Lower returns q_ij.l for candidate i in subregion j.
+	Lower(t *subregion.Table, i, j int) float64
+	// Upper returns q_ij.u for candidate i in subregion j.
+	Upper(t *subregion.Table, i, j int) float64
+}
+
+// VerifierPrior reuses the L-SR / U-SR subregion bounds — the knowledge the
+// verifiers accumulated (paper §IV-D: "the probability bounds of each object
+// in each subregion have already been computed by the verifiers").
+type VerifierPrior struct{}
+
+// Lower implements Prior via Lemma 2.
+func (VerifierPrior) Lower(t *subregion.Table, i, j int) float64 {
+	return verify.SubregionLower(t, i, j)
+}
+
+// Upper implements Prior via Eq. 11.
+func (VerifierPrior) Upper(t *subregion.Table, i, j int) float64 {
+	return verify.SubregionUpper(t, i, j)
+}
+
+// TrivialPrior assumes nothing: q_ij ∈ [0, 1]. It is the prior of the
+// paper's Refine strategy, which skips verification.
+type TrivialPrior struct{}
+
+// Lower implements Prior.
+func (TrivialPrior) Lower(*subregion.Table, int, int) float64 { return 0 }
+
+// Upper implements Prior.
+func (TrivialPrior) Upper(*subregion.Table, int, int) float64 { return 1 }
+
+// AutoGLNodes returns a Gauss–Legendre rule size that integrates the
+// subregion integrand exactly: a product of up to |C|−1 linear factors has
+// degree |C|−1, needing ⌈|C|/2⌉ nodes.
+func AutoGLNodes(numCandidates int) int {
+	n := numCandidates/2 + 1
+	if n > quad.MaxGaussNodes {
+		n = quad.MaxGaussNodes
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// ExactSubregion returns q_ij — the exact probability that candidate i is
+// the nearest neighbor given R_i ∈ S_j — by Gauss–Legendre integration of
+// Π_{k≠i}(1 − D_k(r)) averaged over the subregion. Within a subregion every
+// D_k is linear, so the table's end-point cdf values interpolate it exactly.
+// glNodes <= 0 selects AutoGLNodes.
+func ExactSubregion(t *subregion.Table, i, j, glNodes int) (float64, error) {
+	if j < 0 || j >= t.NumSubregions() {
+		return 0, fmt.Errorf("refine: subregion %d outside [0, %d)", j, t.NumSubregions())
+	}
+	if j == t.NumSubregions()-1 {
+		return 0, nil // rightmost subregion: beyond f_min, never the NN
+	}
+	if t.S(i, j) == 0 {
+		return 0, nil // no mass here; conditional value is irrelevant
+	}
+	if glNodes <= 0 {
+		glNodes = AutoGLNodes(t.NumCandidates())
+	}
+	ends := t.Endpoints()
+	e0, e1 := ends[j], ends[j+1]
+	w := e1 - e0
+	nC := t.NumCandidates()
+	f := func(r float64) float64 {
+		frac := (r - e0) / w
+		prod := 1.0
+		for k := 0; k < nC; k++ {
+			if k == i {
+				continue
+			}
+			dk := t.D(k, j) + (t.D(k, j+1)-t.D(k, j))*frac
+			prod *= 1 - dk
+			if prod == 0 {
+				break
+			}
+		}
+		return prod
+	}
+	v, err := quad.GL(f, e0, e1, glNodes)
+	if err != nil {
+		return 0, err
+	}
+	return v / w, nil
+}
+
+// Exact returns candidate i's exact qualification probability by integrating
+// every subregion. glNodes <= 0 selects AutoGLNodes.
+func Exact(t *subregion.Table, i, glNodes int) (float64, error) {
+	p := 0.0
+	for j := 0; j < t.NumSubregions()-1; j++ {
+		s := t.S(i, j)
+		if s == 0 {
+			continue
+		}
+		q, err := ExactSubregion(t, i, j, glNodes)
+		if err != nil {
+			return 0, err
+		}
+		p += s * q
+	}
+	return clamp01(p), nil
+}
+
+// IncrementalResult reports one candidate's refinement outcome.
+type IncrementalResult struct {
+	// Bounds is the final probability bound; if every subregion was
+	// integrated it collapses to the exact value.
+	Bounds verify.Bounds
+	// Status is the final classification.
+	Status verify.Status
+	// Integrations counts the subregions actually integrated — the cost
+	// measure that incremental refinement minimizes.
+	Integrations int
+}
+
+// Incremental refines candidate i until the classifier decides, collapsing
+// per-subregion bounds to exact values in descending order of subregion mass
+// s_ij (paper §IV-D). start is the candidate's bound entering refinement;
+// pass the verifier output for the VR strategy or the zero value
+// Bounds{0, 1} when skipping verification.
+func Incremental(t *subregion.Table, i int, c verify.Constraint, start verify.Bounds, prior Prior, glNodes int) (IncrementalResult, error) {
+	if err := c.Validate(); err != nil {
+		return IncrementalResult{}, err
+	}
+	m := t.NumSubregions()
+	// Collect refinable subregions, heaviest first.
+	order := make([]int, 0, m-1)
+	for j := 0; j < m-1; j++ {
+		if t.S(i, j) > 0 {
+			order = append(order, j)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return t.S(i, order[a]) > t.S(i, order[b]) })
+
+	// Rebuild the running bound from the prior so collapses stay coherent,
+	// then intersect with the incoming bound (which may be tighter, e.g. RS).
+	l, u := 0.0, 0.0
+	for _, j := range order {
+		s := t.S(i, j)
+		l += s * prior.Lower(t, i, j)
+		u += s * prior.Upper(t, i, j)
+	}
+	b := (verify.Bounds{L: clamp01(l), U: clamp01(u)}).Tighten(start)
+	res := IncrementalResult{Bounds: b, Status: verify.Classify(b, c)}
+	if res.Status != verify.Unknown {
+		return res, nil
+	}
+
+	for _, j := range order {
+		s := t.S(i, j)
+		q, err := ExactSubregion(t, i, j, glNodes)
+		if err != nil {
+			return res, err
+		}
+		res.Integrations++
+		// Collapse [q_ij.l, q_ij.u] to the exact q_ij (paper §IV-D).
+		b.L += s * (q - prior.Lower(t, i, j))
+		b.U -= s * (prior.Upper(t, i, j) - q)
+		if b.L > b.U {
+			// Rounding can cross the bounds by an ulp; collapse to the mean.
+			mid := (b.L + b.U) / 2
+			b.L, b.U = mid, mid
+		}
+		res.Bounds = verify.Bounds{L: clamp01(b.L), U: clamp01(b.U)}
+		b = res.Bounds
+		res.Status = verify.Classify(res.Bounds, c)
+		if res.Status != verify.Unknown {
+			return res, nil
+		}
+	}
+	// All subregions integrated: the bound is the exact probability (up to
+	// quadrature round-off); force a decision against the threshold.
+	mid := (res.Bounds.L + res.Bounds.U) / 2
+	res.Bounds = verify.Bounds{L: mid, U: mid}
+	if mid >= c.P {
+		res.Status = verify.Satisfy
+	} else {
+		res.Status = verify.Fail
+	}
+	return res, nil
+}
+
+// Basic computes candidate i's qualification probability the way the
+// paper's Basic strategy does: direct fixed-step Simpson integration of
+// d_i(r)·Π_{k≠i}(1 − D_k(r)) over the distance domain, re-evaluating every
+// cdf from scratch at every quadrature point. It deliberately shares no work
+// across candidates — it is the baseline whose cost the verifiers avoid.
+func Basic(cands []subregion.Candidate, i, steps int) (float64, error) {
+	if i < 0 || i >= len(cands) {
+		return 0, fmt.Errorf("refine: candidate %d outside [0, %d)", i, len(cands))
+	}
+	if steps < 2 {
+		return 0, fmt.Errorf("refine: need at least 2 integration steps, got %d", steps)
+	}
+	di := cands[i].Dist
+	sup := di.Support()
+	// Integrating past f_min is pointless: some object is certainly closer.
+	hi := sup.Hi
+	for _, c := range cands {
+		if f := c.Dist.Support().Hi; f < hi {
+			hi = f
+		}
+	}
+	if hi <= sup.Lo {
+		return 0, nil
+	}
+	f := func(r float64) float64 {
+		v := di.Density(r)
+		if v == 0 {
+			return 0
+		}
+		for k, c := range cands {
+			if k == i {
+				continue
+			}
+			v *= 1 - c.Dist.CDF(r)
+			if v == 0 {
+				return 0
+			}
+		}
+		return v
+	}
+	p, err := quad.Simpson(f, sup.Lo, hi, steps)
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(p), nil
+}
+
+// BasicAll runs Basic for every candidate, the full cost of the paper's
+// Basic strategy.
+func BasicAll(cands []subregion.Candidate, steps int) ([]float64, error) {
+	out := make([]float64, len(cands))
+	for i := range cands {
+		p, err := Basic(cands, i, steps)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// MonteCarlo estimates all candidates' qualification probabilities by
+// sampling each distance pdf and tallying the nearest candidate, after the
+// sampling evaluator of the paper's reference [9]. Exact ties split their
+// tally evenly. It is the ground truth oracle for the engine's tests.
+func MonteCarlo(cands []subregion.Candidate, samples int, rng *rand.Rand) ([]float64, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("refine: need at least 1 sample, got %d", samples)
+	}
+	counts := make([]float64, len(cands))
+	winners := make([]int, 0, 4)
+	for s := 0; s < samples; s++ {
+		best := math.Inf(1)
+		winners = winners[:0]
+		for k, c := range cands {
+			r := c.Dist.Sample(rng)
+			switch {
+			case r < best:
+				best = r
+				winners = append(winners[:0], k)
+			case r == best:
+				winners = append(winners, k)
+			}
+		}
+		share := 1.0 / float64(len(winners))
+		for _, w := range winners {
+			counts[w] += share
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(samples)
+	}
+	return counts, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

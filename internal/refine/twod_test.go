@@ -1,0 +1,124 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/geom"
+	"repro/internal/subregion"
+	"repro/internal/verify"
+)
+
+// TestTwoDimensionalPipeline exercises the paper's §IV-A extension note: the
+// verifiers and refinement only consume distance pdfs/cdfs, so 2-D circular
+// uncertainty regions plug into the same machinery once reduced to distance
+// histograms. Ground truth comes from Monte-Carlo sampling of the disks.
+func TestTwoDimensionalPipeline(t *testing.T) {
+	q := geom.Point{X: 0, Y: 0}
+	circles := []geom.Circle{
+		{Center: geom.Point{X: 3, Y: 0}, Radius: 2},
+		{Center: geom.Point{X: 0, Y: 4}, Radius: 2.5},
+		{Center: geom.Point{X: -5, Y: -1}, Radius: 3},
+		{Center: geom.Point{X: 8, Y: 8}, Radius: 1}, // far: prunable
+	}
+	// Distance pdfs via the lens-area reduction.
+	var cands []subregion.Candidate
+	fMin := math.Inf(1)
+	var nears []float64
+	for i, c := range circles {
+		d, err := dist.FromCircle(c, q, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nears = append(nears, d.Support().Lo)
+		fMin = math.Min(fMin, d.Support().Hi)
+		cands = append(cands, subregion.Candidate{ID: i, Dist: d})
+	}
+	kept := cands[:0]
+	prunedFar := false
+	for i, c := range cands {
+		if nears[i] <= fMin {
+			kept = append(kept, c)
+		} else {
+			prunedFar = true
+		}
+	}
+	if !prunedFar {
+		t.Fatal("expected the far disk to be pruned by f_min")
+	}
+	tb, err := subregion.Build(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Verifier bounds + exact values.
+	n := tb.NumCandidates()
+	bounds := make([]verify.Bounds, n)
+	status := make([]verify.Status, n)
+	for i := range bounds {
+		bounds[i] = verify.Bounds{L: 0, U: 1}
+	}
+	verify.RS{}.Apply(tb, bounds, status)
+	verify.LSR{}.Apply(tb, bounds, status)
+	verify.USR{}.Apply(tb, bounds, status)
+
+	exact := make([]float64, n)
+	sum := 0.0
+	for i := range exact {
+		p, err := Exact(tb, i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact[i] = p
+		sum += p
+		if p < bounds[i].L-1e-9 || p > bounds[i].U+1e-9 {
+			t.Errorf("candidate %d: exact %g outside verifier bounds [%g, %g]",
+				i, p, bounds[i].L, bounds[i].U)
+		}
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("2-D exact probabilities sum to %g", sum)
+	}
+
+	// Monte-Carlo over the actual disks (not the reduced histograms):
+	// end-to-end validation of the lens-area reduction itself.
+	rng := rand.New(rand.NewSource(77))
+	const samples = 150000
+	counts := make([]float64, n)
+	idByPos := map[int]int{}
+	for pos, c := range kept {
+		idByPos[c.ID] = pos
+	}
+	sampleDisk := func(c geom.Circle) geom.Point {
+		for {
+			x := c.Center.X - c.Radius + 2*c.Radius*rng.Float64()
+			y := c.Center.Y - c.Radius + 2*c.Radius*rng.Float64()
+			p := geom.Point{X: x, Y: y}
+			if c.Center.Dist(p) <= c.Radius {
+				return p
+			}
+		}
+	}
+	for s := 0; s < samples; s++ {
+		best, bi := math.Inf(1), -1
+		for id, c := range circles {
+			pos, ok := idByPos[id]
+			if !ok {
+				continue // pruned disk cannot win; skip sampling it
+			}
+			d := sampleDisk(c).Dist(q)
+			if d < best {
+				best, bi = d, pos
+			}
+		}
+		counts[bi]++
+	}
+	for i := range exact {
+		mc := counts[i] / samples
+		if diff := math.Abs(mc - exact[i]); diff > 0.01 {
+			t.Errorf("candidate %d: exact %g vs 2-D MC %g", i, exact[i], mc)
+		}
+	}
+}

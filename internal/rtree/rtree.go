@@ -1,0 +1,670 @@
+// Package rtree implements an in-memory R-tree over axis-aligned rectangles,
+// written from scratch on the standard library. It is the spatial substrate
+// of the C-PNN filtering phase (the role played by the spatialindex library
+// in the paper's experiments): the engine bulk-loads the uncertainty regions
+// of a dataset and uses best-first traversal with MINDIST/MINMAXDIST bounds
+// to locate f_min and collect the candidate set.
+//
+// The tree supports Guttman-style insertion with quadratic splits, deletion
+// with reinsertion, window search, best-first nearest-neighbor scans and
+// Sort-Tile-Recursive (STR) bulk loading.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+const (
+	// DefaultMaxEntries is the default node fan-out.
+	DefaultMaxEntries = 16
+	// DefaultMinEntries is the default minimum node occupancy.
+	DefaultMinEntries = 4
+)
+
+// Tree is an R-tree mapping rectangles to values of type T. The zero value
+// is not usable; construct trees with New or BulkLoad.
+type Tree[T any] struct {
+	root       *node[T]
+	size       int
+	maxEntries int
+	minEntries int
+}
+
+type entry[T any] struct {
+	rect  geom.Rect
+	child *node[T] // nil at leaf level
+	item  T        // valid when child == nil
+}
+
+type node[T any] struct {
+	leaf    bool
+	entries []entry[T]
+}
+
+// New returns an empty tree with the given node capacities. maxEntries must
+// be at least 4 and minEntries between 2 and maxEntries/2.
+func New[T any](minEntries, maxEntries int) (*Tree[T], error) {
+	if maxEntries < 4 {
+		return nil, fmt.Errorf("rtree: maxEntries %d < 4", maxEntries)
+	}
+	if minEntries < 2 || minEntries > maxEntries/2 {
+		return nil, fmt.Errorf("rtree: minEntries %d outside [2, %d]", minEntries, maxEntries/2)
+	}
+	return &Tree[T]{
+		root:       &node[T]{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: minEntries,
+	}, nil
+}
+
+// NewDefault returns an empty tree with the default capacities.
+func NewDefault[T any]() *Tree[T] {
+	t, err := New[T](DefaultMinEntries, DefaultMaxEntries)
+	if err != nil {
+		panic(err) // defaults are always valid
+	}
+	return t
+}
+
+// Len returns the number of stored items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Height returns the number of levels in the tree; an empty tree has height 1.
+func (t *Tree[T]) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.entries[0].child {
+		h++
+	}
+	return h
+}
+
+// Insert adds an item with the given bounding rectangle.
+func (t *Tree[T]) Insert(rect geom.Rect, item T) error {
+	if !rect.IsValid() {
+		return fmt.Errorf("rtree: invalid rect %+v", rect)
+	}
+	leaf := t.chooseLeaf(t.root, rect)
+	leaf.entries = append(leaf.entries, entry[T]{rect: rect, item: item})
+	t.size++
+	if len(leaf.entries) > t.maxEntries {
+		t.splitAndPropagate(leaf)
+	}
+	return nil
+}
+
+// chooseLeaf descends to the leaf whose MBR needs the least enlargement.
+func (t *Tree[T]) chooseLeaf(n *node[T], rect geom.Rect) *node[T] {
+	for !n.leaf {
+		best := 0
+		bestEnl := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i := range n.entries {
+			enl := n.entries[i].rect.Enlargement(rect)
+			area := n.entries[i].rect.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n.entries[best].rect = n.entries[best].rect.Union(rect)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// splitAndPropagate splits an overflowing node and walks splits upward.
+// Because nodes do not store parent pointers, we re-descend from the root.
+func (t *Tree[T]) splitAndPropagate(target *node[T]) {
+	if target == t.root {
+		t.splitRoot()
+		return
+	}
+	// Find the path from root to target.
+	path := t.pathTo(target)
+	if path == nil {
+		return // node no longer in tree (should not happen)
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries) <= t.maxEntries {
+			break
+		}
+		if n == t.root {
+			t.splitRoot()
+			break
+		}
+		parent := path[i-1]
+		a, b := t.quadraticSplit(n)
+		// Replace n's entry in parent with the two halves.
+		for j := range parent.entries {
+			if parent.entries[j].child == n {
+				parent.entries[j] = entry[T]{rect: mbr(a), child: a}
+				parent.entries = append(parent.entries, entry[T]{rect: mbr(b), child: b})
+				break
+			}
+		}
+	}
+}
+
+func (t *Tree[T]) splitRoot() {
+	a, b := t.quadraticSplit(t.root)
+	t.root = &node[T]{
+		leaf: false,
+		entries: []entry[T]{
+			{rect: mbr(a), child: a},
+			{rect: mbr(b), child: b},
+		},
+	}
+}
+
+// pathTo returns the chain of nodes from root down to target (exclusive of
+// target at the end: path[len-1] == target).
+func (t *Tree[T]) pathTo(target *node[T]) []*node[T] {
+	var path []*node[T]
+	var dfs func(n *node[T]) bool
+	dfs = func(n *node[T]) bool {
+		path = append(path, n)
+		if n == target {
+			return true
+		}
+		if !n.leaf {
+			for i := range n.entries {
+				if dfs(n.entries[i].child) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if dfs(t.root) {
+		return path
+	}
+	return nil
+}
+
+// quadraticSplit splits n's entries into two nodes using Guttman's quadratic
+// seed/pick-next method and returns them.
+func (t *Tree[T]) quadraticSplit(n *node[T]) (*node[T], *node[T]) {
+	ents := n.entries
+	// Pick the pair of seeds wasting the most area together.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			waste := ents[i].rect.Union(ents[j].rect).Area() -
+				ents[i].rect.Area() - ents[j].rect.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	a := &node[T]{leaf: n.leaf, entries: []entry[T]{ents[s1]}}
+	b := &node[T]{leaf: n.leaf, entries: []entry[T]{ents[s2]}}
+	ra, rb := ents[s1].rect, ents[s2].rect
+
+	rest := make([]entry[T], 0, len(ents)-2)
+	for i := range ents {
+		if i != s1 && i != s2 {
+			rest = append(rest, ents[i])
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take everything left to reach minimum occupancy,
+		// give it everything.
+		if len(a.entries)+len(rest) == t.minEntries {
+			a.entries = append(a.entries, rest...)
+			for _, e := range rest {
+				ra = ra.Union(e.rect)
+			}
+			break
+		}
+		if len(b.entries)+len(rest) == t.minEntries {
+			b.entries = append(b.entries, rest...)
+			for _, e := range rest {
+				rb = rb.Union(e.rect)
+			}
+			break
+		}
+		// Pick the entry with the strongest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := ra.Enlargement(e.rect)
+			d2 := rb.Enlargement(e.rect)
+			if diff := math.Abs(d1 - d2); diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		d1, d2 := ra.Enlargement(e.rect), rb.Enlargement(e.rect)
+		toA := d1 < d2 ||
+			(d1 == d2 && ra.Area() < rb.Area()) ||
+			(d1 == d2 && ra.Area() == rb.Area() && len(a.entries) <= len(b.entries))
+		if toA {
+			a.entries = append(a.entries, e)
+			ra = ra.Union(e.rect)
+		} else {
+			b.entries = append(b.entries, e)
+			rb = rb.Union(e.rect)
+		}
+	}
+	return a, b
+}
+
+func mbr[T any](n *node[T]) geom.Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// Delete removes one item whose rectangle equals rect and for which match
+// returns true. It reports whether an item was removed. Underfull nodes are
+// dissolved and their entries reinserted, per Guttman's CondenseTree.
+func (t *Tree[T]) Delete(rect geom.Rect, match func(T) bool) bool {
+	leafPath, idx := t.findLeaf(t.root, nil, rect, match)
+	if leafPath == nil {
+		return false
+	}
+	leaf := leafPath[len(leafPath)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+
+	// Condense: walk up, collecting orphaned entries from underfull nodes.
+	var orphans []entry[T]
+	for i := len(leafPath) - 1; i > 0; i-- {
+		n := leafPath[i]
+		parent := leafPath[i-1]
+		if len(n.entries) < t.minEntries {
+			// Remove n from parent and orphan its entries.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, n.entries...)
+		} else {
+			// Tighten the parent's MBR for n.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries[j].rect = mbr(n)
+					break
+				}
+			}
+		}
+	}
+	// Shrink the root if it lost all children or has a single internal child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node[T]{leaf: true}
+	}
+	// Reinsert orphaned subtrees leaf-by-leaf.
+	for _, o := range orphans {
+		t.reinsert(o)
+	}
+	return true
+}
+
+func (t *Tree[T]) reinsert(e entry[T]) {
+	if e.child == nil {
+		// Leaf entry: plain insert (rect already validated on the way in).
+		leaf := t.chooseLeaf(t.root, e.rect)
+		leaf.entries = append(leaf.entries, e)
+		if len(leaf.entries) > t.maxEntries {
+			t.splitAndPropagate(leaf)
+		}
+		return
+	}
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n.leaf {
+			for _, le := range n.entries {
+				t.reinsert(le)
+			}
+			return
+		}
+		for _, c := range n.entries {
+			walk(c.child)
+		}
+	}
+	walk(e.child)
+}
+
+// findLeaf locates a leaf containing a matching entry, returning the root
+// path and the entry index.
+func (t *Tree[T]) findLeaf(n *node[T], path []*node[T], rect geom.Rect, match func(T) bool) ([]*node[T], int) {
+	path = append(path, n)
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].rect == rect && match(n.entries[i].item) {
+				return path, i
+			}
+		}
+		return nil, -1
+	}
+	for i := range n.entries {
+		if n.entries[i].rect.Contains(rect) || n.entries[i].rect.Intersects(rect) {
+			if p, idx := t.findLeaf(n.entries[i].child, path, rect, match); p != nil {
+				return p, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// Search calls fn for every item whose rectangle intersects the window. fn
+// returning false stops the scan early.
+func (t *Tree[T]) Search(window geom.Rect, fn func(geom.Rect, T) bool) {
+	t.search(t.root, window, fn)
+}
+
+func (t *Tree[T]) search(n *node[T], window geom.Rect, fn func(geom.Rect, T) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Intersects(window) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.rect, e.item) {
+				return false
+			}
+		} else if !t.search(e.child, window, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// All calls fn for every stored item.
+func (t *Tree[T]) All(fn func(geom.Rect, T) bool) {
+	t.search(t.root, mbrOrInfinite(t), fn)
+}
+
+func mbrOrInfinite[T any](t *Tree[T]) geom.Rect {
+	if len(t.root.entries) == 0 {
+		return geom.Rect{}
+	}
+	return mbr(t.root)
+}
+
+// Neighbor is a result of a nearest-neighbor scan.
+type Neighbor[T any] struct {
+	Rect geom.Rect
+	Item T
+	// Dist is the MINDIST of the item's rectangle from the query point —
+	// for uncertainty regions, the object's near point distance.
+	Dist float64
+}
+
+// NearestBy returns up to k items in ascending order of MINDIST from q,
+// using best-first search over a priority queue (Hjaltason–Samet).
+func (t *Tree[T]) NearestBy(q geom.Point, k int) []Neighbor[T] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	out := make([]Neighbor[T], 0, k)
+	t.ScanNearest(q, func(nb Neighbor[T]) bool {
+		out = append(out, nb)
+		return len(out) < k
+	})
+	return out
+}
+
+// ScanNearest streams items in ascending MINDIST order from q until fn
+// returns false. The filtering phase uses it to find f_min and then keep
+// consuming candidates whose near point does not exceed f_min.
+func (t *Tree[T]) ScanNearest(q geom.Point, fn func(Neighbor[T]) bool) {
+	if t.size == 0 {
+		return
+	}
+	pq := &nnQueue[T]{}
+	heap.Push(pq, nnEntry[T]{dist: 0, node: t.root})
+	for pq.Len() > 0 {
+		head := heap.Pop(pq).(nnEntry[T])
+		if head.node != nil {
+			for i := range head.node.entries {
+				e := &head.node.entries[i]
+				item := nnEntry[T]{dist: e.rect.MinDist(q)}
+				if head.node.leaf {
+					item.leafEntry = e
+				} else {
+					item.node = e.child
+				}
+				heap.Push(pq, item)
+			}
+			continue
+		}
+		e := head.leafEntry
+		if !fn(Neighbor[T]{Rect: e.rect, Item: e.item, Dist: head.dist}) {
+			return
+		}
+	}
+}
+
+// MinMaxDist returns the smallest MAXDIST over all stored rectangles from q:
+// the distance f_min of the paper's filtering phase. The traversal prunes
+// subtrees whose MINDIST exceeds the best MAXDIST found so far.
+// It returns +Inf for an empty tree.
+func (t *Tree[T]) MinMaxDist(q geom.Point) float64 {
+	best := math.Inf(1)
+	if t.size == 0 {
+		return best
+	}
+	pq := &nnQueue[T]{}
+	heap.Push(pq, nnEntry[T]{dist: 0, node: t.root})
+	for pq.Len() > 0 {
+		head := heap.Pop(pq).(nnEntry[T])
+		if head.dist > best {
+			break // everything remaining starts farther than the bound
+		}
+		if head.node.leaf {
+			for i := range head.node.entries {
+				if d := head.node.entries[i].rect.MaxDist(q); d < best {
+					best = d
+				}
+			}
+			continue
+		}
+		for i := range head.node.entries {
+			e := &head.node.entries[i]
+			// An MBR's MAXDIST upper-bounds the far point of every region
+			// inside it, so it tightens the f_min bound before any descent.
+			// (MINMAXDIST would be wrong here: it bounds a contained
+			// object's near point, not its far point.)
+			if mm := e.rect.MaxDist(q); mm < best {
+				best = mm
+			}
+			if md := e.rect.MinDist(q); md <= best {
+				heap.Push(pq, nnEntry[T]{dist: md, node: e.child})
+			}
+		}
+	}
+	return best
+}
+
+type nnEntry[T any] struct {
+	dist      float64
+	node      *node[T]
+	leafEntry *entry[T]
+}
+
+type nnQueue[T any] []nnEntry[T]
+
+func (q nnQueue[T]) Len() int           { return len(q) }
+func (q nnQueue[T]) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nnQueue[T]) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue[T]) Push(x any)        { *q = append(*q, x.(nnEntry[T])) }
+func (q *nnQueue[T]) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// Input is a (rectangle, item) pair for bulk loading.
+type Input[T any] struct {
+	Rect geom.Rect
+	Item T
+}
+
+// BulkLoad builds a tree from the inputs using Sort-Tile-Recursive packing,
+// which yields near-optimal space utilization for static datasets — the
+// common case for the benchmark workloads.
+func BulkLoad[T any](inputs []Input[T], minEntries, maxEntries int) (*Tree[T], error) {
+	t, err := New[T](minEntries, maxEntries)
+	if err != nil {
+		return nil, err
+	}
+	if len(inputs) == 0 {
+		return t, nil
+	}
+	for _, in := range inputs {
+		if !in.Rect.IsValid() {
+			return nil, fmt.Errorf("rtree: invalid rect %+v in bulk load", in.Rect)
+		}
+	}
+	// Leaf level.
+	leaves := strPack(inputs, maxEntries)
+	level := make([]entry[T], len(leaves))
+	for i, lf := range leaves {
+		level[i] = entry[T]{rect: mbr(lf), child: lf}
+	}
+	// Upper levels.
+	for len(level) > 1 {
+		nodes := strPackEntries(level, maxEntries)
+		level = level[:0]
+		for _, nd := range nodes {
+			level = append(level, entry[T]{rect: mbr(nd), child: nd})
+		}
+	}
+	if len(leaves) == 1 {
+		t.root = leaves[0]
+	} else {
+		t.root = level[0].child
+	}
+	t.size = len(inputs)
+	return t, nil
+}
+
+// strPack tiles leaf inputs into leaf nodes.
+func strPack[T any](inputs []Input[T], capPerNode int) []*node[T] {
+	items := append([]Input[T](nil), inputs...)
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].Rect.Center().X < items[j].Rect.Center().X
+	})
+	sliceCount := int(math.Ceil(math.Sqrt(float64(len(items)) / float64(capPerNode))))
+	if sliceCount < 1 {
+		sliceCount = 1
+	}
+	perSlice := int(math.Ceil(float64(len(items)) / float64(sliceCount)))
+	var out []*node[T]
+	for s := 0; s < len(items); s += perSlice {
+		end := s + perSlice
+		if end > len(items) {
+			end = len(items)
+		}
+		slice := items[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		})
+		for o := 0; o < len(slice); o += capPerNode {
+			e := o + capPerNode
+			if e > len(slice) {
+				e = len(slice)
+			}
+			n := &node[T]{leaf: true}
+			for _, in := range slice[o:e] {
+				n.entries = append(n.entries, entry[T]{rect: in.Rect, item: in.Item})
+			}
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// strPackEntries tiles internal entries into internal nodes.
+func strPackEntries[T any](ents []entry[T], capPerNode int) []*node[T] {
+	items := append([]entry[T](nil), ents...)
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].rect.Center().X < items[j].rect.Center().X
+	})
+	sliceCount := int(math.Ceil(math.Sqrt(float64(len(items)) / float64(capPerNode))))
+	if sliceCount < 1 {
+		sliceCount = 1
+	}
+	perSlice := int(math.Ceil(float64(len(items)) / float64(sliceCount)))
+	var out []*node[T]
+	for s := 0; s < len(items); s += perSlice {
+		end := s + perSlice
+		if end > len(items) {
+			end = len(items)
+		}
+		slice := items[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].rect.Center().Y < slice[j].rect.Center().Y
+		})
+		for o := 0; o < len(slice); o += capPerNode {
+			e := o + capPerNode
+			if e > len(slice) {
+				e = len(slice)
+			}
+			n := &node[T]{leaf: false}
+			n.entries = append(n.entries, slice[o:e]...)
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// CheckInvariants validates structural invariants for tests: every internal
+// entry's rectangle equals the MBR of its child, occupancy bounds hold
+// (except at the root) and all leaves sit at the same depth. It returns the
+// first violation found.
+func (t *Tree[T]) CheckInvariants() error {
+	leafDepth := -1
+	var walk func(n *node[T], depth int, isRoot bool) error
+	walk = func(n *node[T], depth int, isRoot bool) error {
+		if !isRoot {
+			if len(n.entries) < t.minEntries {
+				return fmt.Errorf("rtree: node at depth %d underfull (%d < %d)",
+					depth, len(n.entries), t.minEntries)
+			}
+		}
+		if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("rtree: node at depth %d overfull (%d > %d)",
+				depth, len(n.entries), t.maxEntries)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			return nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child == nil {
+				return fmt.Errorf("rtree: internal entry without child at depth %d", depth)
+			}
+			if got := mbr(e.child); !e.rect.Contains(got) {
+				return fmt.Errorf("rtree: MBR %+v does not contain child MBR %+v", e.rect, got)
+			}
+			if err := walk(e.child, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, true)
+}

@@ -1,0 +1,108 @@
+// Package stats provides the small aggregation helpers the experiment
+// harness uses to summarize per-query measurements: means, percentiles and
+// running aggregates over durations and floats.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// AddDuration appends a duration observation in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Sum returns the total of all observations.
+func (s *Sample) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+// Min returns the smallest observation, or +Inf for an empty sample.
+func (s *Sample) Min() float64 {
+	out := math.Inf(1)
+	for _, v := range s.values {
+		out = math.Min(out, v)
+	}
+	return out
+}
+
+// Max returns the largest observation, or -Inf for an empty sample.
+func (s *Sample) Max() float64 {
+	out := math.Inf(-1)
+	for _, v := range s.values {
+		out = math.Max(out, v)
+	}
+	return out
+}
+
+// Stddev returns the sample standard deviation, or 0 with fewer than two
+// observations.
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank on
+// the sorted sample. It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// String renders "mean ± stddev (n)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", s.Mean(), s.Stddev(), s.N())
+}

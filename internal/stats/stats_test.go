@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := s.Sum(); got != 40 {
+		t.Errorf("Sum = %g", got)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %g", got)
+	}
+	// Known population stddev is 2; sample stddev = sqrt(32/7).
+	if got := s.Stddev(); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Stddev = %g", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.N() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty sample misbehaves")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty min/max not infinite")
+	}
+}
+
+func TestSamplePercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {100, 100}, {-5, 1}, {150, 100},
+	}
+	for _, tc := range cases {
+		if got := s.Percentile(tc.p); got != tc.want {
+			t.Errorf("Percentile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestSampleAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Microsecond)
+	if got := s.Mean(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("duration in ms = %g", got)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSampleSingleton(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.Stddev() != 0 {
+		t.Error("singleton stddev not 0")
+	}
+	if s.Percentile(50) != 3 {
+		t.Error("singleton percentile wrong")
+	}
+}

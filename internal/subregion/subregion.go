@@ -1,0 +1,277 @@
+// Package subregion builds the subregion decomposition at the core of the
+// paper's verifiers (§IV-A, Fig. 7).
+//
+// Given the candidate set of a query — each candidate represented by its
+// distance pdf — the space of distances is partitioned at "end-points": every
+// candidate's near point, every point where a distance pdf changes value
+// (histogram bin edges) below f_min, plus f_min and f_max. Adjacent
+// end-points delimit subregions S_1..S_M; the rightmost subregion
+// S_M = [f_min, f_max] is never subdivided because no object located beyond
+// f_min can be the nearest neighbor.
+//
+// For every candidate X_i and subregion S_j the table records the subregion
+// probability s_ij = Pr(R_i ∈ S_j) and the distance cdf D_i(e_j) at the
+// subregion's lower end-point — exactly the number pairs of Fig. 7(b) — plus
+// the exclusive products Π_{k≠i}(1 − D_k(e_j)) that Lemma 2 and Eq. 11
+// consume.
+package subregion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pdf"
+)
+
+// Candidate pairs a dataset object ID with its distance pdf for the current
+// query point.
+type Candidate struct {
+	// ID is the object's dataset ID.
+	ID int
+	// Dist is the pdf of the object's distance from the query point.
+	Dist *pdf.Histogram
+}
+
+// Table is the subregion decomposition of one query's candidate set.
+//
+// Candidates are sorted by ascending near point and addressed by a local
+// index 0..NumCandidates()-1 (the paper's X_1..X_|C| renaming); IDs maps back
+// to dataset IDs. End-points are Ends[0..M]; subregion j (0-based) spans
+// [Ends[j], Ends[j+1]] and the rightmost subregion has index M-1.
+type Table struct {
+	ids   []int
+	dists []*pdf.Histogram
+	ends  []float64
+	m     int // number of subregions
+
+	fMin, fMax float64
+
+	s    []float64 // |C| × M subregion probabilities, row-major
+	d    []float64 // |C| × (M+1) distance cdf at each end-point, row-major
+	excl []float64 // |C| × (M+1) Π_{k≠i}(1−D_k(e_j)), row-major
+	y    []float64 // M+1 full products Π_k (1−D_k(e_j))
+	c    []int     // M per-subregion counts of candidates with s_ij > 0
+}
+
+// ErrNoCandidates is returned when a table is built from an empty candidate
+// set.
+var ErrNoCandidates = errors.New("subregion: empty candidate set")
+
+// Build constructs the subregion table for a candidate set. Candidates whose
+// near point lies beyond f_min contribute nothing (their qualification
+// probability is zero); Build returns an error for them so that callers
+// notice broken filtering instead of silently mis-ranking.
+func Build(cands []Candidate) (*Table, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	t := &Table{
+		ids:   make([]int, len(cands)),
+		dists: make([]*pdf.Histogram, len(cands)),
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return cands[order[a]].Dist.Support().Lo < cands[order[b]].Dist.Support().Lo
+	})
+	t.fMin = math.Inf(1)
+	t.fMax = math.Inf(-1)
+	for rank, idx := range order {
+		c := cands[idx]
+		if c.Dist == nil {
+			return nil, fmt.Errorf("subregion: candidate %d has nil distance pdf", c.ID)
+		}
+		t.ids[rank] = c.ID
+		t.dists[rank] = c.Dist
+		sup := c.Dist.Support()
+		t.fMin = math.Min(t.fMin, sup.Hi)
+		t.fMax = math.Max(t.fMax, sup.Hi)
+	}
+	for i, dh := range t.dists {
+		if dh.Support().Lo > t.fMin {
+			return nil, fmt.Errorf(
+				"subregion: candidate %d has near point %g beyond f_min %g; filtering should have pruned it",
+				t.ids[i], dh.Support().Lo, t.fMin)
+		}
+	}
+
+	t.buildEndpoints()
+	t.m = len(t.ends) - 1
+	t.fillMatrices()
+	return t, nil
+}
+
+// buildEndpoints assembles the sorted, deduplicated end-point list: near
+// points, distance-pdf breakpoints strictly below f_min, then f_min and
+// f_max (paper: "no end points are defined between (e5, e6)").
+func (t *Table) buildEndpoints() {
+	var pts []float64
+	for _, dh := range t.dists {
+		pts = append(pts, dh.Support().Lo)
+		for _, e := range dh.Edges() {
+			if e < t.fMin {
+				pts = append(pts, e)
+			}
+		}
+	}
+	pts = append(pts, t.fMin)
+	if t.fMax > t.fMin {
+		pts = append(pts, t.fMax)
+	} else {
+		// All far points coincide: the rightmost subregion degenerates, but
+		// the partition still needs at least one subregion; extend by an
+		// empty-width guard only when every candidate shares near == far,
+		// which cannot happen for valid pdfs, so fMax == fMin simply means
+		// a zero-width rightmost region that we merge away by adding a
+		// sentinel just above it.
+		pts = append(pts, math.Nextafter(t.fMin, math.Inf(1)))
+	}
+	sort.Float64s(pts)
+	t.ends = dedupe(pts)
+}
+
+// fillMatrices computes, per candidate, the cdf at each end-point by a
+// single linear march over the distance histogram, then derives subregion
+// probabilities, per-subregion counts and exclusive cdf products.
+func (t *Table) fillMatrices() {
+	nC := len(t.dists)
+	nE := len(t.ends)
+	t.d = make([]float64, nC*nE)
+	t.s = make([]float64, nC*t.m)
+	t.excl = make([]float64, nC*nE)
+	t.y = make([]float64, nE)
+	t.c = make([]int, t.m)
+
+	for i, dh := range t.dists {
+		row := t.d[i*nE : (i+1)*nE]
+		marchCDF(dh, t.ends, row)
+		srow := t.s[i*t.m : (i+1)*t.m]
+		for j := 0; j < t.m; j++ {
+			v := row[j+1] - row[j]
+			if v < 0 {
+				v = 0 // rounding guard; cdf is monotone analytically
+			}
+			srow[j] = v
+			if v > 0 {
+				t.c[j]++
+			}
+		}
+	}
+
+	// Exclusive products per end-point via prefix/suffix scans, which avoids
+	// dividing by potentially zero (1 − D_k) factors.
+	pre := make([]float64, nC+1)
+	suf := make([]float64, nC+1)
+	for j := 0; j < nE; j++ {
+		pre[0] = 1
+		for i := 0; i < nC; i++ {
+			pre[i+1] = pre[i] * (1 - t.d[i*nE+j])
+		}
+		suf[nC] = 1
+		for i := nC - 1; i >= 0; i-- {
+			suf[i] = suf[i+1] * (1 - t.d[i*nE+j])
+		}
+		t.y[j] = pre[nC]
+		for i := 0; i < nC; i++ {
+			t.excl[i*nE+j] = pre[i] * suf[i+1]
+		}
+	}
+}
+
+// marchCDF writes cdf values of dh at every point of the ascending slice
+// ends into out, in O(len(ends) + bins) time.
+func marchCDF(dh *pdf.Histogram, ends []float64, out []float64) {
+	edges := dh.Edges()
+	nBins := dh.NumBins()
+	bin := 0
+	cum := 0.0
+	for j, e := range ends {
+		for bin < nBins && edges[bin+1] <= e {
+			cum += dh.BinMass(bin)
+			bin++
+		}
+		switch {
+		case e <= edges[0]:
+			out[j] = 0
+		case bin >= nBins:
+			out[j] = 1
+		default:
+			out[j] = cum + dh.BinDensity(bin)*(e-edges[bin])
+		}
+	}
+}
+
+// NumCandidates returns |C|, the candidate-set size.
+func (t *Table) NumCandidates() int { return len(t.ids) }
+
+// NumSubregions returns M, the subregion count (including the rightmost).
+func (t *Table) NumSubregions() int { return t.m }
+
+// IDs returns the dataset IDs in near-point order; callers must not mutate.
+func (t *Table) IDs() []int { return t.ids }
+
+// Dist returns candidate i's distance pdf.
+func (t *Table) Dist(i int) *pdf.Histogram { return t.dists[i] }
+
+// Endpoints returns the end-point slice e_1..e_{M+1} (len M+1); callers must
+// not mutate it.
+func (t *Table) Endpoints() []float64 { return t.ends }
+
+// FMin returns the minimum far point of the candidate set.
+func (t *Table) FMin() float64 { return t.fMin }
+
+// FMax returns the maximum far point of the candidate set.
+func (t *Table) FMax() float64 { return t.fMax }
+
+// S returns the subregion probability s_ij for candidate i in subregion j.
+func (t *Table) S(i, j int) float64 { return t.s[i*t.m+j] }
+
+// D returns the distance cdf D_i evaluated at end-point j (0 <= j <= M).
+func (t *Table) D(i, j int) float64 { return t.d[i*len(t.ends)+j] }
+
+// Excl returns Π_{k≠i} (1 − D_k(e_j)), the probability that every other
+// candidate's distance is at least e_j.
+func (t *Table) Excl(i, j int) float64 { return t.excl[i*len(t.ends)+j] }
+
+// Y returns the full product Π_k (1 − D_k(e_j)) of Eq. 2.
+func (t *Table) Y(j int) float64 { return t.y[j] }
+
+// Count returns c_j, the number of candidates with non-zero subregion
+// probability in subregion j.
+func (t *Table) Count(j int) int { return t.c[j] }
+
+// RightmostMass returns s_iM, candidate i's probability of falling in the
+// rightmost subregion — the quantity the RS verifier subtracts from one.
+func (t *Table) RightmostMass(i int) float64 { return t.S(i, t.m-1) }
+
+// SubregionOf returns the index of the subregion containing r, clamping to
+// the partition's ends.
+func (t *Table) SubregionOf(r float64) int {
+	if r <= t.ends[0] {
+		return 0
+	}
+	if r >= t.ends[len(t.ends)-1] {
+		return t.m - 1
+	}
+	j := sort.SearchFloat64s(t.ends, r)
+	// ends[j-1] < r <= ends[j] (SearchFloat64s finds first >= r); subregion
+	// index is j-1 except when r equals an end-point exactly.
+	if t.ends[j] == r && j < t.m {
+		return j
+	}
+	return j - 1
+}
+
+func dedupe(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

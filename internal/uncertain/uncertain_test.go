@@ -1,0 +1,258 @@
+package uncertain
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pdf"
+)
+
+func TestNewDatasetIDs(t *testing.T) {
+	ds := NewDataset([]pdf.PDF{pdf.MustUniform(0, 1), pdf.MustUniform(5, 9)})
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Object(i).ID != i {
+			t.Errorf("object %d has ID %d", i, ds.Object(i).ID)
+		}
+	}
+	if r := ds.Object(1).Region(); r.Lo != 5 || r.Hi != 9 {
+		t.Errorf("Region = %v", r)
+	}
+	if dom := ds.Domain(); dom.Lo != 0 || dom.Hi != 9 {
+		t.Errorf("Domain = %v", dom)
+	}
+}
+
+func TestEmptyDatasetDomain(t *testing.T) {
+	ds := NewDataset(nil)
+	if ds.Len() != 0 {
+		t.Error("empty dataset has objects")
+	}
+	if dom := ds.Domain(); dom.Lo != 0 || dom.Hi != 0 {
+		t.Errorf("empty Domain = %v", dom)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("empty dataset invalid: %v", err)
+	}
+}
+
+func TestGenerateUniformDeterministic(t *testing.T) {
+	opt := GenOptions{N: 200, Domain: 1000, MeanLen: 10, MinLen: 1, MaxLen: 50, Seed: 42}
+	a, err := GenerateUniform(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateUniform(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 200 || b.Len() != 200 {
+		t.Fatal("wrong sizes")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Object(i).Region() != b.Object(i).Region() {
+			t.Fatalf("object %d differs between identically-seeded runs", i)
+		}
+	}
+	// Region lengths respect the configured bounds.
+	for _, o := range a.Objects() {
+		l := o.Region().Length()
+		if l < opt.MinLen-1e-12 || l > opt.MaxLen+1e-12 {
+			t.Fatalf("region length %g outside [%g, %g]", l, opt.MinLen, opt.MaxLen)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateUniformMeanLength(t *testing.T) {
+	opt := GenOptions{N: 5000, Domain: 10000, MeanLen: 17, MinLen: 0.5, MaxLen: 120, Seed: 7}
+	ds, err := GenerateUniform(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, o := range ds.Objects() {
+		sum += o.Region().Length()
+	}
+	mean := sum / float64(ds.Len())
+	// Truncation at MaxLen pulls the mean slightly below MeanLen.
+	if mean < opt.MeanLen*0.7 || mean > opt.MeanLen*1.15 {
+		t.Errorf("mean region length %g far from target %g", mean, opt.MeanLen)
+	}
+}
+
+func TestGenerateOptionsValidation(t *testing.T) {
+	bad := []GenOptions{
+		{N: -1, Domain: 10, MeanLen: 1, MinLen: 0.5, MaxLen: 2},
+		{N: 10, Domain: 0, MeanLen: 1, MinLen: 0.5, MaxLen: 2},
+		{N: 10, Domain: 10, MeanLen: 1, MinLen: 0, MaxLen: 2},
+		{N: 10, Domain: 10, MeanLen: 5, MinLen: 1, MaxLen: 2},
+		{N: 10, Domain: 10, MeanLen: 0.2, MinLen: 1, MaxLen: 2},
+	}
+	for i, opt := range bad {
+		if _, err := GenerateUniform(opt); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestGenerateGaussian(t *testing.T) {
+	opt := GenOptions{N: 50, Domain: 1000, MeanLen: 20, MinLen: 2, MaxLen: 80, Seed: 3}
+	ds, err := GenerateGaussian(opt, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ds.Objects() {
+		h, ok := o.PDF.(*pdf.Histogram)
+		if !ok {
+			t.Fatalf("object %d pdf is %T, want *pdf.Histogram", o.ID, o.PDF)
+		}
+		if h.NumBins() != 300 {
+			t.Fatalf("object %d has %d bars, want 300", o.ID, h.NumBins())
+		}
+		// Gaussian mass concentrates centrally: the middle third must hold
+		// the majority of the mass.
+		sup := h.Support()
+		third := sup.Length() / 3
+		mid := h.CDF(sup.Lo+2*third) - h.CDF(sup.Lo+third)
+		if mid < 0.6 {
+			t.Fatalf("object %d: central mass %g too small for a Gaussian", o.ID, mid)
+		}
+	}
+	if _, err := GenerateGaussian(opt, 0); err == nil {
+		t.Error("zero bars accepted")
+	}
+}
+
+func TestGenerateHistogram(t *testing.T) {
+	opt := GenOptions{N: 40, Domain: 500, MeanLen: 10, MinLen: 1, MaxLen: 40, Seed: 9}
+	ds, err := GenerateHistogram(opt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ds.Objects() {
+		h := o.PDF.(*pdf.Histogram)
+		if h.NumBins() < 2 || h.NumBins() > 8 {
+			t.Fatalf("bars = %d outside [2, 8]", h.NumBins())
+		}
+		// All bins must be strictly positive (the paper's assumption).
+		for b := 0; b < h.NumBins(); b++ {
+			if h.BinMass(b) <= 0 {
+				t.Fatalf("object %d has empty bin %d", o.ID, b)
+			}
+		}
+	}
+	if _, err := GenerateHistogram(opt, 1); err == nil {
+		t.Error("maxBars=1 accepted")
+	}
+}
+
+func TestLongBeachOptionsShape(t *testing.T) {
+	opt := LongBeachOptions(1)
+	if opt.N != 53144 || opt.Domain != 10000 {
+		t.Errorf("LongBeachOptions = %+v; want N=53144, Domain=10000 per §V-A", opt)
+	}
+}
+
+func TestQueryWorkload(t *testing.T) {
+	qs := QueryWorkload(100, 10000, 5)
+	if len(qs) != 100 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q < 500 || q > 9500 {
+			t.Errorf("query %g outside margin-protected domain", q)
+		}
+	}
+	qs2 := QueryWorkload(100, 10000, 5)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestSerializationRoundTripUniform(t *testing.T) {
+	ds := NewDataset([]pdf.PDF{
+		pdf.MustUniform(0, 4.5),
+		pdf.MustUniform(100, 101),
+	})
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if back.Object(i).Region() != ds.Object(i).Region() {
+			t.Errorf("object %d region mismatch", i)
+		}
+	}
+}
+
+func TestSerializationRoundTripHistogram(t *testing.T) {
+	h := pdf.MustHistogram([]float64{0, 1, 3, 7}, []float64{1, 2, 1})
+	ds := NewDataset([]pdf.PDF{h})
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Object(0).PDF.(*pdf.Histogram)
+	for _, x := range []float64{0.5, 1, 2, 5, 7} {
+		if math.Abs(got.CDF(x)-h.CDF(x)) > 1e-9 {
+			t.Errorf("CDF(%g) = %g, want %g", x, got.CDF(x), h.CDF(x))
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1\n",            // one field
+		"1 2 3\n",        // three fields
+		"a b\n",          // non-numeric
+		"5 2\n",          // inverted
+		"hist 0 1 2\n",   // histogram without separator
+		"hist 0 x | 1\n", // bad edge
+		"hist 0 1 | z\n", // bad weight
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+	// Comments and blank lines are skipped.
+	ds, err := Read(strings.NewReader("# comment\n\n1 2\n"))
+	if err != nil || ds.Len() != 1 {
+		t.Errorf("comment handling broken: %v, %d objects", err, ds.Len())
+	}
+}
+
+func TestWriteToUnsupportedPDF(t *testing.T) {
+	g, err := pdf.PaperGaussian(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDataset([]pdf.PDF{g})
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err == nil {
+		t.Error("serializing analytic Gaussian should fail (discretize first)")
+	}
+}
