@@ -99,6 +99,7 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	ds *uncertain.Dataset
 	ix *filter.Index
+	dv *deriver
 }
 
 // NewEngine indexes the dataset and returns a ready engine.
@@ -107,7 +108,7 @@ func NewEngine(ds *uncertain.Dataset) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Engine{ds: ds, ix: ix}, nil
+	return &Engine{ds: ds, ix: ix, dv: newDeriver()}, nil
 }
 
 // Dataset returns the engine's dataset.
@@ -309,33 +310,12 @@ func collect(res *Result, ids []int, bounds []verify.Bounds, status []verify.Sta
 	sort.Slice(res.Answers, func(a, b int) bool { return res.Answers[a].ID < res.Answers[b].ID })
 }
 
-// distanceCandidates derives the distance pdf of every candidate.
+// distanceCandidates derives the distance pdf of every candidate through the
+// shared derivation stage (memoized discretization, parallel folds).
 func (e *Engine) distanceCandidates(ids []int, q float64, bins int) ([]subregion.Candidate, error) {
-	cands := make([]subregion.Candidate, len(ids))
-	for i, id := range ids {
-		obj := e.ds.Object(id)
-		var (
-			d   *pdf.Histogram
-			err error
-		)
-		switch p := obj.PDF.(type) {
-		case *pdf.Histogram:
-			d, err = dist.FoldHistogram(p, q)
-		case pdf.Uniform:
-			d, err = dist.FromPDF(p, q)
-		default:
-			var h *pdf.Histogram
-			h, err = pdf.Discretize(obj.PDF, bins)
-			if err == nil {
-				d, err = dist.FoldHistogram(h, q)
-			}
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: object %d: %w", id, err)
-		}
-		cands[i] = subregion.Candidate{ID: id, Dist: d}
-	}
-	return cands, nil
+	return e.dv.deriveSet(ids, func(pos int) (*pdf.Histogram, error) {
+		return e.dv.distFor(e.ds.Object(ids[pos]), q, bins)
+	})
 }
 
 // Probability is an object ID paired with its exact qualification

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/pdf"
+	"repro/internal/subregion"
+	"repro/internal/uncertain"
+)
+
+// deriver is the candidate-derivation stage shared by Engine and Engine2D:
+// it turns a filtered ID set into subregion.Candidates by deriving each
+// object's distance distribution. It memoizes pdf.Discretize results per
+// (object, resolution) — discretization is query-independent, so the cost is
+// paid once per object across a query workload — and fans the per-candidate
+// folds across a bounded worker pool, since each derivation is independent.
+// Future strategies (batch queries, k-NN variants) plug in here rather than
+// growing their own per-candidate loops.
+type deriver struct {
+	mu      sync.Mutex
+	disc    map[discKey]*pdf.Histogram
+	workers int
+}
+
+// discKey identifies one memoized discretization.
+type discKey struct {
+	id   int
+	bins int
+}
+
+func newDeriver() *deriver {
+	return &deriver{workers: runtime.GOMAXPROCS(0)}
+}
+
+// discretize is a memoized pdf.Discretize keyed by object ID and resolution.
+// The memo map is allocated on first use: only 1-D analytic pdfs ever reach
+// it (histogram folds and the 2-D lens reduction are query-dependent), so
+// engines serving other workloads never pay for it. Concurrent callers may
+// race to fill the same key; both compute the same histogram, so
+// last-write-wins is harmless.
+func (dv *deriver) discretize(id int, p pdf.PDF, bins int) (*pdf.Histogram, error) {
+	key := discKey{id: id, bins: bins}
+	dv.mu.Lock()
+	h, ok := dv.disc[key]
+	dv.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	h, err := pdf.Discretize(p, bins)
+	if err != nil {
+		return nil, err
+	}
+	dv.mu.Lock()
+	if dv.disc == nil {
+		dv.disc = make(map[discKey]*pdf.Histogram)
+	}
+	dv.disc[key] = h
+	dv.mu.Unlock()
+	return h, nil
+}
+
+// distFor derives the distance pdf of one 1-D object: exact folds for
+// uniform and histogram pdfs, memoized discretization then a bin-exact fold
+// for everything else (the paper's treatment of Gaussian uncertainty).
+func (dv *deriver) distFor(obj uncertain.Object, q float64, bins int) (*pdf.Histogram, error) {
+	switch p := obj.PDF.(type) {
+	case *pdf.Histogram:
+		return dist.FoldHistogram(p, q)
+	case pdf.Uniform:
+		return dist.FromPDF(p, q)
+	default:
+		h, err := dv.discretize(obj.ID, obj.PDF, bins)
+		if err != nil {
+			return nil, err
+		}
+		return dist.FoldHistogram(h, q)
+	}
+}
+
+// serialDeriveCutoff is the candidate count below which deriveSet runs
+// serially: each derivation costs tens of microseconds (a 300-bin fold), so
+// under ~16 candidates the goroutine fan-out costs more than it saves.
+const serialDeriveCutoff = 16
+
+// deriveSet derives the distance distribution of every candidate and
+// assembles the candidate set in input order. fn maps a position in ids to
+// that candidate's distance pdf; positions are distributed over the worker
+// pool, with a serial fast path for small sets.
+func (dv *deriver) deriveSet(ids []int, fn func(pos int) (*pdf.Histogram, error)) ([]subregion.Candidate, error) {
+	n := len(ids)
+	cands := make([]subregion.Candidate, n)
+	workers := dv.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < serialDeriveCutoff {
+		for i := range cands {
+			d, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("core: object %d: %w", ids[i], err)
+			}
+			cands[i] = subregion.Candidate{ID: ids[i], Dist: d}
+		}
+		return cands, nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				d, err := fn(i)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: object %d: %w", ids[i], err)
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				cands[i] = subregion.Candidate{ID: ids[i], Dist: d}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return cands, nil
+}

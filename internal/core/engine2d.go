@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/geom"
+	"repro/internal/pdf"
 	"repro/internal/rtree"
 	"repro/internal/subregion"
 	"repro/internal/verify"
@@ -25,10 +26,15 @@ type Object2D struct {
 
 // Engine2D answers C-PNN queries over planar uncertain objects. The
 // pipeline is identical to the 1-D engine's — filter, verify, refine — with
-// the distance pdfs derived from lens areas instead of interval folds.
+// the distance pdfs derived from lens areas instead of interval folds,
+// through the same shared derivation stage. Only the stage's parallel
+// fan-out applies here: the lens reduction depends on the query point, so
+// there is nothing query-independent to memoize (the discretization memo
+// serves the 1-D engine's analytic pdfs).
 type Engine2D struct {
 	objs []Object2D
 	tree *rtree.Tree[int]
+	dv   *deriver
 }
 
 // NewEngine2D indexes the objects' bounding boxes and returns a 2-D engine.
@@ -50,7 +56,23 @@ func NewEngine2D(objs []Object2D) (*Engine2D, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Engine2D{objs: append([]Object2D(nil), objs...), tree: tree}, nil
+	return &Engine2D{
+		objs: append([]Object2D(nil), objs...),
+		tree: tree,
+		dv:   newDeriver(),
+	}, nil
+}
+
+// distanceCandidates derives the lens-area distance pdf of every candidate
+// (given by index into objs) through the shared derivation stage.
+func (e *Engine2D) distanceCandidates(candIdx []int, q geom.Point, bins int) ([]subregion.Candidate, error) {
+	ids := make([]int, len(candIdx))
+	for i, idx := range candIdx {
+		ids[i] = e.objs[idx].ID
+	}
+	return e.dv.deriveSet(ids, func(pos int) (*pdf.Histogram, error) {
+		return dist.FromCircle(e.objs[candIdx[pos]].Region, q, bins)
+	})
 }
 
 // Len returns the number of indexed objects.
@@ -81,29 +103,8 @@ func (e *Engine2D) CPNN(q geom.Point, c verify.Constraint, opt Options2D) (*Resu
 		return res, nil
 	}
 
-	// Filter. The R-tree bound uses bounding boxes (a valid upper bound on
-	// the minimal circle far point); candidate circles then tighten f_min
-	// exactly before the near-point prune.
 	start := time.Now()
-	fBox := e.tree.MinMaxDist(q)
-	window := geom.Rect{MinX: q.X - fBox, MinY: q.Y - fBox, MaxX: q.X + fBox, MaxY: q.Y + fBox}
-	var rough []int
-	e.tree.Search(window, func(_ geom.Rect, idx int) bool {
-		rough = append(rough, idx)
-		return true
-	})
-	fMin := math.Inf(1)
-	for _, idx := range rough {
-		if f := e.objs[idx].Region.MaxDist(q); f < fMin {
-			fMin = f
-		}
-	}
-	var candIdx []int
-	for _, idx := range rough {
-		if e.objs[idx].Region.MinDist(q) <= fMin {
-			candIdx = append(candIdx, idx)
-		}
-	}
+	candIdx, fMin := e.filterCandidates(q)
 	res.Stats.FilterTime = time.Since(start)
 	res.Stats.Candidates = len(candIdx)
 	res.Stats.FMin = fMin
@@ -111,15 +112,11 @@ func (e *Engine2D) CPNN(q geom.Point, c verify.Constraint, opt Options2D) (*Resu
 		return res, nil
 	}
 
-	// Initialization: lens-area distance pdfs.
+	// Initialization: lens-area distance pdfs via the shared stage.
 	start = time.Now()
-	cands := make([]subregion.Candidate, len(candIdx))
-	for i, idx := range candIdx {
-		d, err := dist.FromCircle(e.objs[idx].Region, q, opt.Bins)
-		if err != nil {
-			return nil, fmt.Errorf("core: object %d: %w", e.objs[idx].ID, err)
-		}
-		cands[i] = subregion.Candidate{ID: e.objs[idx].ID, Dist: d}
+	cands, err := e.distanceCandidates(candIdx, q, opt.Bins)
+	if err != nil {
+		return nil, err
 	}
 
 	// From here the 1-D machinery applies unchanged.
@@ -142,40 +139,51 @@ func (e *Engine2D) CPNN(q geom.Point, c verify.Constraint, opt Options2D) (*Resu
 	return finishVerifyRefine(table, c, oneD, res)
 }
 
-// PNN returns the exact qualification probability of every candidate for
-// the planar query point, sorted by descending probability.
-func (e *Engine2D) PNN(q geom.Point, opt Options2D) ([]Probability, error) {
-	res, err := e.CPNN(q, verify.Constraint{P: 1, Delta: 1}, Options2D{
-		Strategy: Refine, Bins: opt.Bins, GLNodes: opt.GLNodes,
+// filterCandidates computes the 2-D candidate set: indexes into objs of the
+// objects whose near point is within f_min, plus f_min itself. The R-tree
+// bound uses bounding boxes (a valid upper bound on the minimal circle far
+// point); candidate circles then tighten f_min exactly before the near-point
+// prune.
+func (e *Engine2D) filterCandidates(q geom.Point) (candIdx []int, fMin float64) {
+	fBox := e.tree.MinMaxDist(q)
+	window := geom.Rect{MinX: q.X - fBox, MinY: q.Y - fBox, MaxX: q.X + fBox, MaxY: q.Y + fBox}
+	var rough []int
+	e.tree.Search(window, func(_ geom.Rect, idx int) bool {
+		rough = append(rough, idx)
+		return true
 	})
-	if err != nil {
-		return nil, err
+	fMin = math.Inf(1)
+	for _, idx := range rough {
+		if f := e.objs[idx].Region.MaxDist(q); f < fMin {
+			fMin = f
+		}
 	}
-	// Delta = 1 classifies everything at verification; recompute exactly.
-	// Rebuild the table once and integrate every candidate.
+	for _, idx := range rough {
+		if e.objs[idx].Region.MinDist(q) <= fMin {
+			candIdx = append(candIdx, idx)
+		}
+	}
+	return candIdx, fMin
+}
+
+// PNN returns the exact qualification probability of every candidate for
+// the planar query point, sorted by descending probability. It shares the
+// filter and derivation stages with CPNN and integrates every candidate
+// exactly — no verification pass, whose bounds a PNN would discard anyway.
+func (e *Engine2D) PNN(q geom.Point, opt Options2D) ([]Probability, error) {
 	if opt.Bins == 0 {
 		opt.Bins = dist.DefaultBins
 	}
-	var cands []subregion.Candidate
-	for _, a := range res.Candidates {
-		var obj *Object2D
-		for i := range e.objs {
-			if e.objs[i].ID == a.ID {
-				obj = &e.objs[i]
-				break
-			}
-		}
-		if obj == nil {
-			return nil, fmt.Errorf("core: candidate %d not found", a.ID)
-		}
-		d, err := dist.FromCircle(obj.Region, q, opt.Bins)
-		if err != nil {
-			return nil, err
-		}
-		cands = append(cands, subregion.Candidate{ID: a.ID, Dist: d})
-	}
-	if len(cands) == 0 {
+	if len(e.objs) == 0 {
 		return nil, nil
+	}
+	candIdx, _ := e.filterCandidates(q)
+	if len(candIdx) == 0 {
+		return nil, nil
+	}
+	cands, err := e.distanceCandidates(candIdx, q, opt.Bins)
+	if err != nil {
+		return nil, err
 	}
 	table, err := subregion.Build(cands)
 	if err != nil {

@@ -1,0 +1,67 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/geom"
+	"repro/internal/pdf"
+)
+
+// The hot filter→dist→subregion path derives one distance histogram per
+// candidate per query; these benchmarks track its three reductions so
+// regressions show up before they reach the figure reproductions.
+
+func BenchmarkFromPDFUniform(b *testing.B) {
+	u := pdf.MustUniform(10, 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.FromPDF(u, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromPDFGaussian(b *testing.B) {
+	g, err := pdf.PaperGaussian(10, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Includes the DefaultBins discretization — the cost the engine's
+		// memoized derivation stage amortizes across queries.
+		if _, err := dist.FromPDF(g, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFoldHistogram(b *testing.B) {
+	g, err := pdf.PaperGaussian(10, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := pdf.Discretize(g, dist.DefaultBins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.FoldHistogram(h, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromCircle(b *testing.B) {
+	c := geom.Circle{Center: geom.Point{X: 3, Y: 4}, Radius: 2}
+	q := geom.Point{X: 1, Y: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.FromCircle(c, q, dist.DefaultBins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

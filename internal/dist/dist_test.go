@@ -1,0 +1,266 @@
+package dist_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/refine"
+	"repro/internal/subregion"
+)
+
+func TestDefaultBinsMatchesPaper(t *testing.T) {
+	if dist.DefaultBins != 300 {
+		t.Fatalf("DefaultBins = %d, want the paper's 300", dist.DefaultBins)
+	}
+}
+
+// distanceCDF is the ground-truth distance law of a 1-D pdf:
+// Pr(|X − q| <= d) = CDF(q+d) − CDF(q−d).
+func distanceCDF(p pdf.PDF, q, d float64) float64 {
+	if d < 0 {
+		return 0
+	}
+	return p.CDF(q+d) - p.CDF(q-d)
+}
+
+// checkDistanceLaw compares a derived distance histogram against the
+// analytic distance law of the source pdf on a fine grid.
+func checkDistanceLaw(t *testing.T, name string, src pdf.PDF, q float64, got *pdf.Histogram, tol float64) {
+	t.Helper()
+	sup := got.Support()
+	if want := src.Support().MinDist(q); math.Abs(sup.Lo-want) > 1e-12 {
+		t.Errorf("%s: support.Lo = %g, want near point %g", name, sup.Lo, want)
+	}
+	if want := src.Support().MaxDist(q); math.Abs(sup.Hi-want) > 1e-12 {
+		t.Errorf("%s: support.Hi = %g, want far point %g", name, sup.Hi, want)
+	}
+	if c := got.CDF(sup.Hi); math.Abs(c-1) > 1e-9 {
+		t.Errorf("%s: total mass %g, want 1", name, c)
+	}
+	const steps = 400
+	for i := 0; i <= steps; i++ {
+		d := sup.Lo + sup.Length()*float64(i)/steps
+		want := distanceCDF(src, q, d)
+		if diff := math.Abs(got.CDF(d) - want); diff > tol {
+			t.Fatalf("%s: cdf(%g) = %g, want %g (diff %g)", name, d, got.CDF(d), want, diff)
+		}
+	}
+}
+
+func TestFromPDFUniformExact(t *testing.T) {
+	u := pdf.MustUniform(2, 10)
+	for _, q := range []float64{-3, 2, 3, 6, 9.5, 10, 14} {
+		d, err := dist.FromPDF(u, q)
+		if err != nil {
+			t.Fatalf("q=%g: %v", q, err)
+		}
+		// The uniform reduction is closed-form: exact to round-off.
+		checkDistanceLaw(t, "uniform", u, q, d, 1e-12)
+		if err := pdf.Validate(d); err != nil {
+			t.Errorf("q=%g: %v", q, err)
+		}
+	}
+}
+
+func TestFromPDFHistogramBinExact(t *testing.T) {
+	h := pdf.MustHistogram(
+		[]float64{0, 1, 2.5, 4, 7},
+		[]float64{0.1, 0.4, 0.2, 0.3})
+	for _, q := range []float64{-1, 0, 1.7, 2.5, 3.2, 7, 9} {
+		d, err := dist.FromPDF(h, q)
+		if err != nil {
+			t.Fatalf("q=%g: %v", q, err)
+		}
+		// The fold is bin-exact, so the cdf must agree to round-off.
+		checkDistanceLaw(t, "histogram", h, q, d, 1e-12)
+	}
+}
+
+func TestFromPDFGaussianWithinDiscretization(t *testing.T) {
+	g, err := pdf.PaperGaussian(0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{-2, 0, 3, 6, 11, 15} {
+		d, err := dist.FromPDF(g, q)
+		if err != nil {
+			t.Fatalf("q=%g: %v", q, err)
+		}
+		// Discretization to DefaultBins bars bounds the cdf error by one
+		// bin's mass; the Gaussian peak bin holds well under 1%.
+		checkDistanceLaw(t, "gaussian", g, q, d, 0.01)
+	}
+}
+
+func TestFoldHistogramMatchesFromPDF(t *testing.T) {
+	h := pdf.MustHistogram([]float64{-4, -1, 0, 2, 5}, []float64{1, 2, 3, 1})
+	for _, q := range []float64{-5, -1, 0.5, 6} {
+		a, err := dist.FoldHistogram(h, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dist.FromPDF(h, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i <= 100; i++ {
+			x := a.Support().Lo + a.Support().Length()*float64(i)/100
+			if math.Abs(a.CDF(x)-b.CDF(x)) > 1e-15 {
+				t.Fatalf("q=%g: FoldHistogram and FromPDF disagree at %g", q, x)
+			}
+		}
+	}
+}
+
+func TestFromCircleMatchesDiskSampling(t *testing.T) {
+	cases := []struct {
+		c geom.Circle
+		q geom.Point
+	}{
+		{geom.Circle{Center: geom.Point{X: 3, Y: 0}, Radius: 2}, geom.Point{}},
+		{geom.Circle{Center: geom.Point{X: 0, Y: 0}, Radius: 5}, geom.Point{X: 1, Y: 1}}, // q inside
+		{geom.Circle{Center: geom.Point{X: -4, Y: 3}, Radius: 1}, geom.Point{}},          // disjoint
+		{geom.Circle{Center: geom.Point{X: 2, Y: 2}, Radius: 4}, geom.Point{X: 2, Y: 2}}, // q at center
+	}
+	rng := rand.New(rand.NewSource(42))
+	for ci, tc := range cases {
+		d, err := dist.FromCircle(tc.c, tc.q, 256)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		sup := d.Support()
+		if want := tc.c.MinDist(tc.q); math.Abs(sup.Lo-want) > 1e-12 {
+			t.Errorf("case %d: support.Lo = %g, want %g", ci, sup.Lo, want)
+		}
+		if want := tc.c.MaxDist(tc.q); math.Abs(sup.Hi-want) > 1e-12 {
+			t.Errorf("case %d: support.Hi = %g, want %g", ci, sup.Hi, want)
+		}
+		if c := d.CDF(sup.Hi); math.Abs(c-1) > 1e-9 {
+			t.Errorf("case %d: total mass %g", ci, c)
+		}
+		// Empirical distance cdf from uniform disk samples.
+		const samples = 200000
+		var dists []float64
+		for s := 0; s < samples; s++ {
+			for {
+				x := tc.c.Center.X - tc.c.Radius + 2*tc.c.Radius*rng.Float64()
+				y := tc.c.Center.Y - tc.c.Radius + 2*tc.c.Radius*rng.Float64()
+				p := geom.Point{X: x, Y: y}
+				if tc.c.Center.Dist(p) <= tc.c.Radius {
+					dists = append(dists, p.Dist(tc.q))
+					break
+				}
+			}
+		}
+		for i := 1; i < 20; i++ {
+			r := sup.Lo + sup.Length()*float64(i)/20
+			emp := 0.0
+			for _, v := range dists {
+				if v <= r {
+					emp++
+				}
+			}
+			emp /= samples
+			if diff := math.Abs(emp - d.CDF(r)); diff > 0.005 {
+				t.Errorf("case %d: cdf(%g) = %g, disk sampling says %g", ci, r, d.CDF(r), emp)
+			}
+		}
+	}
+}
+
+// TestPipelineAgreesWithMonteCarlo is the cross-validation the verifiers
+// rest on: qualification probabilities computed exactly from dist-derived
+// tables must match the Monte-Carlo evaluator in internal/refine, for mixed
+// uniform / truncated-Gaussian / histogram candidate sets.
+func TestPipelineAgreesWithMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		q := rng.Float64() * 40
+		var cands []subregion.Candidate
+		fMin := math.Inf(1)
+		var nears []float64
+		nObj := 3 + rng.Intn(5)
+		for i := 0; i < nObj; i++ {
+			lo := q - 12 + rng.Float64()*24
+			width := 1 + rng.Float64()*8
+			var p pdf.PDF
+			switch i % 3 {
+			case 0:
+				p = pdf.MustUniform(lo, lo+width)
+			case 1:
+				g, err := pdf.PaperGaussian(lo, lo+width)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p = g
+			default:
+				p = pdf.MustHistogram(
+					[]float64{lo, lo + width/4, lo + width},
+					[]float64{0.2 + rng.Float64(), 0.2 + rng.Float64()})
+			}
+			d, err := dist.FromPDF(p, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nears = append(nears, d.Support().Lo)
+			fMin = math.Min(fMin, d.Support().Hi)
+			cands = append(cands, subregion.Candidate{ID: i, Dist: d})
+		}
+		kept := cands[:0]
+		for i, c := range cands {
+			if nears[i] <= fMin {
+				kept = append(kept, c)
+			}
+		}
+		tb, err := subregion.Build(kept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build sorts by near point; align the MC candidates to table order.
+		ordered := make([]subregion.Candidate, tb.NumCandidates())
+		for i := range ordered {
+			ordered[i] = subregion.Candidate{ID: tb.IDs()[i], Dist: tb.Dist(i)}
+		}
+		mc, err := refine.MonteCarlo(ordered, 200000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ordered {
+			exact, err := refine.Exact(tb, i, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(exact - mc[i]); diff > 0.006 {
+				t.Errorf("trial %d candidate %d: exact %g vs MC %g", trial, i, exact, mc[i])
+			}
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := dist.FromPDF(nil, 0); err == nil {
+		t.Error("nil pdf accepted")
+	}
+	if _, err := dist.FromPDF(pdf.MustUniform(0, 1), math.NaN()); err == nil {
+		t.Error("NaN query point accepted")
+	}
+	if _, err := dist.FoldHistogram(nil, 0); err == nil {
+		t.Error("nil histogram accepted")
+	}
+	if _, err := dist.FoldHistogram(pdf.MustHistogram([]float64{0, 1}, []float64{1}), math.Inf(1)); err == nil {
+		t.Error("infinite query point accepted")
+	}
+	if _, err := dist.FromCircle(geom.Circle{Radius: 0}, geom.Point{}, 10); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := dist.FromCircle(geom.Circle{Radius: 1}, geom.Point{}, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := dist.FromCircle(geom.Circle{Center: geom.Point{X: math.NaN()}, Radius: 1}, geom.Point{}, 10); err == nil {
+		t.Error("NaN center accepted")
+	}
+}

@@ -9,7 +9,10 @@
 // nearest neighbor of a query point. The Constrained PNN (C-PNN) adds a
 // probability threshold P and tolerance Δ, letting the engine answer with
 // cheap probability bounds instead of exact integrals: candidates are pruned
-// by an R-tree filter, bounded by the RS / L-SR / U-SR probabilistic
+// by an R-tree filter, reduced to distance distributions by a shared
+// derivation stage (parallel per-candidate folds serving both the 1-D and
+// 2-D engines, with query-independent discretizations of analytic pdfs
+// memoized across queries), bounded by the RS / L-SR / U-SR probabilistic
 // verifiers, and only the stragglers reach incremental refinement.
 //
 // Quickstart:
