@@ -27,6 +27,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// A negative count is a typo, not a request for the Long Beach default;
+	// reject it before any generation work.
+	if *n < 0 {
+		fatal(fmt.Errorf("object count -n %d must be >= 0 (0 selects the Long Beach 53,144)", *n))
+	}
+
 	opt := uncertain.LongBeachOptions(*seed)
 	if *n > 0 {
 		opt.N = *n

@@ -35,6 +35,14 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject invalid user input before any dataset or engine work: a bad
+	// threshold should fail in microseconds, not after generating 53k objects.
+	c := verify.Constraint{P: *p, Delta: *delta}
+	st, err := validateInputs(c, *strategy, *k, *pnnMode)
+	if err != nil {
+		fatal(err)
+	}
+
 	ds, err := loadDataset(*dataPath, *gen, *seed)
 	if err != nil {
 		fatal(err)
@@ -43,7 +51,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c := verify.Constraint{P: *p, Delta: *delta}
 
 	switch {
 	case *pnnMode:
@@ -70,10 +77,6 @@ func main() {
 			}
 		}
 	default:
-		st, err := parseStrategy(*strategy)
-		if err != nil {
-			fatal(err)
-		}
 		res, err := eng.CPNN(*q, c, core.Options{Strategy: st})
 		if err != nil {
 			fatal(err)
@@ -99,10 +102,38 @@ func loadDataset(path string, gen bool, seed int64) (*uncertain.Dataset, error) 
 			return nil, err
 		}
 		defer f.Close()
-		return uncertain.Read(f)
+		ds, err := uncertain.Read(f)
+		if err != nil {
+			return nil, err
+		}
+		// Same ingestion contract as cpnn-serve: file datasets are checked
+		// for pdf invariants before any query runs against them.
+		if err := ds.Validate(); err != nil {
+			return nil, err
+		}
+		return ds, nil
 	default:
 		return nil, fmt.Errorf("provide -data FILE or -gen")
 	}
+}
+
+// validateInputs checks every query parameter up front. The constraint is
+// only validated for the modes that use it (-pnn reports raw probabilities
+// and carries no threshold).
+func validateInputs(c verify.Constraint, strategy string, k int, pnnMode bool) (core.Strategy, error) {
+	st, err := parseStrategy(strategy)
+	if err != nil {
+		return 0, err
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("k = %d must be >= 0 (0 disables k-NN mode)", k)
+	}
+	if !pnnMode {
+		if err := c.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	return st, nil
 }
 
 func parseStrategy(s string) (core.Strategy, error) {

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/uncertain"
+	"repro/internal/verify"
 )
 
 func TestParseStrategy(t *testing.T) {
@@ -50,6 +52,102 @@ func TestLoadDataset(t *testing.T) {
 	}
 	if ds.Len() != 2 {
 		t.Errorf("loaded %d objects", ds.Len())
+	}
+}
+
+func TestValidateInputs(t *testing.T) {
+	ok := verify.Constraint{P: 0.3, Delta: 0.01}
+	cases := []struct {
+		name     string
+		c        verify.Constraint
+		strategy string
+		k        int
+		pnn      bool
+		wantErr  bool
+	}{
+		{"defaults", ok, "vr", 0, false, false},
+		{"knn", ok, "vr", 3, false, false},
+		{"P zero", verify.Constraint{P: 0, Delta: 0.01}, "vr", 0, false, true},
+		{"P above one", verify.Constraint{P: 1.5, Delta: 0.01}, "vr", 0, false, true},
+		{"negative delta", verify.Constraint{P: 0.3, Delta: -0.1}, "vr", 0, false, true},
+		{"delta above one", verify.Constraint{P: 0.3, Delta: 2}, "vr", 0, false, true},
+		{"negative k", ok, "vr", -1, false, true},
+		{"bad strategy", ok, "quantum", 0, false, true},
+		// -pnn ignores the constraint, so a bad one must not block it.
+		{"pnn skips constraint", verify.Constraint{P: 0, Delta: 0}, "vr", 0, true, false},
+		{"pnn still checks k", ok, "vr", -2, true, true},
+	}
+	for _, tc := range cases {
+		_, err := validateInputs(tc.c, tc.strategy, tc.k, tc.pnn)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateInputs error = %v, wantErr %t", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestDatagenRoundTrip checks that datasets serialized the way cpnn-datagen
+// writes them (Dataset.WriteTo) parse back through this command's loader, for
+// both line formats: "lo hi" uniform lines and "hist ... | ..." histogram
+// lines (the -pdf gauss and -pdf hist outputs).
+func TestDatagenRoundTrip(t *testing.T) {
+	opt := uncertain.GenOptions{
+		N:       200,
+		Domain:  500,
+		MeanLen: 4,
+		MinLen:  0.5,
+		MaxLen:  20,
+		Seed:    5,
+	}
+	gen := map[string]func() (*uncertain.Dataset, error){
+		"uniform": func() (*uncertain.Dataset, error) { return uncertain.GenerateUniform(opt) },
+		"gauss":   func() (*uncertain.Dataset, error) { return uncertain.GenerateGaussian(opt, 40) },
+		"hist":    func() (*uncertain.Dataset, error) { return uncertain.GenerateHistogram(opt, 8) },
+	}
+	for name, fn := range gen {
+		t.Run(name, func(t *testing.T) {
+			ds, err := fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), name+".txt")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ds.WriteTo(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			got, err := loadDataset(path, false, 1)
+			if err != nil {
+				t.Fatalf("round-trip parse: %v", err)
+			}
+			if got.Len() != ds.Len() {
+				t.Fatalf("round-trip lost objects: %d != %d", got.Len(), ds.Len())
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("round-tripped dataset invalid: %v", err)
+			}
+			for i := 0; i < ds.Len(); i++ {
+				want, have := ds.Object(i).Region(), got.Object(i).Region()
+				if dLo, dHi := have.Lo-want.Lo, have.Hi-want.Hi; dLo != 0 || dHi != 0 {
+					t.Fatalf("object %d region drifted: %v -> %v", i, want, have)
+				}
+			}
+
+			// The reloaded dataset must answer queries: run one C-PNN
+			// end-to-end like the command would.
+			eng, err := core.NewEngine(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.CPNN(opt.Domain/2, verify.Constraint{P: 0.1, Delta: 0.05}, core.Options{}); err != nil {
+				t.Fatalf("query over round-tripped dataset: %v", err)
+			}
+		})
 	}
 }
 

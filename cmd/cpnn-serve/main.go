@@ -1,0 +1,97 @@
+// Command cpnn-serve runs the C-PNN query service: a long-lived engine
+// behind an HTTP/JSON API with a sharded result cache, singleflight
+// collapsing, a bounded evaluation pool and atomic dataset reloads.
+//
+// Examples:
+//
+//	cpnn-serve -gen -addr :8080                 # serve the Long-Beach-like dataset
+//	cpnn-serve -data intervals.txt -quantum 1   # serve a file, snap queries to 1 unit
+//
+//	curl 'localhost:8080/v1/cpnn?q=5000&p=0.3&delta=0.01'
+//	curl 'localhost:8080/v1/pnn?q=5000'
+//	curl 'localhost:8080/v1/knn?q=5000&k=3&p=0.3'
+//	curl -X POST --data-binary @new.txt 'localhost:8080/v1/dataset?source=new.txt'
+//	curl 'localhost:8080/metrics'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/server"
+	"repro/internal/uncertain"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		dataPath     = flag.String("data", "", "dataset file (cpnn-datagen format)")
+		gen          = flag.Bool("gen", false, "generate the Long-Beach-like dataset instead of loading one")
+		seed         = flag.Int64("seed", 1, "generator seed for -gen")
+		quantum      = flag.Float64("quantum", 0, "cache query-point quantization granularity (0 = exact keys)")
+		cacheSize    = flag.Int("cache", server.DefaultCacheEntries, "result-cache capacity in entries (negative disables)")
+		cacheShards  = flag.Int("cache-shards", server.DefaultCacheShards, "result-cache shard count")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrent evaluations (0 = 2×GOMAXPROCS)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "max wait for a worker slot before shedding a 503 (0 = 10s, negative = wait forever)")
+	)
+	flag.Parse()
+
+	srv, source, err := buildServer(*dataPath, *gen, *seed, server.Config{
+		Quantum:      *quantum,
+		CacheEntries: *cacheSize,
+		CacheShards:  *cacheShards,
+		MaxInFlight:  *maxInFlight,
+		QueueTimeout: *queueTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpnn-serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("cpnn-serve: serving %d objects (%s) on %s", srv.Snapshot().Objects, source, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// buildServer validates flags, loads the dataset and assembles the server.
+// All user input is checked before any engine is built.
+func buildServer(dataPath string, gen bool, seed int64, cfg server.Config) (*server.Server, string, error) {
+	ds, source, err := loadDataset(dataPath, gen, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	cfg.Dataset = ds
+	cfg.Source = source
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, source, nil
+}
+
+func loadDataset(path string, gen bool, seed int64) (*uncertain.Dataset, string, error) {
+	switch {
+	case gen && path != "":
+		return nil, "", fmt.Errorf("-gen and -data are mutually exclusive")
+	case gen:
+		ds, err := uncertain.GenerateUniform(uncertain.LongBeachOptions(seed))
+		return ds, fmt.Sprintf("gen:longbeach:seed=%d", seed), err
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		ds, err := uncertain.Read(f)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := ds.Validate(); err != nil {
+			return nil, "", err
+		}
+		return ds, path, nil
+	default:
+		return nil, "", fmt.Errorf("provide -data FILE or -gen")
+	}
+}

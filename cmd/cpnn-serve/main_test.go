@@ -1,0 +1,59 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func writeDataset(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ds.txt")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildServerFromFile(t *testing.T) {
+	path := writeDataset(t, "1 2\n5 9\nhist 10 11 12 | 1 3\n")
+	srv, source, err := buildServer(path, false, 1, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != path {
+		t.Errorf("source = %q, want %q", source, path)
+	}
+	if got := srv.Snapshot().Objects; got != 3 {
+		t.Errorf("objects = %d, want 3", got)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cpnn?q=1.5&p=0.3", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("cpnn status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestBuildServerRejectsBadInput(t *testing.T) {
+	if _, _, err := buildServer("", false, 1, server.Config{}); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, _, err := buildServer("/nonexistent/ds", false, 1, server.Config{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, _, err := buildServer("x", true, 1, server.Config{}); err == nil {
+		t.Error("-gen with -data accepted")
+	}
+	bad := writeDataset(t, "9 2\n")
+	if _, _, err := buildServer(bad, false, 1, server.Config{}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	good := writeDataset(t, "1 2\n")
+	if _, _, err := buildServer(good, false, 1, server.Config{Quantum: -2}); err == nil {
+		t.Error("negative quantum accepted")
+	}
+}

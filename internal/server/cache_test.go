@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := newCache(8, 2)
+	calls := 0
+	fn := func() ([]byte, error) { calls++; return []byte("v"), nil }
+
+	v, src, err := c.Do(context.Background(), "k", fn)
+	if err != nil || string(v) != "v" || src != Miss {
+		t.Fatalf("first Do = %q, %v, %v", v, src, err)
+	}
+	v, src, err = c.Do(context.Background(), "k", fn)
+	if err != nil || string(v) != "v" || src != Hit {
+		t.Fatalf("second Do = %q, %v, %v", v, src, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if got := c.hits.Load(); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+}
+
+func TestCacheErrorNotStored(t *testing.T) {
+	c := newCache(8, 1)
+	boom := fmt.Errorf("boom")
+	if _, _, err := c.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom }); err != boom {
+		t.Fatalf("Do error = %v, want boom", err)
+	}
+	ran := false
+	if _, src, err := c.Do(context.Background(), "k", func() ([]byte, error) { ran = true; return []byte("ok"), nil }); err != nil || src != Miss {
+		t.Fatalf("Do after error = %v, %v", src, err)
+	}
+	if !ran {
+		t.Error("failed result was cached")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2, 1) // one shard, two entries
+	mk := func(k string) { c.Do(context.Background(), k, func() ([]byte, error) { return []byte(k), nil }) }
+	mk("a")
+	mk("b")
+	mk("a") // refresh a; b is now LRU
+	mk("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, src, _ := c.Do(context.Background(), "a", func() ([]byte, error) { return []byte("a"), nil }); src != Hit {
+		t.Errorf("a evicted, want it kept")
+	}
+	if _, src, _ := c.Do(context.Background(), "b", func() ([]byte, error) { return []byte("b"), nil }); src != Miss {
+		t.Errorf("b kept, want it evicted")
+	}
+	if c.evictions.Load() == 0 {
+		t.Error("no evictions counted")
+	}
+}
+
+func TestCacheDisabledStillCollapses(t *testing.T) {
+	c := newCache(-1, 4)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	shared := atomic.Int64{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, src, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+				calls.Add(1)
+				<-gate
+				return []byte("v"), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if src == Shared {
+				shared.Add(1)
+			}
+		}()
+	}
+	// Let the waiters pile onto the single flight, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1 (singleflight)", got)
+	}
+	if shared.Load() != 7 {
+		t.Errorf("shared = %d, want 7", shared.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("disabled cache stored %d entries", c.Len())
+	}
+	// Nothing stored: the next call runs fn again.
+	if _, src, _ := c.Do(context.Background(), "k", func() ([]byte, error) { return []byte("v"), nil }); src != Miss {
+		t.Errorf("disabled cache served a %v", src)
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := newCache(8, 1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(context.Background(), "k", func() ([]byte, error) {
+		close(started)
+		<-gate
+		return []byte("v"), nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, nil }); err != context.Canceled {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	close(gate)
+}
+
+func TestCachePurge(t *testing.T) {
+	c := newCache(32, 4)
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Do(context.Background(), k, func() ([]byte, error) { return []byte(k), nil })
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d, want 0", c.Len())
+	}
+	if _, src, _ := c.Do(context.Background(), "k3", func() ([]byte, error) { return []byte("k3"), nil }); src != Miss {
+		t.Errorf("purged key served a %v", src)
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := newCache(64, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%32)
+				v, _, err := c.Do(context.Background(), k, func() ([]byte, error) { return []byte(k), nil })
+				if err != nil {
+					t.Errorf("Do(%s): %v", k, err)
+					return
+				}
+				if string(v) != k {
+					t.Errorf("Do(%s) = %q", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

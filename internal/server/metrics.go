@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// endpoint indexes the per-endpoint request counters.
+type endpoint int
+
+const (
+	epCPNN endpoint = iota
+	epPNN
+	epKNN
+	epDataset
+	epHealthz
+	epMetrics
+	numEndpoints
+)
+
+func (e endpoint) String() string {
+	switch e {
+	case epCPNN:
+		return "cpnn"
+	case epPNN:
+		return "pnn"
+	case epKNN:
+		return "knn"
+	case epDataset:
+		return "dataset"
+	case epHealthz:
+		return "healthz"
+	case epMetrics:
+		return "metrics"
+	default:
+		return fmt.Sprintf("endpoint(%d)", int(e))
+	}
+}
+
+// metrics holds the server's operational counters. All fields are atomics so
+// the serving path never takes a lock to account for itself; /metrics renders
+// them in the Prometheus text exposition format without external
+// dependencies.
+type metrics struct {
+	requests     [numEndpoints]atomic.Int64
+	clientErrors atomic.Int64 // 4xx responses
+	serverErrors atomic.Int64 // 5xx responses
+
+	inflight  atomic.Int64 // evaluations currently holding a worker slot
+	evals     atomic.Int64 // completed engine evaluations
+	evalNanos atomic.Int64 // total wall time inside engine evaluations
+
+	reloads atomic.Int64 // successful dataset snapshot swaps
+}
+
+// write renders every counter plus the cache and snapshot gauges.
+func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot) {
+	const p = "cpnn_server_"
+	fmt.Fprintf(w, "# HELP %srequests_total Requests served, by endpoint.\n", p)
+	fmt.Fprintf(w, "# TYPE %srequests_total counter\n", p)
+	for e := endpoint(0); e < numEndpoints; e++ {
+		fmt.Fprintf(w, "%srequests_total{endpoint=%q} %d\n", p, e.String(), m.requests[e].Load())
+	}
+	fmt.Fprintf(w, "# TYPE %sclient_errors_total counter\n", p)
+	fmt.Fprintf(w, "%sclient_errors_total %d\n", p, m.clientErrors.Load())
+	fmt.Fprintf(w, "# TYPE %sserver_errors_total counter\n", p)
+	fmt.Fprintf(w, "%sserver_errors_total %d\n", p, m.serverErrors.Load())
+
+	fmt.Fprintf(w, "# TYPE %scache_hits_total counter\n", p)
+	fmt.Fprintf(w, "%scache_hits_total %d\n", p, c.hits.Load())
+	fmt.Fprintf(w, "# TYPE %scache_misses_total counter\n", p)
+	fmt.Fprintf(w, "%scache_misses_total %d\n", p, c.misses.Load())
+	fmt.Fprintf(w, "# TYPE %scache_shared_total counter\n", p)
+	fmt.Fprintf(w, "# HELP %scache_shared_total Requests collapsed onto an identical in-flight evaluation.\n", p)
+	fmt.Fprintf(w, "%scache_shared_total %d\n", p, c.shared.Load())
+	fmt.Fprintf(w, "# TYPE %scache_evictions_total counter\n", p)
+	fmt.Fprintf(w, "%scache_evictions_total %d\n", p, c.evictions.Load())
+	fmt.Fprintf(w, "# TYPE %scache_entries gauge\n", p)
+	fmt.Fprintf(w, "%scache_entries %d\n", p, c.Len())
+
+	fmt.Fprintf(w, "# TYPE %sinflight_evaluations gauge\n", p)
+	fmt.Fprintf(w, "%sinflight_evaluations %d\n", p, m.inflight.Load())
+	fmt.Fprintf(w, "# TYPE %sevaluations_total counter\n", p)
+	fmt.Fprintf(w, "%sevaluations_total %d\n", p, m.evals.Load())
+	fmt.Fprintf(w, "# TYPE %sevaluation_seconds_total counter\n", p)
+	fmt.Fprintf(w, "%sevaluation_seconds_total %g\n", p, float64(m.evalNanos.Load())/1e9)
+
+	fmt.Fprintf(w, "# TYPE %ssnapshot_version gauge\n", p)
+	fmt.Fprintf(w, "%ssnapshot_version %d\n", p, snap.Version)
+	fmt.Fprintf(w, "# TYPE %ssnapshot_objects gauge\n", p)
+	fmt.Fprintf(w, "%ssnapshot_objects %d\n", p, snap.Objects)
+	fmt.Fprintf(w, "# TYPE %ssnapshot_reloads_total counter\n", p)
+	fmt.Fprintf(w, "%ssnapshot_reloads_total %d\n", p, m.reloads.Load())
+}

@@ -1,0 +1,692 @@
+// Package server turns the C-PNN engine into a long-lived concurrent query
+// service — the serving layer the paper's interactive scenarios (LBS, sensor
+// monitoring) assume exists around cheap verified queries.
+//
+// Architecture:
+//
+//   - Copy-on-write dataset snapshots. The engine lives behind an atomic
+//     pointer; POST /v1/dataset builds a fresh engine off to the side and
+//     swaps the pointer, so reloads never block readers and every request
+//     resolves entirely against one snapshot.
+//   - A sharded LRU result cache keyed by (snapshot version, endpoint,
+//     quantized query point, constraint, strategy). Concurrent identical
+//     queries collapse onto one evaluation (singleflight). Because keys embed
+//     the snapshot version, a reload invalidates the whole cache atomically:
+//     entries for the old snapshot can never match a new request.
+//   - A bounded worker pool: at most MaxInFlight evaluations run at once;
+//     excess requests queue until a slot frees and are shed with a 503 once
+//     they have waited QueueTimeout.
+//
+// Responses are deterministic — per-query timings are deliberately excluded
+// (they live in /metrics aggregates) so a cached response is byte-identical
+// to a fresh evaluation of the same key.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/uncertain"
+	"repro/internal/verify"
+)
+
+// DefaultCacheEntries is the default result-cache capacity.
+const DefaultCacheEntries = 4096
+
+// DefaultCacheShards is the default shard count of the result cache.
+const DefaultCacheShards = 16
+
+// DefaultMaxDatasetBytes bounds the body of a dataset reload.
+const DefaultMaxDatasetBytes = 1 << 28 // 256 MiB: ~53k 300-bar histogram lines
+
+// DefaultQueueTimeout is how long a request waits for a worker slot before
+// the server sheds it with a 503.
+const DefaultQueueTimeout = 10 * time.Second
+
+// Config configures a Server. Dataset is required; every other zero value
+// selects a sensible default.
+type Config struct {
+	// Dataset is the initial dataset to serve.
+	Dataset *uncertain.Dataset
+	// Source labels the initial dataset in /v1/dataset and /healthz output.
+	Source string
+
+	// CacheEntries is the result-cache capacity; 0 means DefaultCacheEntries
+	// and a negative value disables result storage (singleflight collapsing
+	// of identical in-flight queries stays active).
+	CacheEntries int
+	// CacheShards is the cache shard count; 0 means DefaultCacheShards.
+	CacheShards int
+	// Quantum, when positive, snaps query points to multiples of itself
+	// before evaluation, so nearby queries share cache entries. The served
+	// result is the exact answer for the snapped point (reported back as
+	// "query" in the response), never an interpolation.
+	Quantum float64
+	// MaxInFlight caps concurrent engine evaluations; 0 means
+	// 2×GOMAXPROCS. Requests beyond the cap queue.
+	MaxInFlight int
+	// MaxDatasetBytes bounds dataset-reload request bodies; 0 means
+	// DefaultMaxDatasetBytes.
+	MaxDatasetBytes int64
+	// QueueTimeout bounds how long a request may wait for a worker slot
+	// before being shed with a 503; 0 means DefaultQueueTimeout and a
+	// negative value waits indefinitely. The wait is server-side on purpose
+	// (not tied to the client's connection): a singleflight leader holds the
+	// queue position for every collapsed waiter behind it.
+	QueueTimeout time.Duration
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Dataset == nil {
+		return cfg, errors.New("server: Config.Dataset is required")
+	}
+	if cfg.Dataset.Len() == 0 {
+		return cfg, errors.New("server: initial dataset is empty")
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = DefaultCacheShards
+	}
+	if cfg.CacheShards < 1 {
+		return cfg, fmt.Errorf("server: cache shards %d < 1", cfg.CacheShards)
+	}
+	if math.IsNaN(cfg.Quantum) || math.IsInf(cfg.Quantum, 0) || cfg.Quantum < 0 {
+		return cfg, fmt.Errorf("server: quantum %g must be finite and >= 0", cfg.Quantum)
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxInFlight < 1 {
+		return cfg, fmt.Errorf("server: max in-flight %d < 1", cfg.MaxInFlight)
+	}
+	if cfg.MaxDatasetBytes == 0 {
+		cfg.MaxDatasetBytes = DefaultMaxDatasetBytes
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = DefaultQueueTimeout
+	}
+	return cfg, nil
+}
+
+// Snapshot is one immutable generation of the served dataset. Requests load
+// the current snapshot once and resolve entirely against it, so a concurrent
+// reload can never tear a query.
+type Snapshot struct {
+	// Engine answers queries over this generation.
+	Engine *core.Engine
+	// Version increases by one per reload; cache keys embed it.
+	Version uint64
+	// Objects is the dataset size.
+	Objects int
+	// Source labels where the dataset came from.
+	Source string
+	// LoadedAt is when the snapshot became current.
+	LoadedAt time.Time
+}
+
+// Server is a concurrent C-PNN query service over a swappable dataset
+// snapshot. Create one with New; it is safe for use from any number of
+// goroutines.
+type Server struct {
+	cfg  Config
+	snap atomic.Pointer[Snapshot]
+	cc   *cache
+	sem  chan struct{}
+	m    metrics
+	mux  *http.ServeMux
+
+	reloadMu sync.Mutex // serializes snapshot swaps, not reads
+}
+
+// New builds a server around an initial dataset.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg,
+		cc:  newCache(cfg.CacheEntries, cfg.CacheShards),
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	if _, err := s.Reload(cfg.Dataset, cfg.Source); err != nil {
+		return nil, err
+	}
+	s.m.reloads.Store(0) // the initial load is not a reload
+	s.buildMux()
+	return s, nil
+}
+
+// Snapshot returns the current dataset snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Reload atomically replaces the served dataset: the new engine is built
+// entirely off to the side, then one pointer store makes it current. Readers
+// that already hold the old snapshot finish against it; the result cache is
+// purged (old entries are version-keyed and could never be served anyway —
+// the purge just reclaims their memory immediately).
+func (s *Server) Reload(ds *uncertain.Dataset, source string) (*Snapshot, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("server: refusing to load an empty dataset")
+	}
+	eng, err := core.NewEngine(ds)
+	if err != nil {
+		return nil, err
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	var version uint64 = 1
+	if old := s.snap.Load(); old != nil {
+		version = old.Version + 1
+	}
+	snap := &Snapshot{
+		Engine:   eng,
+		Version:  version,
+		Objects:  ds.Len(),
+		Source:   source,
+		LoadedAt: time.Now(),
+	}
+	s.snap.Store(snap)
+	s.cc.Purge()
+	s.m.reloads.Add(1)
+	return snap, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/cpnn", s.handleCPNN)
+	s.mux.HandleFunc("/v1/pnn", s.handlePNN)
+	s.mux.HandleFunc("/v1/knn", s.handleKNN)
+	s.mux.HandleFunc("/v1/dataset", s.handleDataset)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+}
+
+// snapPoint quantizes a query point to the configured granularity. The
+// snapped point is what gets evaluated, so cached and fresh answers for one
+// key are identical by construction.
+func (s *Server) snapPoint(q float64) float64 {
+	if s.cfg.Quantum <= 0 {
+		return q
+	}
+	return math.Round(q/s.cfg.Quantum) * s.cfg.Quantum
+}
+
+// evaluate runs fn under the bounded worker pool. Admission control is
+// deliberately server-side: the wait for a slot is bounded by QueueTimeout,
+// not by any client's connection, because a singleflight leader must survive
+// its own client disconnecting — collapsed waiters with live connections
+// depend on its result, and the completed result still lands in the cache.
+// Waiters abandon early through the context handed to cache.Do instead.
+func (s *Server) evaluate(fn func() ([]byte, error)) ([]byte, error) {
+	var timeout <-chan time.Time
+	if s.cfg.QueueTimeout > 0 {
+		timer := time.NewTimer(s.cfg.QueueTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-timeout:
+		return nil, &httpError{
+			status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("server: overloaded, no worker slot freed within %v",
+				s.cfg.QueueTimeout),
+		}
+	}
+	defer func() { <-s.sem }()
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+	start := time.Now()
+	out, err := fn()
+	s.m.evalNanos.Add(time.Since(start).Nanoseconds())
+	s.m.evals.Add(1)
+	return out, err
+}
+
+// ---- request parsing ---------------------------------------------------
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func queryFloat(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequest("missing required parameter %q", name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, badRequest("parameter %q: %q is not a finite number", name, raw)
+	}
+	return v, nil
+}
+
+func queryFloatDefault(r *http.Request, name string, def float64) (float64, error) {
+	if r.URL.Query().Get(name) == "" {
+		return def, nil
+	}
+	return queryFloat(r, name)
+}
+
+func queryIntDefault(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("parameter %q: %q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// constraintParam parses and validates the C-PNN constraint, rejecting
+// out-of-range P and Delta before any engine work happens.
+func constraintParam(r *http.Request) (verify.Constraint, error) {
+	p, err := queryFloatDefault(r, "p", 0.3)
+	if err != nil {
+		return verify.Constraint{}, err
+	}
+	delta, err := queryFloatDefault(r, "delta", 0.01)
+	if err != nil {
+		return verify.Constraint{}, err
+	}
+	c := verify.Constraint{P: p, Delta: delta}
+	if err := c.Validate(); err != nil {
+		return verify.Constraint{}, badRequest("%v", err)
+	}
+	return c, nil
+}
+
+func strategyParam(r *http.Request) (core.Strategy, error) {
+	switch raw := r.URL.Query().Get("strategy"); raw {
+	case "", "vr":
+		return core.VR, nil
+	case "refine":
+		return core.Refine, nil
+	case "basic":
+		return core.Basic, nil
+	default:
+		return 0, badRequest("unknown strategy %q (vr, refine, basic)", raw)
+	}
+}
+
+// ---- responses ---------------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusServiceUnavailable
+	}
+	if status >= 500 {
+		s.m.serverErrors.Add(1)
+	} else {
+		s.m.clientErrors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeCached(w http.ResponseWriter, body []byte, src Source) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", src.String())
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// answerJSON is one classified object of a C-PNN or k-NN response.
+type answerJSON struct {
+	ID     int     `json:"id"`
+	L      float64 `json:"l"`
+	U      float64 `json:"u"`
+	Status string  `json:"status"`
+}
+
+// statsJSON carries the deterministic per-query statistics. Timings are
+// excluded on purpose: they vary run to run and would break the guarantee
+// that cached and fresh responses are byte-identical.
+type statsJSON struct {
+	Candidates   int      `json:"candidates"`
+	Subregions   int      `json:"subregions"`
+	FMin         float64  `json:"fmin"`
+	Verifiers    []string `json:"verifiers,omitempty"`
+	UnknownAfter []int    `json:"unknown_after,omitempty"`
+	Refined      int      `json:"refined"`
+	Integrations int      `json:"integrations"`
+}
+
+type cpnnResponse struct {
+	Query      float64      `json:"query"`
+	P          float64      `json:"p"`
+	Delta      float64      `json:"delta"`
+	Strategy   string       `json:"strategy"`
+	Version    uint64       `json:"version"`
+	Answers    []answerJSON `json:"answers"`
+	Candidates []answerJSON `json:"candidates,omitempty"`
+	Stats      statsJSON    `json:"stats"`
+}
+
+type probabilityJSON struct {
+	ID int     `json:"id"`
+	P  float64 `json:"p"`
+}
+
+type pnnResponse struct {
+	Query         float64           `json:"query"`
+	Version       uint64            `json:"version"`
+	Probabilities []probabilityJSON `json:"probabilities"`
+	Stats         statsJSON         `json:"stats"`
+}
+
+type knnResponse struct {
+	Query   float64      `json:"query"`
+	K       int          `json:"k"`
+	P       float64      `json:"p"`
+	Delta   float64      `json:"delta"`
+	Samples int          `json:"samples"`
+	Seed    int64        `json:"seed"`
+	Version uint64       `json:"version"`
+	Answers []answerJSON `json:"answers"`
+}
+
+type datasetResponse struct {
+	Version  uint64    `json:"version"`
+	Objects  int       `json:"objects"`
+	Source   string    `json:"source"`
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+func toAnswers(in []core.Answer) []answerJSON {
+	out := make([]answerJSON, len(in))
+	for i, a := range in {
+		out[i] = answerJSON{ID: a.ID, L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()}
+	}
+	return out
+}
+
+// ---- handlers ----------------------------------------------------------
+
+func (s *Server) handleCPNN(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epCPNN].Add(1)
+	q, err := queryFloat(r, "q")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	c, err := constraintParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	strat, err := strategyParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	all := r.URL.Query().Get("all") == "1"
+
+	snap := s.snap.Load()
+	qq := s.snapPoint(q)
+	key := fmt.Sprintf("cpnn|%d|%x|%x|%x|%d|%t",
+		snap.Version, math.Float64bits(qq), math.Float64bits(c.P), math.Float64bits(c.Delta), strat, all)
+	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
+		return s.evaluate(func() ([]byte, error) {
+			res, err := snap.Engine.CPNN(qq, c, core.Options{Strategy: strat})
+			if err != nil {
+				return nil, err
+			}
+			resp := cpnnResponse{
+				Query:    qq,
+				P:        c.P,
+				Delta:    c.Delta,
+				Strategy: strat.String(),
+				Version:  snap.Version,
+				Answers:  toAnswers(res.Answers),
+				Stats: statsJSON{
+					Candidates:   res.Stats.Candidates,
+					Subregions:   res.Stats.Subregions,
+					FMin:         res.Stats.FMin,
+					Verifiers:    res.Stats.VerifiersApplied,
+					UnknownAfter: res.Stats.UnknownAfter,
+					Refined:      res.Stats.RefinedObjects,
+					Integrations: res.Stats.Integrations,
+				},
+			}
+			if all {
+				resp.Candidates = toAnswers(res.Candidates)
+			}
+			return json.Marshal(resp)
+		})
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeCached(w, body, src)
+}
+
+func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epPNN].Add(1)
+	q, err := queryFloat(r, "q")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	snap := s.snap.Load()
+	qq := s.snapPoint(q)
+	key := fmt.Sprintf("pnn|%d|%x", snap.Version, math.Float64bits(qq))
+	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
+		return s.evaluate(func() ([]byte, error) {
+			probs, st, err := snap.Engine.PNN(qq, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]probabilityJSON, len(probs))
+			for i, pr := range probs {
+				out[i] = probabilityJSON{ID: pr.ID, P: pr.P}
+			}
+			return json.Marshal(pnnResponse{
+				Query:         qq,
+				Version:       snap.Version,
+				Probabilities: out,
+				Stats: statsJSON{
+					Candidates: st.Candidates,
+					Subregions: st.Subregions,
+					FMin:       st.FMin,
+					Refined:    st.RefinedObjects,
+				},
+			})
+		})
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeCached(w, body, src)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epKNN].Add(1)
+	q, err := queryFloat(r, "q")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	c, err := constraintParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	k, err := queryIntDefault(r, "k", 0)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if k < 1 {
+		s.writeError(w, badRequest("parameter \"k\" must be >= 1, got %d", k))
+		return
+	}
+	samples, err := queryIntDefault(r, "samples", 10000)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if samples < 1 {
+		s.writeError(w, badRequest("parameter \"samples\" must be >= 1, got %d", samples))
+		return
+	}
+	seed, err := queryIntDefault(r, "seed", 1)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	all := r.URL.Query().Get("all") == "1"
+
+	snap := s.snap.Load()
+	qq := s.snapPoint(q)
+	key := fmt.Sprintf("knn|%d|%x|%x|%x|%d|%d|%d|%t",
+		snap.Version, math.Float64bits(qq), math.Float64bits(c.P), math.Float64bits(c.Delta),
+		k, samples, seed, all)
+	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
+		return s.evaluate(func() ([]byte, error) {
+			answers, err := snap.Engine.CKNN(qq, c, core.KNNOptions{
+				K:       k,
+				Samples: samples,
+				Seed:    int64(seed),
+			})
+			if err != nil {
+				return nil, err
+			}
+			resp := knnResponse{
+				Query:   qq,
+				K:       k,
+				P:       c.P,
+				Delta:   c.Delta,
+				Samples: samples,
+				Seed:    int64(seed),
+				Version: snap.Version,
+				Answers: []answerJSON{}, // marshal as [], not null, like the other endpoints
+			}
+			for _, a := range answers {
+				if !all && a.Status != verify.Satisfy {
+					continue
+				}
+				resp.Answers = append(resp.Answers,
+					answerJSON{ID: a.ID, L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()})
+			}
+			return json.Marshal(resp)
+		})
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeCached(w, body, src)
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epDataset].Add(1)
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, snapshotInfo(s.snap.Load()))
+	case http.MethodPost:
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxDatasetBytes)
+		ds, err := uncertain.Read(body)
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				s.writeError(w, &httpError{
+					status: http.StatusRequestEntityTooLarge,
+					msg:    fmt.Sprintf("dataset body exceeds the %d-byte limit", tooLarge.Limit),
+				})
+				return
+			}
+			s.writeError(w, badRequest("parsing dataset: %v", err))
+			return
+		}
+		if ds.Len() == 0 {
+			s.writeError(w, badRequest("dataset body holds no objects"))
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			s.writeError(w, badRequest("invalid dataset: %v", err))
+			return
+		}
+		source := r.URL.Query().Get("source")
+		if source == "" {
+			source = "upload"
+		}
+		snap, err := s.Reload(ds, source)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snapshotInfo(snap))
+	default:
+		s.m.clientErrors.Add(1)
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func snapshotInfo(snap *Snapshot) datasetResponse {
+	return datasetResponse{
+		Version:  snap.Version,
+		Objects:  snap.Objects,
+		Source:   snap.Source,
+		LoadedAt: snap.LoadedAt,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epHealthz].Add(1)
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": snap.Version,
+		"objects": snap.Objects,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epMetrics].Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.m.write(w, s.cc, s.snap.Load())
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/pdf"
+	"repro/internal/server"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
 )
@@ -171,6 +172,24 @@ func LongBeachOptions(seed int64) GenOptions { return uncertain.LongBeachOptions
 func QueryWorkload(n int, domain float64, seed int64) []float64 {
 	return uncertain.QueryWorkload(n, domain, seed)
 }
+
+// Serving layer, re-exported from internal/server: a concurrent HTTP/JSON
+// query service with a sharded result cache, singleflight collapsing of
+// identical in-flight queries, a bounded evaluation pool and atomic dataset
+// snapshot reloads.
+type (
+	// Server is a long-lived concurrent C-PNN query service.
+	Server = server.Server
+	// ServerConfig configures a Server; only Dataset is required.
+	ServerConfig = server.Config
+	// Snapshot is one immutable generation of a server's dataset.
+	Snapshot = server.Snapshot
+)
+
+// NewServer builds a query service around an initial dataset. Serve it with
+// http.ListenAndServe(addr, srv.Handler()) or mount Handler() in a larger
+// mux; cmd/cpnn-serve is the stand-alone binary.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Two-dimensional support (the paper's §IV-A extension): disk-shaped
 // uncertainty regions reduce to distance pdfs and reuse the whole pipeline.
