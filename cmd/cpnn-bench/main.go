@@ -1,10 +1,14 @@
 // Command cpnn-bench regenerates the paper's evaluation figures (§V,
-// Figures 9–14) and prints the measured series as aligned tables.
+// Figures 9–14) and prints the measured series as aligned tables. It also
+// replays recorded query workloads through the batch evaluation path,
+// reporting latency percentiles and the batch-vs-singles amortization ratio.
 //
 // Usage:
 //
 //	cpnn-bench -fig 10 -queries 100
-//	cpnn-bench -fig 0                 # run every figure
+//	cpnn-bench -fig 0                          # run every figure
+//	cpnn-bench -replay q.txt                   # workload replay (see cpnn-datagen -queries)
+//	cpnn-bench -replay q.txt -data lb.txt -batch-sizes 1,8,64,512
 //
 // Absolute timings depend on the host; the orderings, ratios and crossovers
 // are the reproduction targets (see EXPERIMENTS.md).
@@ -14,8 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/uncertain"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -27,8 +35,23 @@ func main() {
 		basicSteps = flag.Int("basic-steps", 0, "Simpson steps for the Basic baseline (0 = automatic)")
 		gaussBars  = flag.Int("gauss-bars", 300, "histogram bars for Gaussian pdfs (paper: 300)")
 		tolerance  = flag.Float64("tolerance", 0.01, "default tolerance Delta (paper: 0.01)")
+
+		replay     = flag.String("replay", "", "replay a query-workload file through the batch path instead of a figure")
+		dataPath   = flag.String("data", "", "dataset file for -replay (default: generate the Long Beach set)")
+		batchSizes = flag.String("batch-sizes", "1,8,64,512", "comma-separated batch sizes for -replay")
+		workers    = flag.Int("workers", 0, "batch worker pool size for -replay (0 = GOMAXPROCS)")
+		p          = flag.Float64("p", 0.3, "replay threshold P")
+		delta      = flag.Float64("delta", 0.01, "replay tolerance Delta")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if err := runReplay(*replay, *dataPath, *batchSizes, *workers, *n, *seed,
+			verify.Constraint{P: *p, Delta: *delta}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := exp.Config{
 		Queries:    *queries,
@@ -53,6 +76,69 @@ func main() {
 		fatal(err)
 	}
 	table.Print(os.Stdout)
+}
+
+// runReplay loads (or generates) the dataset and query workload and prints
+// the amortization table.
+func runReplay(queryPath, dataPath, sizesCSV string, workers, n int, seed int64, c verify.Constraint) error {
+	qf, err := os.Open(queryPath)
+	if err != nil {
+		return err
+	}
+	defer qf.Close()
+	qs, err := uncertain.ReadQueries(qf)
+	if err != nil {
+		return err
+	}
+
+	var ds *uncertain.Dataset
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if ds, err = uncertain.Read(f); err != nil {
+			return err
+		}
+		if err := ds.Validate(); err != nil {
+			return err
+		}
+	} else {
+		opt := uncertain.LongBeachOptions(seed)
+		if n > 0 {
+			opt.N = n
+		}
+		if ds, err = uncertain.GenerateUniform(opt); err != nil {
+			return err
+		}
+	}
+
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad batch size %q (want positive integers, comma-separated)", s)
+		}
+		sizes = append(sizes, v)
+	}
+
+	report, err := exp.Replay(exp.ReplayConfig{
+		Dataset:    ds,
+		Queries:    qs,
+		BatchSizes: sizes,
+		Workers:    workers,
+		Constraint: c,
+	})
+	if err != nil {
+		return err
+	}
+	report.Print(os.Stdout)
+	return nil
 }
 
 func fatal(err error) {

@@ -6,11 +6,13 @@
 //	cpnn-datagen -o lb.txt                       # Long-Beach-like, uniform pdfs
 //	cpnn-datagen -pdf gauss -n 10000 -o g.txt    # Gaussian pdfs (300 bars)
 //	cpnn-datagen -pdf hist -n 500 -o h.txt       # random histogram pdfs
+//	cpnn-datagen -queries 512 -o q.txt           # query workload for -batch/-replay
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/uncertain"
@@ -24,6 +26,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		gaussBars = flag.Int("gauss-bars", 300, "histogram bars for -pdf gauss")
 		histBars  = flag.Int("hist-bars", 8, "max bars for -pdf hist")
+		queries   = flag.Int("queries", 0, "emit a query workload of this many points instead of a dataset")
 	)
 	flag.Parse()
 
@@ -32,10 +35,29 @@ func main() {
 	if *n < 0 {
 		fatal(fmt.Errorf("object count -n %d must be >= 0 (0 selects the Long Beach 53,144)", *n))
 	}
+	if *queries < 0 {
+		fatal(fmt.Errorf("query count -queries %d must be >= 0", *queries))
+	}
 
 	opt := uncertain.LongBeachOptions(*seed)
 	if *n > 0 {
 		opt.N = *n
+	}
+
+	if *queries > 0 {
+		qs := uncertain.QueryWorkload(*queries, opt.Domain, *seed)
+		w, closeFn, err := outWriter(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := uncertain.WriteQueries(w, qs); err != nil {
+			fatal(err)
+		}
+		if err := closeFn(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cpnn-datagen: wrote %d query points\n", len(qs))
+		return
 	}
 
 	var (
@@ -56,23 +78,31 @@ func main() {
 		fatal(err)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
+	w, closeFn, err := outWriter(*out)
+	if err != nil {
+		fatal(err)
 	}
 	if _, err := ds.WriteTo(w); err != nil {
 		fatal(err)
 	}
+	if err := closeFn(); err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "cpnn-datagen: wrote %d objects\n", ds.Len())
+}
+
+// outWriter opens the output target: a file when path is non-empty, stdout
+// otherwise. The returned close function flushes and closes the file (a
+// no-op for stdout).
+func outWriter(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func fatal(err error) {

@@ -8,12 +8,14 @@
 //	cpnn-query -data intervals.txt -q 120.5 -p 0.5 -strategy basic
 //	cpnn-query -gen -q 5000 -pnn            # exact probabilities
 //	cpnn-query -gen -q 5000 -k 3 -p 0.5     # constrained 3-NN
+//	cpnn-query -gen -batch queries.txt      # batch-evaluate a query file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/uncertain"
@@ -31,6 +33,8 @@ func main() {
 		strategy = flag.String("strategy", "vr", "evaluation strategy: vr, refine or basic")
 		pnnMode  = flag.Bool("pnn", false, "report exact qualification probabilities instead of a C-PNN")
 		k        = flag.Int("k", 0, "evaluate a constrained k-NN query with this k (0 = plain C-PNN)")
+		batch    = flag.String("batch", "", "batch-evaluate every query point in this file (one per line)")
+		workers  = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-phase statistics")
 	)
 	flag.Parse()
@@ -42,6 +46,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var batchQs []float64
+	if *batch != "" {
+		if *pnnMode || *k > 0 {
+			fatal(fmt.Errorf("-batch is a C-PNN mode; it cannot combine with -pnn or -k"))
+		}
+		f, err := os.Open(*batch)
+		if err != nil {
+			fatal(err)
+		}
+		batchQs, err = uncertain.ReadQueries(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if len(batchQs) == 0 {
+			fatal(fmt.Errorf("query file %s holds no query points", *batch))
+		}
+	}
 
 	ds, err := loadDataset(*dataPath, *gen, *seed)
 	if err != nil {
@@ -50,6 +72,28 @@ func main() {
 	eng, err := core.NewEngine(ds)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *batch != "" {
+		br, err := eng.CPNNBatch(batchQs, c, core.BatchOptions{
+			Options: core.Options{Strategy: st},
+			Workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for i, res := range br.Results {
+			fmt.Printf("C-PNN(q=%g): %d answers of %d candidates", batchQs[i], len(res.Answers), res.Stats.Candidates)
+			for _, a := range res.Answers {
+				fmt.Printf("  %d:[%.4f,%.4f]", a.ID, a.Bounds.L, a.Bounds.U)
+			}
+			fmt.Println()
+		}
+		bs := br.Stats
+		fmt.Printf("batch: %d queries, %d workers, wall %v (%.0f queries/s), engine time %v\n",
+			bs.Queries, bs.Workers, bs.Wall.Round(time.Microsecond),
+			float64(bs.Queries)/bs.Wall.Seconds(), bs.Aggregate.Total().Round(time.Microsecond))
+		return
 	}
 
 	switch {

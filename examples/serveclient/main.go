@@ -52,6 +52,15 @@ func main() {
 	show("PNN q=12", get(base+"/v1/pnn?q=12"))
 	show("C-P2NN q=12", get(base+"/v1/knn?q=12&k=2&p=0.3&all=1"))
 
+	// A batch: one request, one dataset snapshot, per-point cache checks.
+	// q=12 is already cached from above ("hit"); the rest are fresh misses.
+	batch := `{"queries":[12, 15, 22.5], "p":0.3, "delta":0.01}`
+	resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader([]byte(batch)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("batch [12 15 22.5]", resp)
+
 	// Atomic reload: serialize a new fleet and POST it. In-flight queries
 	// finish against the old snapshot; the next query sees version 2.
 	moved := pnn.NewDataset([]pnn.PDF{
@@ -62,7 +71,7 @@ func main() {
 	if _, err := moved.WriteTo(&buf); err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(base+"/v1/dataset?source=moved", "text/plain", &buf)
+	resp, err = http.Post(base+"/v1/dataset?source=moved", "text/plain", &buf)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
@@ -185,8 +186,17 @@ func (e *Engine) CPNN(q float64, c verify.Constraint, opt Options) (*Result, err
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	opt = opt.withDefaults()
+	if err := checkQuery(q); err != nil {
+		return nil, err
+	}
+	return e.cpnn(q, c, opt.withDefaults(), nil)
+}
 
+// cpnn is the CPNN body, shared by the single-query entry point (sc == nil)
+// and the batch path (sc supplies recycled scratch; see queryScratch for the
+// derivation-mode rules). Inputs are already validated and opt already
+// defaulted.
+func (e *Engine) cpnn(q float64, c verify.Constraint, opt Options, sc *queryScratch) (*Result, error) {
 	res := &Result{}
 	start := time.Now()
 	fr := e.ix.Candidates(q)
@@ -198,23 +208,35 @@ func (e *Engine) CPNN(q float64, c verify.Constraint, opt Options) (*Result, err
 	}
 
 	start = time.Now()
-	cands, err := e.distanceCandidates(fr.IDs, q, opt.Bins)
+	sc.resetArena()
+	cands, err := e.distanceCandidates(sc, fr.IDs, q, opt.Bins)
 	if err != nil {
 		return nil, err
 	}
+	sc.keepCandBuf(cands)
 
 	if opt.Strategy == Basic {
 		res.Stats.InitTime = time.Since(start)
 		return cpnnBasic(cands, c, opt, res)
 	}
 
-	table, err := subregion.Build(cands)
+	table, err := sc.buildTable(cands)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	res.Stats.InitTime = time.Since(start)
 	res.Stats.Subregions = table.NumSubregions()
 	return finishVerifyRefine(table, c, opt, res)
+}
+
+// checkQuery rejects non-finite query points before any engine work: a NaN
+// poisons every distance comparison silently, so it must never reach the
+// filter.
+func checkQuery(q float64) error {
+	if math.IsNaN(q) || math.IsInf(q, 0) {
+		return fmt.Errorf("core: non-finite query point %g", q)
+	}
+	return nil
 }
 
 // finishVerifyRefine runs the verification and refinement phases over a
@@ -297,24 +319,29 @@ func cpnnBasic(cands []subregion.Candidate, c verify.Constraint, opt Options, re
 	return res, nil
 }
 
-// collect fills a Result's answer slices, sorted by object ID.
+// collect fills a Result's answer slices, sorted by object ID. Candidates
+// are sorted once; Answers inherit the order by filtering afterwards.
 func collect(res *Result, ids []int, bounds []verify.Bounds, status []verify.Status) {
+	res.Candidates = make([]Answer, len(ids))
 	for i, id := range ids {
-		a := Answer{ID: id, Bounds: bounds[i], Status: status[i]}
-		res.Candidates = append(res.Candidates, a)
+		res.Candidates[i] = Answer{ID: id, Bounds: bounds[i], Status: status[i]}
+	}
+	slices.SortFunc(res.Candidates, func(a, b Answer) int { return a.ID - b.ID })
+	for _, a := range res.Candidates {
 		if a.Status == verify.Satisfy {
 			res.Answers = append(res.Answers, a)
 		}
 	}
-	sort.Slice(res.Candidates, func(a, b int) bool { return res.Candidates[a].ID < res.Candidates[b].ID })
-	sort.Slice(res.Answers, func(a, b int) bool { return res.Answers[a].ID < res.Answers[b].ID })
 }
 
 // distanceCandidates derives the distance pdf of every candidate through the
-// shared derivation stage (memoized discretization, parallel folds).
-func (e *Engine) distanceCandidates(ids []int, q float64, bins int) ([]subregion.Candidate, error) {
-	return e.dv.deriveSet(ids, func(pos int) (*pdf.Histogram, error) {
-		return e.dv.distFor(e.ds.Object(ids[pos]), q, bins)
+// shared derivation stage (memoized discretization, parallel folds). sc,
+// when non-nil, supplies the recycled candidate buffer and fold arena; see
+// queryScratch for when derivation stays in-line versus fanning out.
+func (e *Engine) distanceCandidates(sc *queryScratch, ids []int, q float64, bins int) ([]subregion.Candidate, error) {
+	a := sc.foldArena()
+	return e.dv.deriveSet(sc.candBuf(), ids, sc.serialDerive(), func(pos int) (*pdf.Histogram, error) {
+		return e.dv.distFor(e.ds.Object(ids[pos]), q, bins, a)
 	})
 }
 
@@ -331,6 +358,9 @@ type Probability struct {
 func (e *Engine) PNN(q float64, opt Options) ([]Probability, Stats, error) {
 	opt = opt.withDefaults()
 	var st Stats
+	if err := checkQuery(q); err != nil {
+		return nil, st, err
+	}
 	start := time.Now()
 	fr := e.ix.Candidates(q)
 	st.FilterTime = time.Since(start)
@@ -340,7 +370,7 @@ func (e *Engine) PNN(q float64, opt Options) ([]Probability, Stats, error) {
 		return nil, st, nil
 	}
 	start = time.Now()
-	cands, err := e.distanceCandidates(fr.IDs, q, opt.Bins)
+	cands, err := e.distanceCandidates(nil, fr.IDs, q, opt.Bins)
 	if err != nil {
 		return nil, st, err
 	}
@@ -422,6 +452,9 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if err := checkQuery(q); err != nil {
+		return nil, err
+	}
 	if opt.K < 1 {
 		return nil, fmt.Errorf("core: k = %d < 1", opt.K)
 	}
@@ -453,7 +486,7 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 			ids = append(ids, o.ID)
 		}
 	}
-	cands, err := e.distanceCandidates(ids, q, opt.Bins)
+	cands, err := e.distanceCandidates(nil, ids, q, opt.Bins)
 	if err != nil {
 		return nil, err
 	}

@@ -65,19 +65,21 @@ func (dv *deriver) discretize(id int, p pdf.PDF, bins int) (*pdf.Histogram, erro
 
 // distFor derives the distance pdf of one 1-D object: exact folds for
 // uniform and histogram pdfs, memoized discretization then a bin-exact fold
-// for everything else (the paper's treatment of Gaussian uncertainty).
-func (dv *deriver) distFor(obj uncertain.Object, q float64, bins int) (*pdf.Histogram, error) {
+// for everything else (the paper's treatment of Gaussian uncertainty). The
+// fold result is drawn from a (possibly nil) query-scoped arena; only the
+// memoized discretization, which outlives queries, stays on the heap.
+func (dv *deriver) distFor(obj uncertain.Object, q float64, bins int, a *pdf.Alloc) (*pdf.Histogram, error) {
 	switch p := obj.PDF.(type) {
 	case *pdf.Histogram:
-		return dist.FoldHistogram(p, q)
+		return dist.FoldHistogramIn(a, p, q)
 	case pdf.Uniform:
-		return dist.FromPDF(p, q)
+		return dist.FromPDFIn(a, p, q)
 	default:
 		h, err := dv.discretize(obj.ID, obj.PDF, bins)
 		if err != nil {
 			return nil, err
 		}
-		return dist.FoldHistogram(h, q)
+		return dist.FoldHistogramIn(a, h, q)
 	}
 }
 
@@ -89,25 +91,56 @@ const serialDeriveCutoff = 16
 // deriveSet derives the distance distribution of every candidate and
 // assembles the candidate set in input order. fn maps a position in ids to
 // that candidate's distance pdf; positions are distributed over the worker
-// pool, with a serial fast path for small sets.
-func (dv *deriver) deriveSet(ids []int, fn func(pos int) (*pdf.Histogram, error)) ([]subregion.Candidate, error) {
+// pool, with a serial fast path for small sets. dst, when its capacity
+// suffices, provides the backing array of the returned candidate slice (the
+// batch path recycles it per worker); serial forces the in-line path — batch
+// workers already saturate the cores at query granularity, so fanning out
+// per-candidate goroutines underneath them would only add scheduling churn.
+func (dv *deriver) deriveSet(dst []subregion.Candidate, ids []int, serial bool, fn func(pos int) (*pdf.Histogram, error)) ([]subregion.Candidate, error) {
 	n := len(ids)
-	cands := make([]subregion.Candidate, n)
+	var cands []subregion.Candidate
+	if cap(dst) >= n {
+		cands = dst[:n]
+	} else {
+		cands = make([]subregion.Candidate, n)
+	}
 	workers := dv.workers
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n < serialDeriveCutoff {
-		for i := range cands {
-			d, err := fn(i)
-			if err != nil {
-				return nil, fmt.Errorf("core: object %d: %w", ids[i], err)
-			}
-			cands[i] = subregion.Candidate{ID: ids[i], Dist: d}
-		}
-		return cands, nil
+	if serial || n < serialDeriveCutoff {
+		workers = 1
 	}
+	err := parallelFor(n, workers, func(i int) error {
+		d, err := fn(i)
+		if err != nil {
+			return fmt.Errorf("core: object %d: %w", ids[i], err)
+		}
+		cands[i] = subregion.Candidate{ID: ids[i], Dist: d}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cands, nil
+}
 
+// parallelFor runs fn(i) for every i in [0, n) across a pool of workers
+// goroutines (in the calling goroutine when workers <= 1). Indices are
+// handed out through an atomic counter so stragglers never idle a worker;
+// the first error stops the remaining work and is returned.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	var (
 		next     atomic.Int64
 		failed   atomic.Bool
@@ -124,23 +157,18 @@ func (dv *deriver) deriveSet(ids []int, fn func(pos int) (*pdf.Histogram, error)
 				if i >= n || failed.Load() {
 					return
 				}
-				d, err := fn(i)
-				if err != nil {
+				if err := fn(i); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("core: object %d: %w", ids[i], err)
+						firstErr = err
 					}
 					errMu.Unlock()
 					failed.Store(true)
 					return
 				}
-				cands[i] = subregion.Candidate{ID: ids[i], Dist: d}
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return cands, nil
+	return firstErr
 }

@@ -44,14 +44,14 @@ func TestDeriveSetMatchesSerial(t *testing.T) {
 
 	fn := func(dv *deriver) func(int) (*pdf.Histogram, error) {
 		return func(pos int) (*pdf.Histogram, error) {
-			return dv.distFor(ds.Object(ids[pos]), q, dist.DefaultBins)
+			return dv.distFor(ds.Object(ids[pos]), q, dist.DefaultBins, nil)
 		}
 	}
-	got, err := parallel.deriveSet(ids, fn(parallel))
+	got, err := parallel.deriveSet(nil, ids, false, fn(parallel))
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := serial.deriveSet(ids, fn(serial))
+	want, err := serial.deriveSet(nil, ids, false, fn(serial))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestDeriveSetPropagatesError(t *testing.T) {
 		ids[i] = i
 	}
 	sentinel := errors.New("boom")
-	_, err := dv.deriveSet(ids, func(pos int) (*pdf.Histogram, error) {
+	_, err := dv.deriveSet(nil, ids, false, func(pos int) (*pdf.Histogram, error) {
 		if pos%7 == 3 {
 			return nil, sentinel
 		}
@@ -170,8 +170,8 @@ func BenchmarkDeriveCandidates(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					_, err := dv.deriveSet(ids, func(pos int) (*pdf.Histogram, error) {
-						return dv.distFor(ds.Object(ids[pos]), 25.0, dist.DefaultBins)
+					_, err := dv.deriveSet(nil, ids, false, func(pos int) (*pdf.Histogram, error) {
+						return dv.distFor(ds.Object(ids[pos]), 25.0, dist.DefaultBins, nil)
 					})
 					if err != nil {
 						b.Fatal(err)

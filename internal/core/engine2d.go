@@ -64,14 +64,17 @@ func NewEngine2D(objs []Object2D) (*Engine2D, error) {
 }
 
 // distanceCandidates derives the lens-area distance pdf of every candidate
-// (given by index into objs) through the shared derivation stage.
-func (e *Engine2D) distanceCandidates(candIdx []int, q geom.Point, bins int) ([]subregion.Candidate, error) {
-	ids := make([]int, len(candIdx))
+// (given by index into objs) through the shared derivation stage. sc, when
+// non-nil, supplies recycled buffers; see queryScratch for when derivation
+// stays in-line versus fanning out.
+func (e *Engine2D) distanceCandidates(sc *queryScratch, candIdx []int, q geom.Point, bins int) ([]subregion.Candidate, error) {
+	ids := sc.idBuf(len(candIdx))
 	for i, idx := range candIdx {
 		ids[i] = e.objs[idx].ID
 	}
-	return e.dv.deriveSet(ids, func(pos int) (*pdf.Histogram, error) {
-		return dist.FromCircle(e.objs[candIdx[pos]].Region, q, bins)
+	a := sc.foldArena()
+	return e.dv.deriveSet(sc.candBuf(), ids, sc.serialDerive(), func(pos int) (*pdf.Histogram, error) {
+		return dist.FromCircleIn(a, e.objs[candIdx[pos]].Region, q, bins)
 	})
 }
 
@@ -90,14 +93,36 @@ type Options2D struct {
 	BasicSteps int
 }
 
+func (o Options2D) withDefaults() Options2D {
+	if o.Bins == 0 {
+		o.Bins = dist.DefaultBins
+	}
+	return o
+}
+
+// checkQuery2D rejects non-finite planar query points, mirroring checkQuery.
+func checkQuery2D(q geom.Point) error {
+	if err := checkQuery(q.X); err != nil {
+		return err
+	}
+	return checkQuery(q.Y)
+}
+
 // CPNN evaluates a planar constrained probabilistic nearest-neighbor query.
 func (e *Engine2D) CPNN(q geom.Point, c verify.Constraint, opt Options2D) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	if opt.Bins == 0 {
-		opt.Bins = dist.DefaultBins
+	if err := checkQuery2D(q); err != nil {
+		return nil, err
 	}
+	return e.cpnn(q, c, opt.withDefaults(), nil)
+}
+
+// cpnn is the planar CPNN body, shared by the single-query entry point
+// (sc == nil) and the batch path. Inputs are already validated and opt
+// already defaulted.
+func (e *Engine2D) cpnn(q geom.Point, c verify.Constraint, opt Options2D, sc *queryScratch) (*Result, error) {
 	res := &Result{}
 	if len(e.objs) == 0 {
 		return res, nil
@@ -114,10 +139,12 @@ func (e *Engine2D) CPNN(q geom.Point, c verify.Constraint, opt Options2D) (*Resu
 
 	// Initialization: lens-area distance pdfs via the shared stage.
 	start = time.Now()
-	cands, err := e.distanceCandidates(candIdx, q, opt.Bins)
+	sc.resetArena()
+	cands, err := e.distanceCandidates(sc, candIdx, q, opt.Bins)
 	if err != nil {
 		return nil, err
 	}
+	sc.keepCandBuf(cands)
 
 	// From here the 1-D machinery applies unchanged.
 	oneD := Options{
@@ -130,7 +157,7 @@ func (e *Engine2D) CPNN(q geom.Point, c verify.Constraint, opt Options2D) (*Resu
 		res.Stats.InitTime = time.Since(start)
 		return cpnnBasic(cands, c, oneD, res)
 	}
-	table, err := subregion.Build(cands)
+	table, err := sc.buildTable(cands)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -171,6 +198,9 @@ func (e *Engine2D) filterCandidates(q geom.Point) (candIdx []int, fMin float64) 
 // filter and derivation stages with CPNN and integrates every candidate
 // exactly — no verification pass, whose bounds a PNN would discard anyway.
 func (e *Engine2D) PNN(q geom.Point, opt Options2D) ([]Probability, error) {
+	if err := checkQuery2D(q); err != nil {
+		return nil, err
+	}
 	if opt.Bins == 0 {
 		opt.Bins = dist.DefaultBins
 	}
@@ -181,7 +211,7 @@ func (e *Engine2D) PNN(q geom.Point, opt Options2D) ([]Probability, error) {
 	if len(candIdx) == 0 {
 		return nil, nil
 	}
-	cands, err := e.distanceCandidates(candIdx, q, opt.Bins)
+	cands, err := e.distanceCandidates(nil, candIdx, q, opt.Bins)
 	if err != nil {
 		return nil, err
 	}

@@ -49,6 +49,13 @@ var ErrNilPDF = errors.New("dist: nil pdf")
 // pdf is discretized to DefaultBins bars first (use pdf.Discretize plus
 // FoldHistogram directly to control the resolution).
 func FromPDF(p pdf.PDF, q float64) (*pdf.Histogram, error) {
+	return FromPDFIn(nil, p, q)
+}
+
+// FromPDFIn is FromPDF with the result (and fold temporaries) drawn from the
+// arena; a nil arena falls back to the heap. The batch query path resets one
+// arena per query instead of allocating ~|C| histograms each time.
+func FromPDFIn(a *pdf.Alloc, p pdf.PDF, q float64) (*pdf.Histogram, error) {
 	if p == nil {
 		return nil, ErrNilPDF
 	}
@@ -57,15 +64,15 @@ func FromPDF(p pdf.PDF, q float64) (*pdf.Histogram, error) {
 	}
 	switch v := p.(type) {
 	case pdf.Uniform:
-		return fromUniform(v, q)
+		return fromUniform(a, v, q)
 	case *pdf.Histogram:
-		return FoldHistogram(v, q)
+		return FoldHistogramIn(a, v, q)
 	default:
 		h, err := pdf.Discretize(p, DefaultBins)
 		if err != nil {
 			return nil, fmt.Errorf("dist: discretizing pdf: %w", err)
 		}
-		return FoldHistogram(h, q)
+		return FoldHistogramIn(a, h, q)
 	}
 }
 
@@ -74,19 +81,19 @@ func FromPDF(p pdf.PDF, q float64) (*pdf.Histogram, error) {
 // on [0, a] (both arms contribute) and 1/L on (a, b], where a and b are the
 // nearer and farther region endpoints' distances; with q outside, the
 // distance is simply uniform over [near, far].
-func fromUniform(u pdf.Uniform, q float64) (*pdf.Histogram, error) {
+func fromUniform(al *pdf.Alloc, u pdf.Uniform, q float64) (*pdf.Histogram, error) {
 	iv := u.Support()
 	if q <= iv.Lo || q >= iv.Hi {
 		near, far := iv.MinDist(q), iv.MaxDist(q)
-		return pdf.NewHistogram([]float64{near, far}, []float64{1})
+		return al.NewHistogram([]float64{near, far}, []float64{1})
 	}
 	a := math.Min(q-iv.Lo, iv.Hi-q)
 	b := math.Max(q-iv.Lo, iv.Hi-q)
 	if a == b {
 		// q is the exact center: one doubled-density bin covers everything.
-		return pdf.NewHistogram([]float64{0, a}, []float64{1})
+		return al.NewHistogram([]float64{0, a}, []float64{1})
 	}
-	return pdf.NewHistogram([]float64{0, a, b}, []float64{2 * a, b - a})
+	return al.NewHistogram([]float64{0, a, b}, []float64{2 * a, b - a})
 }
 
 // FoldHistogram returns the pdf of |X − q| for X distributed according to
@@ -96,6 +103,12 @@ func fromUniform(u pdf.Uniform, q float64) (*pdf.Histogram, error) {
 // fold crosses an input bin boundary and each output bin receives exactly
 // the source mass of its two preimage intervals.
 func FoldHistogram(h *pdf.Histogram, q float64) (*pdf.Histogram, error) {
+	return FoldHistogramIn(nil, h, q)
+}
+
+// FoldHistogramIn is FoldHistogram allocating through the arena; see
+// FromPDFIn.
+func FoldHistogramIn(a *pdf.Alloc, h *pdf.Histogram, q float64) (*pdf.Histogram, error) {
 	if h == nil {
 		return nil, ErrNilPDF
 	}
@@ -103,7 +116,7 @@ func FoldHistogram(h *pdf.Histogram, q float64) (*pdf.Histogram, error) {
 		return nil, fmt.Errorf("dist: non-finite query point %g", q)
 	}
 	src := h.Edges()
-	pts := make([]float64, 0, len(src)+1)
+	pts := a.Floats(len(src) + 1)[:0]
 	if h.Support().Contains(q) {
 		pts = append(pts, 0)
 	}
@@ -120,7 +133,7 @@ func FoldHistogram(h *pdf.Histogram, q float64) (*pdf.Histogram, error) {
 	if len(edges) < 2 {
 		return nil, fmt.Errorf("dist: histogram folds to a point at q=%g", q)
 	}
-	weights := make([]float64, len(edges)-1)
+	weights := a.Floats(len(edges) - 1)
 	for i := range weights {
 		d0, d1 := edges[i], edges[i+1]
 		// Right arm [q+d0, q+d1] plus mirrored left arm [q−d1, q−d0]; the
@@ -131,7 +144,7 @@ func FoldHistogram(h *pdf.Histogram, q float64) (*pdf.Histogram, error) {
 		}
 		weights[i] = m
 	}
-	out, err := pdf.NewHistogram(edges, weights)
+	out, err := a.NewHistogram(edges, weights)
 	if err != nil {
 		return nil, fmt.Errorf("dist: folding histogram at q=%g: %w", q, err)
 	}
@@ -144,6 +157,11 @@ func FoldHistogram(h *pdf.Histogram, q float64) (*pdf.Histogram, error) {
 // area of the disk and the radius-r circle around q over the disk's area,
 // sampled at bins+1 evenly spaced radii between the near and far points.
 func FromCircle(c geom.Circle, q geom.Point, bins int) (*pdf.Histogram, error) {
+	return FromCircleIn(nil, c, q, bins)
+}
+
+// FromCircleIn is FromCircle allocating through the arena; see FromPDFIn.
+func FromCircleIn(a *pdf.Alloc, c geom.Circle, q geom.Point, bins int) (*pdf.Histogram, error) {
 	if !(c.Radius > 0) {
 		return nil, fmt.Errorf("dist: non-positive circle radius %g", c.Radius)
 	}
@@ -165,8 +183,8 @@ func FromCircle(c geom.Circle, q geom.Point, bins int) (*pdf.Histogram, error) {
 			return geom.LensArea(c, geom.Circle{Center: q, Radius: r}) / area
 		}
 	}
-	edges := make([]float64, bins+1)
-	weights := make([]float64, bins)
+	edges := a.Floats(bins + 1)
+	weights := a.Floats(bins)
 	step := (far - near) / float64(bins)
 	edges[0] = near
 	prev := 0.0
@@ -181,7 +199,7 @@ func FromCircle(c geom.Circle, q geom.Point, bins int) (*pdf.Histogram, error) {
 		prev = cur
 	}
 	edges[bins] = far // avoid accumulated rounding on the last edge
-	out, err := pdf.NewHistogram(edges, weights)
+	out, err := a.NewHistogram(edges, weights)
 	if err != nil {
 		return nil, fmt.Errorf("dist: reducing circle at q=%v: %w", q, err)
 	}

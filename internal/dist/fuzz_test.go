@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pdf"
+)
+
+// histFromFuzz decodes a histogram from raw fuzz floats: the first half
+// (sorted, deduplicated, finite) become edges, the rest weights. Returns nil
+// when the material cannot form a valid histogram — the fuzz target skips
+// those.
+func histFromFuzz(vals []float64) *pdf.Histogram {
+	if len(vals) < 3 {
+		return nil
+	}
+	nE := len(vals)/2 + 1
+	edges := append([]float64(nil), vals[:nE]...)
+	for _, e := range edges {
+		if math.IsNaN(e) || math.IsInf(e, 0) || math.Abs(e) > 1e12 {
+			return nil
+		}
+	}
+	// Sort and strictly deduplicate.
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j] < edges[j-1]; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	out := edges[:1]
+	for _, e := range edges[1:] {
+		if e > out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	edges = out
+	if len(edges) < 2 {
+		return nil
+	}
+	weights := make([]float64, len(edges)-1)
+	for i := range weights {
+		w := vals[nE+i%(len(vals)-nE)]
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 || w > 1e12 {
+			return nil
+		}
+		weights[i] = w
+	}
+	h, err := pdf.NewHistogram(edges, weights)
+	if err != nil {
+		return nil
+	}
+	return h
+}
+
+// FuzzFoldHistogram: folding any valid histogram at any finite query point
+// must never panic, and every successful fold must be a valid distance pdf:
+// non-negative support, unit mass, monotone cdf.
+func FuzzFoldHistogram(f *testing.F) {
+	f.Add(0.0, 1.0, 2.0, 0.5, 0.5, 1.5)
+	f.Add(-3.0, -1.0, 4.0, 1.0, 2.0, 0.0)
+	f.Add(0.0, 0.0, 1e-9, 1.0, 1.0, 5.0)
+	f.Fuzz(func(t *testing.T, a, b, c, w1, w2, q float64) {
+		h := histFromFuzz([]float64{a, b, c, w1, w2})
+		if h == nil {
+			return
+		}
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			if _, err := FoldHistogram(h, q); err == nil {
+				t.Fatalf("fold accepted non-finite q=%g", q)
+			}
+			return
+		}
+		d, err := FoldHistogram(h, q)
+		if err != nil {
+			return // degenerate folds are allowed to fail, not to panic
+		}
+		checkDistancePDF(t, d, q)
+
+		// The arena-allocated fold must agree exactly with the heap fold.
+		var arena pdf.Alloc
+		d2, err := FoldHistogramIn(&arena, h, q)
+		if err != nil {
+			t.Fatalf("arena fold failed where heap fold succeeded: %v", err)
+		}
+		if len(d2.Edges()) != len(d.Edges()) {
+			t.Fatalf("arena fold edge count %d != heap %d", len(d2.Edges()), len(d.Edges()))
+		}
+		for i, e := range d.Edges() {
+			if d2.Edges()[i] != e {
+				t.Fatalf("arena fold edge %d differs: %g vs %g", i, d2.Edges()[i], e)
+			}
+		}
+		for i := 0; i < d.NumBins(); i++ {
+			if d2.BinMass(i) != d.BinMass(i) {
+				t.Fatalf("arena fold mass %d differs", i)
+			}
+		}
+	})
+}
+
+// checkDistancePDF asserts the invariants of any distance pdf.
+func checkDistancePDF(t *testing.T, d *pdf.Histogram, q float64) {
+	t.Helper()
+	sup := d.Support()
+	if sup.Lo < 0 {
+		t.Fatalf("fold at q=%g has negative distance support %v", q, sup)
+	}
+	if err := pdf.Validate(d); err != nil {
+		t.Fatalf("fold at q=%g violates pdf invariants: %v", q, err)
+	}
+	prev := -1.0
+	for _, e := range d.Edges() {
+		cv := d.CDF(e)
+		if cv < prev-1e-12 {
+			t.Fatalf("fold at q=%g has non-monotone cdf", q)
+		}
+		prev = cv
+	}
+	if got := d.CDF(sup.Hi); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("fold at q=%g has total mass %g", q, got)
+	}
+}

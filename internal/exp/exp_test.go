@@ -50,8 +50,11 @@ func TestFigure10Shape(t *testing.T) {
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	// At every P: VR <= Refine <= Basic (allowing measurement slop on VR vs
-	// Refine at high P where both are tiny).
+	// At every P: VR <= Refine <= Basic. Both VR and Refine average a
+	// fraction of a millisecond per query here, so one scheduler preemption
+	// (test packages run concurrently, possibly on one core) shifts a cell
+	// by ~0.1ms; the absolute slop must swallow that while still failing if
+	// VR ever degenerates to full refinement (a multi-ms jump).
 	for r := range tab.Rows {
 		basic, _ := tab.Cell(r, "basic_ms")
 		refine, _ := tab.Cell(r, "refine_ms")
@@ -59,7 +62,7 @@ func TestFigure10Shape(t *testing.T) {
 		if basic < refine {
 			t.Errorf("row %d: Basic %g < Refine %g", r, basic, refine)
 		}
-		if vr > refine*1.5+0.05 {
+		if vr > refine*1.5+0.25 {
 			t.Errorf("row %d: VR %g not faster than Refine %g", r, vr, refine)
 		}
 	}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/uncertain"
+)
+
+func TestReplay(t *testing.T) {
+	ds, err := uncertain.GenerateUniform(uncertain.GenOptions{
+		N: 3000, Domain: 1000, MeanLen: 5, MinLen: 0.5, MaxLen: 30, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Replay(ReplayConfig{
+		Dataset:    ds,
+		Queries:    uncertain.QueryWorkload(64, 1000, 5),
+		BatchSizes: []int{1, 8, 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Queries != 64 || len(report.Rows) != 3 {
+		t.Fatalf("report shape: %+v", report)
+	}
+	for _, row := range report.Rows {
+		if row.Total <= 0 || row.Ratio <= 0 {
+			t.Errorf("batch size %d: non-positive total %v or ratio %g", row.BatchSize, row.Total, row.Ratio)
+		}
+		if row.P50 > row.P95 || row.P95 > row.P99 {
+			t.Errorf("batch size %d: percentiles not monotone: %v %v %v",
+				row.BatchSize, row.P50, row.P95, row.P99)
+		}
+	}
+	if report.Rows[0].Ratio != 1 {
+		t.Errorf("size-1 ratio %g, want 1", report.Rows[0].Ratio)
+	}
+	var buf bytes.Buffer
+	report.Print(&buf)
+	if !strings.Contains(buf.String(), "ratio") {
+		t.Errorf("printed report missing header: %s", buf.String())
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	ds, err := uncertain.GenerateUniform(uncertain.GenOptions{
+		N: 100, Domain: 100, MeanLen: 5, MinLen: 0.5, MaxLen: 30, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(ReplayConfig{Dataset: ds}); err == nil {
+		t.Error("replay accepted an empty workload")
+	}
+	if _, err := Replay(ReplayConfig{Queries: []float64{1}}); err == nil {
+		t.Error("replay accepted a nil dataset")
+	}
+	if _, err := Replay(ReplayConfig{Dataset: ds, Queries: []float64{1}, BatchSizes: []int{0}}); err == nil {
+		t.Error("replay accepted batch size 0")
+	}
+}

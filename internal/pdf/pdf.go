@@ -192,6 +192,68 @@ var ErrEmptyHistogram = errors.New("pdf: histogram has no probability mass")
 // weights. Weights are proportional masses per bin (not densities); they are
 // normalized so the total mass is one.
 func NewHistogram(edges, weights []float64) (*Histogram, error) {
+	return (*Alloc)(nil).NewHistogram(edges, weights)
+}
+
+// Alloc is a bump allocator for query-scoped histograms. The batch query
+// path derives ~|C| distance histograms per query and discards them with the
+// answer; allocating them through a per-worker Alloc that is Reset between
+// queries removes that churn entirely in steady state. Histograms (and
+// Floats slices) obtained from an Alloc are valid only until the next Reset;
+// they must never be retained in results or memos. A nil *Alloc is valid and
+// falls back to the ordinary heap, which is how the single-query paths run.
+type Alloc struct {
+	hs   []Histogram
+	nh   int
+	buf  []float64
+	used int
+}
+
+// Reset invalidates everything allocated since the previous Reset and makes
+// the storage reusable.
+func (a *Alloc) Reset() {
+	if a == nil {
+		return
+	}
+	a.nh = 0
+	a.used = 0
+}
+
+// Floats returns an n-element float64 slice from the arena (heap-backed for
+// a nil Alloc), valid until Reset. Contents are zero only on first use of
+// the backing storage; callers must overwrite every element.
+func (a *Alloc) Floats(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	if a.used+n > len(a.buf) {
+		size := 2*len(a.buf) + n
+		if size < 4096 {
+			size = 4096
+		}
+		// Slices handed out from the old buffer stay valid — they keep it
+		// alive — and are reclaimed once their holders drop after Reset.
+		a.buf = make([]float64, size)
+		a.used = 0
+	}
+	s := a.buf[a.used : a.used+n : a.used+n]
+	a.used += n
+	return s
+}
+
+// hist returns the next reusable histogram header.
+func (a *Alloc) hist() *Histogram {
+	if a.nh == len(a.hs) {
+		a.hs = append(a.hs, Histogram{})
+	}
+	h := &a.hs[a.nh]
+	a.nh++
+	return h
+}
+
+// NewHistogram is NewHistogram with storage drawn from the arena. The input
+// slices are copied, so callers may reuse them immediately.
+func (a *Alloc) NewHistogram(edges, weights []float64) (*Histogram, error) {
 	if len(edges) < 2 || len(weights) != len(edges)-1 {
 		return nil, fmt.Errorf("pdf: histogram needs len(edges) == len(weights)+1 >= 2, got %d edges, %d weights",
 			len(edges), len(weights))
@@ -215,10 +277,20 @@ func NewHistogram(edges, weights []float64) (*Histogram, error) {
 	if total <= 0 {
 		return nil, ErrEmptyHistogram
 	}
-	h := &Histogram{
-		edges: append([]float64(nil), edges...),
-		dens:  make([]float64, len(weights)),
-		cum:   make([]float64, len(edges)),
+	var h *Histogram
+	if a == nil {
+		h = &Histogram{
+			edges: append([]float64(nil), edges...),
+			dens:  make([]float64, len(weights)),
+			cum:   make([]float64, len(edges)),
+		}
+	} else {
+		h = a.hist()
+		h.edges = a.Floats(len(edges))
+		copy(h.edges, edges)
+		h.dens = a.Floats(len(weights))
+		h.cum = a.Floats(len(edges))
+		h.cum[0] = 0
 	}
 	acc := 0.0
 	for i, w := range weights {

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postBatch performs one POST /v1/batch with the given JSON body.
+func postBatch(t testing.TB, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestBatchMatchesSingleEndpoint: every per-point body of a batch response
+// must be byte-identical to the single-query endpoint's body for the same
+// parameters — they share cache keys, so anything else would poison the
+// cache.
+func TestBatchMatchesSingleEndpoint(t *testing.T) {
+	s := testServer(t, Config{})
+	rec := postBatch(t, s, `{"queries":[120,480,733.5],"p":0.2,"delta":0.01}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 3 || len(resp.Results) != 3 || len(resp.Cache) != 3 {
+		t.Fatalf("count=%d results=%d cache=%d, want 3 each", resp.Count, len(resp.Results), len(resp.Cache))
+	}
+	if resp.Misses != 3 {
+		t.Fatalf("fresh batch reported %d misses, want 3", resp.Misses)
+	}
+	for i, q := range []float64{120, 480, 733.5} {
+		single := get(t, s, fmt.Sprintf("/v1/cpnn?q=%g&p=0.2&delta=0.01", q))
+		if single.Code != http.StatusOK {
+			t.Fatalf("single status %d", single.Code)
+		}
+		if !bytes.Equal(bytes.TrimSpace(single.Body.Bytes()), bytes.TrimSpace(resp.Results[i])) {
+			t.Fatalf("point %d: batch body differs from single endpoint\nbatch:  %s\nsingle: %s",
+				i, resp.Results[i], single.Body.Bytes())
+		}
+		if single.Header().Get("X-Cache") != "hit" {
+			t.Errorf("point %d: single query after batch was not a cache hit", i)
+		}
+	}
+}
+
+// TestBatchCacheAndDuplicates: duplicate points within one request evaluate
+// once; a repeated batch is served entirely from cache.
+func TestBatchCacheAndDuplicates(t *testing.T) {
+	s := testServer(t, Config{})
+	rec := postBatch(t, s, `{"queries":[100,100,250]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Results[0], resp.Results[1]) {
+		t.Error("duplicate points returned different bodies")
+	}
+	if got := s.cc.misses.Load(); got != 2 {
+		t.Errorf("3 points (2 distinct) caused %d evaluations, want 2", got)
+	}
+	rec = postBatch(t, s, `{"queries":[100,100,250]}`)
+	var again batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Hits != 3 || again.Misses != 0 {
+		t.Errorf("repeat batch: hits=%d misses=%d, want 3/0", again.Hits, again.Misses)
+	}
+	if again.WallMs < 0 {
+		t.Error("negative wall time")
+	}
+}
+
+// TestBatchValidation: every malformed batch is a 400 (or the dedicated
+// status), never a 500 — including non-finite coordinates, which JSON cannot
+// express directly but callers still try.
+func TestBatchValidation(t *testing.T) {
+	s := testServer(t, Config{})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", `{"queries":[1,`, http.StatusBadRequest},
+		{"nan literal", `{"queries":[NaN]}`, http.StatusBadRequest},
+		{"inf literal", `{"queries":[1e999]}`, http.StatusBadRequest},
+		{"null point", `{"queries":[null]}`, http.StatusBadRequest},
+		{"string point", `{"queries":["abc"]}`, http.StatusBadRequest},
+		{"empty", `{"queries":[]}`, http.StatusBadRequest},
+		{"missing", `{}`, http.StatusBadRequest},
+		{"bad strategy", `{"queries":[1],"strategy":"warp"}`, http.StatusBadRequest},
+		{"p too large", `{"queries":[1],"p":1.5}`, http.StatusBadRequest},
+		{"p zero", `{"queries":[1],"p":0}`, http.StatusBadRequest},
+		{"delta negative", `{"queries":[1],"delta":-0.1}`, http.StatusBadRequest},
+		{"unknown field", `{"queries":[1],"bogus":true}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec := postBatch(t, s, tc.body)
+		if rec.Code != tc.status {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, rec.Code, tc.status, rec.Body)
+		}
+		if rec.Code >= 500 {
+			t.Errorf("%s: server error for client input", tc.name)
+		}
+	}
+
+	// Too many points.
+	var sb strings.Builder
+	sb.WriteString(`{"queries":[`)
+	for i := 0; i <= MaxBatchQueries; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString("1")
+	}
+	sb.WriteString(`]}`)
+	if rec := postBatch(t, s, sb.String()); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", rec.Code)
+	}
+
+	// Wrong method.
+	if rec := get(t, s, "/v1/batch"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch: status %d, want 405", rec.Code)
+	}
+}
+
+// TestSingleEndpointsRejectNonFinite: the shared finite-coordinate guard
+// must turn NaN/Inf coordinates into 400s on every single-query endpoint.
+func TestSingleEndpointsRejectNonFinite(t *testing.T) {
+	s := testServer(t, Config{})
+	for _, url := range []string{
+		"/v1/cpnn?q=NaN",
+		"/v1/cpnn?q=%2BInf",
+		"/v1/cpnn?q=-Inf",
+		"/v1/cpnn?q=500&p=NaN",
+		"/v1/pnn?q=NaN",
+		"/v1/knn?q=Inf&k=2",
+	} {
+		rec := get(t, s, url)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", url, rec.Code, rec.Body)
+		}
+	}
+}
+
+// TestBatchUsesOneSnapshot: the version stamped on a batch envelope and all
+// its per-point results must agree, and a reload bumps it for the next
+// batch.
+func TestBatchUsesOneSnapshot(t *testing.T) {
+	s := testServer(t, Config{})
+	parse := func(rec *httptest.ResponseRecorder) batchResponse {
+		t.Helper()
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var resp batchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := parse(postBatch(t, s, `{"queries":[10,700]}`))
+	if resp.Version != 1 {
+		t.Fatalf("version %d, want 1", resp.Version)
+	}
+	for i, raw := range resp.Results {
+		var one cpnnResponse
+		if err := json.Unmarshal(raw, &one); err != nil {
+			t.Fatal(err)
+		}
+		if one.Version != resp.Version {
+			t.Errorf("point %d evaluated against version %d, envelope says %d", i, one.Version, resp.Version)
+		}
+	}
+	if _, err := s.Reload(testDataset(t, 21), "reload"); err != nil {
+		t.Fatal(err)
+	}
+	resp = parse(postBatch(t, s, `{"queries":[10,700]}`))
+	if resp.Version != 2 {
+		t.Errorf("post-reload version %d, want 2", resp.Version)
+	}
+	if resp.Misses != 2 {
+		t.Errorf("post-reload batch hits stale cache: %+v", resp)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -89,4 +90,37 @@ func BenchmarkServerCPNN(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkServerBatch measures POST /v1/batch end to end with all-distinct
+// (cold) points, at a fixed batch size per request.
+func BenchmarkServerBatch(b *testing.B) {
+	queries := uncertain.QueryWorkload(4096, 10000, 9)
+	s := benchServer(b, Config{CacheEntries: -1})
+	const size = 64
+	var next atomic.Int64
+	body := func() []byte {
+		var buf []byte
+		buf = append(buf, `{"queries":[`...)
+		for i := 0; i < size; i++ {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			q := queries[int(next.Add(1))%len(queries)]
+			buf = append(buf, fmt.Sprintf("%g", q)...)
+		}
+		buf = append(buf, `]}`...)
+		return buf
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body()))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }

@@ -11,6 +11,7 @@ type endpoint int
 
 const (
 	epCPNN endpoint = iota
+	epBatch
 	epPNN
 	epKNN
 	epDataset
@@ -23,6 +24,8 @@ func (e endpoint) String() string {
 	switch e {
 	case epCPNN:
 		return "cpnn"
+	case epBatch:
+		return "batch"
 	case epPNN:
 		return "pnn"
 	case epKNN:

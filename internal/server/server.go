@@ -210,6 +210,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) buildMux() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/cpnn", s.handleCPNN)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/pnn", s.handlePNN)
 	s.mux.HandleFunc("/v1/knn", s.handleKNN)
 	s.mux.HandleFunc("/v1/dataset", s.handleDataset)
@@ -273,14 +274,28 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// checkFinite is the one shared guard against NaN/Inf query coordinates: the
+// single-query parsers and the batch body validator both route through it,
+// so a non-finite coordinate is always a 400, never a 500 from deep inside
+// the engine.
+func checkFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return badRequest("parameter %q: %g is not a finite number", name, v)
+	}
+	return nil
+}
+
 func queryFloat(r *http.Request, name string) (float64, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return 0, badRequest("missing required parameter %q", name)
 	}
 	v, err := strconv.ParseFloat(raw, 64)
-	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+	if err != nil {
 		return 0, badRequest("parameter %q: %q is not a finite number", name, raw)
+	}
+	if err := checkFinite(name, v); err != nil {
+		return 0, err
 	}
 	return v, nil
 }
@@ -323,7 +338,11 @@ func constraintParam(r *http.Request) (verify.Constraint, error) {
 }
 
 func strategyParam(r *http.Request) (core.Strategy, error) {
-	switch raw := r.URL.Query().Get("strategy"); raw {
+	return parseStrategy(r.URL.Query().Get("strategy"))
+}
+
+func parseStrategy(raw string) (core.Strategy, error) {
+	switch raw {
 	case "", "vr":
 		return core.VR, nil
 	case "refine":
@@ -463,10 +482,23 @@ func (s *Server) handleCPNN(w http.ResponseWriter, r *http.Request) {
 	all := r.URL.Query().Get("all") == "1"
 
 	snap := s.snap.Load()
-	qq := s.snapPoint(q)
+	body, src, err := s.cpnnBody(r.Context(), snap, s.snapPoint(q), c, strat, all)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeCached(w, body, src)
+}
+
+// cpnnBody serves one (already quantized) C-PNN evaluation through the
+// result cache: hit, singleflight-collapse onto an identical in-flight
+// evaluation, or evaluate under the worker pool. Both the single-query
+// endpoint and every point of a batch request route through here, so they
+// share keys — a batch warms the cache for singles and vice versa.
+func (s *Server) cpnnBody(ctx context.Context, snap *Snapshot, qq float64, c verify.Constraint, strat core.Strategy, all bool) ([]byte, Source, error) {
 	key := fmt.Sprintf("cpnn|%d|%x|%x|%x|%d|%t",
 		snap.Version, math.Float64bits(qq), math.Float64bits(c.P), math.Float64bits(c.Delta), strat, all)
-	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
+	return s.cc.Do(ctx, key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
 			res, err := snap.Engine.CPNN(qq, c, core.Options{Strategy: strat})
 			if err != nil {
@@ -495,11 +527,6 @@ func (s *Server) handleCPNN(w http.ResponseWriter, r *http.Request) {
 			return json.Marshal(resp)
 		})
 	})
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	s.writeCached(w, body, src)
 }
 
 func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {

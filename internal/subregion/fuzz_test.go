@@ -1,0 +1,132 @@
+package subregion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/pdf"
+)
+
+// candsFromFuzz turns raw fuzz floats into a filtered candidate set by
+// treating consecutive pairs as uniform uncertainty regions around a query
+// at 0 and deriving their exact distance pdfs — the same path a real query
+// takes, so Build must accept the survivors of the near-point prune.
+func candsFromFuzz(vals []float64) []Candidate {
+	var cands []Candidate
+	fMin := math.Inf(1)
+	for i := 0; i+1 < len(vals); i += 2 {
+		lo, ln := vals[i], vals[i+1]
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.Abs(lo) > 1e9 {
+			return nil
+		}
+		if math.IsNaN(ln) || ln <= 1e-9 || ln > 1e9 {
+			return nil
+		}
+		u, err := pdf.NewUniform(lo, lo+ln)
+		if err != nil {
+			return nil
+		}
+		d, err := dist.FromPDF(u, 0)
+		if err != nil {
+			return nil
+		}
+		fMin = math.Min(fMin, d.Support().Hi)
+		cands = append(cands, Candidate{ID: len(cands), Dist: d})
+	}
+	kept := cands[:0]
+	for _, c := range cands {
+		if c.Dist.Support().Lo <= fMin {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// FuzzBuild: the subregion decomposition must never panic on any filtered
+// candidate set, every table it builds must satisfy the paper's structural
+// invariants, and a Rebuild into a dirty table must reproduce a fresh Build
+// exactly.
+func FuzzBuild(f *testing.F) {
+	f.Add(-1.0, 2.0, 0.5, 1.0, -3.0, 4.0)
+	f.Add(0.0, 1.0, 0.0, 1.0, 0.0, 1.0)
+	f.Add(-0.5, 1e-6, 0.5, 2.0, 1.0, 0.25)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g float64) {
+		cands := candsFromFuzz([]float64{a, b, c, d, e, g})
+		if len(cands) == 0 {
+			return
+		}
+		tb, err := Build(cands)
+		if err != nil {
+			return // rejecting a degenerate set is fine; panicking is not
+		}
+
+		m := tb.NumSubregions()
+		ends := tb.Endpoints()
+		if m < 1 || len(ends) != m+1 {
+			t.Fatalf("table has %d subregions but %d end-points", m, len(ends))
+		}
+		for j := 1; j < len(ends); j++ {
+			if !(ends[j] > ends[j-1]) {
+				t.Fatalf("end-points not strictly ascending at %d: %v", j, ends)
+			}
+		}
+		for i := 0; i < tb.NumCandidates(); i++ {
+			sum, prev := 0.0, -1.0
+			for j := 0; j <= m; j++ {
+				dv := tb.D(i, j)
+				if dv < prev-1e-12 || dv < -1e-12 || dv > 1+1e-12 {
+					t.Fatalf("candidate %d: cdf not monotone in [0,1] at end-point %d", i, j)
+				}
+				prev = dv
+				ev := tb.Excl(i, j)
+				if ev < -1e-12 || ev > 1+1e-12 {
+					t.Fatalf("candidate %d: exclusive product %g outside [0,1]", i, ev)
+				}
+				if math.Abs(ev*(1-dv)-tb.Y(j)) > 1e-9 {
+					t.Fatalf("candidate %d end-point %d: Excl*(1-D) != Y", i, j)
+				}
+			}
+			for j := 0; j < m; j++ {
+				s := tb.S(i, j)
+				if s < 0 {
+					t.Fatalf("candidate %d: negative subregion probability", i)
+				}
+				sum += s
+			}
+			if sum > 1+1e-9 {
+				t.Fatalf("candidate %d: subregion masses sum to %g > 1", i, sum)
+			}
+		}
+		for j := 0; j < m; j++ {
+			n := 0
+			for i := 0; i < tb.NumCandidates(); i++ {
+				if tb.S(i, j) > 0 {
+					n++
+				}
+			}
+			if n != tb.Count(j) {
+				t.Fatalf("subregion %d: Count=%d but %d candidates have mass", j, tb.Count(j), n)
+			}
+		}
+
+		// Rebuild into a dirty table must match the fresh build bit for bit.
+		dirty := new(Table)
+		if err := dirty.Rebuild(cands[:1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := dirty.Rebuild(cands); err != nil {
+			t.Fatalf("Rebuild failed where Build succeeded: %v", err)
+		}
+		if dirty.NumSubregions() != m || dirty.NumCandidates() != tb.NumCandidates() {
+			t.Fatal("Rebuild shape differs from fresh Build")
+		}
+		for i := 0; i < tb.NumCandidates(); i++ {
+			for j := 0; j <= m; j++ {
+				if dirty.D(i, j) != tb.D(i, j) || dirty.Excl(i, j) != tb.Excl(i, j) {
+					t.Fatalf("Rebuild D/Excl(%d,%d) differs from fresh Build", i, j)
+				}
+			}
+		}
+	})
+}

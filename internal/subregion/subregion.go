@@ -53,6 +53,11 @@ type Table struct {
 	excl []float64 // |C| × (M+1) Π_{k≠i}(1−D_k(e_j)), row-major
 	y    []float64 // M+1 full products Π_k (1−D_k(e_j))
 	c    []int     // M per-subregion counts of candidates with s_ij > 0
+
+	// Scratch reused across Rebuild calls; never escapes the table.
+	order    []int
+	pts      []float64
+	pre, suf []float64
 }
 
 // ErrNoCandidates is returned when a table is built from an empty candidate
@@ -64,26 +69,38 @@ var ErrNoCandidates = errors.New("subregion: empty candidate set")
 // probability is zero); Build returns an error for them so that callers
 // notice broken filtering instead of silently mis-ranking.
 func Build(cands []Candidate) (*Table, error) {
+	t := new(Table)
+	if err := t.Rebuild(cands); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Rebuild constructs the table in place for a new candidate set, reusing the
+// table's backing arrays — the batch query path recycles tables through a
+// sync.Pool so per-query matrix allocation (the dominant allocation of a
+// C-PNN evaluation) is paid once per worker, not once per query. Any data
+// previously read from the table is invalidated. The zero Table is ready for
+// Rebuild; the semantics are exactly Build's.
+func (t *Table) Rebuild(cands []Candidate) error {
 	if len(cands) == 0 {
-		return nil, ErrNoCandidates
+		return ErrNoCandidates
 	}
-	t := &Table{
-		ids:   make([]int, len(cands)),
-		dists: make([]*pdf.Histogram, len(cands)),
+	t.ids = grow(t.ids, len(cands))
+	t.dists = grow(t.dists, len(cands))
+	t.order = grow(t.order, len(cands))
+	for i := range t.order {
+		t.order[i] = i
 	}
-	order := make([]int, len(cands))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		return cands[order[a]].Dist.Support().Lo < cands[order[b]].Dist.Support().Lo
+	sort.Slice(t.order, func(a, b int) bool {
+		return cands[t.order[a]].Dist.Support().Lo < cands[t.order[b]].Dist.Support().Lo
 	})
 	t.fMin = math.Inf(1)
 	t.fMax = math.Inf(-1)
-	for rank, idx := range order {
+	for rank, idx := range t.order {
 		c := cands[idx]
 		if c.Dist == nil {
-			return nil, fmt.Errorf("subregion: candidate %d has nil distance pdf", c.ID)
+			return fmt.Errorf("subregion: candidate %d has nil distance pdf", c.ID)
 		}
 		t.ids[rank] = c.ID
 		t.dists[rank] = c.Dist
@@ -93,7 +110,7 @@ func Build(cands []Candidate) (*Table, error) {
 	}
 	for i, dh := range t.dists {
 		if dh.Support().Lo > t.fMin {
-			return nil, fmt.Errorf(
+			return fmt.Errorf(
 				"subregion: candidate %d has near point %g beyond f_min %g; filtering should have pruned it",
 				t.ids[i], dh.Support().Lo, t.fMin)
 		}
@@ -102,14 +119,14 @@ func Build(cands []Candidate) (*Table, error) {
 	t.buildEndpoints()
 	t.m = len(t.ends) - 1
 	t.fillMatrices()
-	return t, nil
+	return nil
 }
 
 // buildEndpoints assembles the sorted, deduplicated end-point list: near
 // points, distance-pdf breakpoints strictly below f_min, then f_min and
 // f_max (paper: "no end points are defined between (e5, e6)").
 func (t *Table) buildEndpoints() {
-	var pts []float64
+	pts := t.pts[:0]
 	for _, dh := range t.dists {
 		pts = append(pts, dh.Support().Lo)
 		for _, e := range dh.Edges() {
@@ -131,6 +148,7 @@ func (t *Table) buildEndpoints() {
 		pts = append(pts, math.Nextafter(t.fMin, math.Inf(1)))
 	}
 	sort.Float64s(pts)
+	t.pts = pts // keep the grown capacity for the next Rebuild
 	t.ends = dedupe(pts)
 }
 
@@ -140,11 +158,12 @@ func (t *Table) buildEndpoints() {
 func (t *Table) fillMatrices() {
 	nC := len(t.dists)
 	nE := len(t.ends)
-	t.d = make([]float64, nC*nE)
-	t.s = make([]float64, nC*t.m)
-	t.excl = make([]float64, nC*nE)
-	t.y = make([]float64, nE)
-	t.c = make([]int, t.m)
+	t.d = grow(t.d, nC*nE)
+	t.s = grow(t.s, nC*t.m)
+	t.excl = grow(t.excl, nC*nE)
+	t.y = grow(t.y, nE)
+	t.c = grow(t.c, t.m)
+	clear(t.c) // c accumulates via ++; every other matrix is fully overwritten
 
 	for i, dh := range t.dists {
 		row := t.d[i*nE : (i+1)*nE]
@@ -163,21 +182,33 @@ func (t *Table) fillMatrices() {
 	}
 
 	// Exclusive products per end-point via prefix/suffix scans, which avoids
-	// dividing by potentially zero (1 − D_k) factors.
-	pre := make([]float64, nC+1)
-	suf := make([]float64, nC+1)
-	for j := 0; j < nE; j++ {
-		pre[0] = 1
-		for i := 0; i < nC; i++ {
-			pre[i+1] = pre[i] * (1 - t.d[i*nE+j])
+	// dividing by potentially zero (1 − D_k) factors. The scans run candidate-
+	// major so every access walks the row-major matrices with stride one: the
+	// forward pass leaves Π_{k<i}(1−D_k(e_j)) in excl, the backward pass folds
+	// in the suffix. The arithmetic (and so the result, bit for bit) is the
+	// same as scanning per end-point; only the traversal order differs.
+	t.pre = grow(t.pre, nE)
+	t.suf = grow(t.suf, nE)
+	pre, suf := t.pre, t.suf
+	for j := range pre {
+		pre[j] = 1
+		suf[j] = 1
+	}
+	for i := 0; i < nC; i++ {
+		drow := t.d[i*nE : (i+1)*nE]
+		erow := t.excl[i*nE : (i+1)*nE]
+		for j, dv := range drow {
+			erow[j] = pre[j]
+			pre[j] *= 1 - dv
 		}
-		suf[nC] = 1
-		for i := nC - 1; i >= 0; i-- {
-			suf[i] = suf[i+1] * (1 - t.d[i*nE+j])
-		}
-		t.y[j] = pre[nC]
-		for i := 0; i < nC; i++ {
-			t.excl[i*nE+j] = pre[i] * suf[i+1]
+	}
+	copy(t.y, pre)
+	for i := nC - 1; i >= 0; i-- {
+		drow := t.d[i*nE : (i+1)*nE]
+		erow := t.excl[i*nE : (i+1)*nE]
+		for j, dv := range drow {
+			erow[j] *= suf[j]
+			suf[j] *= 1 - dv
 		}
 	}
 }
@@ -274,4 +305,14 @@ func dedupe(sorted []float64) []float64 {
 		}
 	}
 	return out
+}
+
+// grow returns a slice of length n, reusing s's backing array when its
+// capacity suffices. Contents are unspecified; callers overwrite every
+// element (or clear explicitly).
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }

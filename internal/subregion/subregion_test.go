@@ -312,3 +312,89 @@ func TestEndpointsIncludePDFBreaks(t *testing.T) {
 		}
 	}
 }
+
+// TestRebuildReuseMatchesFresh: a table dirtied by a previous build and then
+// Rebuilt over a new candidate set must be indistinguishable from a freshly
+// built table — the batch path recycles tables through a pool and relies on
+// this.
+func TestRebuildReuseMatchesFresh(t *testing.T) {
+	gen := func(seed int64, n int) []Candidate {
+		rng := rand.New(rand.NewSource(seed))
+		q := 50.0
+		var cands []Candidate
+		fMin := math.Inf(1)
+		for i := 0; i < n; i++ {
+			lo := q - 15 + rng.Float64()*30
+			d, err := dist.FromPDF(pdf.MustUniform(lo, lo+1+rng.Float64()*10), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fMin = math.Min(fMin, d.Support().Hi)
+			cands = append(cands, Candidate{ID: i, Dist: d})
+		}
+		kept := cands[:0]
+		for _, c := range cands {
+			if c.Dist.Support().Lo <= fMin {
+				kept = append(kept, c)
+			}
+		}
+		return kept
+	}
+
+	// Dirty a reused table with a larger set, then Rebuild over each target
+	// set and compare against a fresh Build, field by field.
+	reused := new(Table)
+	if err := reused.Rebuild(gen(99, 24)); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		cands := gen(seed, 3+int(seed)*2)
+		fresh, err := Build(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reused.Rebuild(cands); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := reused.NumCandidates(), fresh.NumCandidates(); got != want {
+			t.Fatalf("seed %d: %d candidates, want %d", seed, got, want)
+		}
+		if got, want := reused.NumSubregions(), fresh.NumSubregions(); got != want {
+			t.Fatalf("seed %d: %d subregions, want %d", seed, got, want)
+		}
+		if reused.FMin() != fresh.FMin() || reused.FMax() != fresh.FMax() {
+			t.Fatalf("seed %d: fmin/fmax differ", seed)
+		}
+		for j, e := range fresh.Endpoints() {
+			if reused.Endpoints()[j] != e {
+				t.Fatalf("seed %d: endpoint %d differs", seed, j)
+			}
+		}
+		nE := len(fresh.Endpoints())
+		for i := 0; i < fresh.NumCandidates(); i++ {
+			if reused.IDs()[i] != fresh.IDs()[i] {
+				t.Fatalf("seed %d: candidate order differs at %d", seed, i)
+			}
+			for j := 0; j < nE; j++ {
+				if reused.D(i, j) != fresh.D(i, j) || reused.Excl(i, j) != fresh.Excl(i, j) {
+					t.Fatalf("seed %d: D/Excl(%d,%d) differ", seed, i, j)
+				}
+			}
+			for j := 0; j < fresh.NumSubregions(); j++ {
+				if reused.S(i, j) != fresh.S(i, j) {
+					t.Fatalf("seed %d: S(%d,%d) differs", seed, i, j)
+				}
+			}
+		}
+		for j := 0; j < nE; j++ {
+			if reused.Y(j) != fresh.Y(j) {
+				t.Fatalf("seed %d: Y(%d) differs", seed, j)
+			}
+		}
+		for j := 0; j < fresh.NumSubregions(); j++ {
+			if reused.Count(j) != fresh.Count(j) {
+				t.Fatalf("seed %d: Count(%d) differs", seed, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package uncertain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDataset: the dataset line-format parser must never panic, and
+// every input it accepts must satisfy the pdf invariants and survive a
+// write/read round trip.
+func FuzzReadDataset(f *testing.F) {
+	f.Add("1 2\n3.5 7\n")
+	f.Add("hist 0 1 2 | 0.3 0.7\n")
+	f.Add("# comment\n\n10 20\n")
+	f.Add("hist 0 1 2 3 | 1 2 1\n-5 -1\n")
+	f.Add("hist 1 2 | 1")
+	f.Add("nan inf\n")
+	f.Add("1e308 1e309\n")
+	f.Add("hist | \n")
+	f.Add("hist 2 1 | 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejecting malformed input is the correct outcome
+		}
+		// Accepted datasets must be fully valid...
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("Read accepted a dataset that fails Validate: %v\ninput: %q", err, input)
+		}
+		// ...and round-trip through the writer.
+		var buf bytes.Buffer
+		if _, err := ds.WriteTo(&buf); err != nil {
+			t.Fatalf("serializing accepted dataset: %v\ninput: %q", err, input)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-reading serialized dataset: %v\ninput: %q", err, input)
+		}
+		if back.Len() != ds.Len() {
+			t.Fatalf("round trip changed object count %d -> %d\ninput: %q", ds.Len(), back.Len(), input)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped dataset fails Validate: %v\ninput: %q", err, input)
+		}
+		for i := 0; i < ds.Len(); i++ {
+			a, b := ds.Object(i).Region(), back.Object(i).Region()
+			if a != b {
+				t.Fatalf("object %d region changed %v -> %v across round trip", i, a, b)
+			}
+		}
+	})
+}
+
+// FuzzReadQueries: the query-workload parser must never panic and must only
+// ever yield finite points.
+func FuzzReadQueries(f *testing.F) {
+	f.Add("1\n2.5\n-3e2\n")
+	f.Add("# header\n\n42\n")
+	f.Add("NaN\n")
+	f.Add("+Inf\n")
+	f.Add("1e999\n")
+	f.Add("abc\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		qs, err := ReadQueries(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, q := range qs {
+			if q != q || q > 1e308*1.5 || q < -1e308*1.5 { // NaN or ±Inf
+				t.Fatalf("ReadQueries accepted non-finite point %g at %d\ninput: %q", q, i, input)
+			}
+		}
+		// Round trip.
+		var buf bytes.Buffer
+		if err := WriteQueries(&buf, qs); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadQueries(&buf)
+		if err != nil {
+			t.Fatalf("re-reading serialized queries: %v", err)
+		}
+		if len(back) != len(qs) {
+			t.Fatalf("round trip changed query count %d -> %d", len(qs), len(back))
+		}
+		for i := range qs {
+			if back[i] != qs[i] {
+				t.Fatalf("query %d changed %g -> %g across round trip", i, qs[i], back[i])
+			}
+		}
+	})
+}

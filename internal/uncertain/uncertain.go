@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -403,6 +404,47 @@ func Read(r io.Reader) (*Dataset, error) {
 		return nil, err
 	}
 	return NewDataset(pdfs), nil
+}
+
+// WriteQueries serializes a query workload in the engine's text format: one
+// query point per line.
+func WriteQueries(w io.Writer, qs []float64) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range qs {
+		if _, err := fmt.Fprintf(bw, "%g\n", q); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadQueries parses a query workload: one finite float per line, with blank
+// lines and '#' comments skipped — the format consumed by cpnn-query -batch
+// and cpnn-bench -replay.
+func ReadQueries(r io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var qs []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: query line %d: parsing %q: %w", line, text, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("uncertain: query line %d: non-finite query point %q", line, text)
+		}
+		qs = append(qs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return qs, nil
 }
 
 func parseFloats(fields []string) ([]float64, error) {

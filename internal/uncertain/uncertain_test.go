@@ -256,3 +256,38 @@ func TestWriteToUnsupportedPDF(t *testing.T) {
 		t.Error("serializing analytic Gaussian should fail (discretize first)")
 	}
 }
+
+func TestQueryWorkloadRoundTrip(t *testing.T) {
+	qs := QueryWorkload(100, 10000, 3)
+	var buf bytes.Buffer
+	if err := WriteQueries(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadQueries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(qs) {
+		t.Fatalf("round trip changed count %d -> %d", len(qs), len(back))
+	}
+	for i := range qs {
+		if back[i] != qs[i] {
+			t.Fatalf("query %d changed %v -> %v", i, qs[i], back[i])
+		}
+	}
+}
+
+func TestReadQueriesRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{"NaN\n", "+Inf\n", "-Inf\n", "1e999\n", "12 34\n", "abc\n"} {
+		if _, err := ReadQueries(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadQueries accepted %q", bad)
+		}
+	}
+	qs, err := ReadQueries(strings.NewReader("# comment\n\n1.5\n  2.5  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0] != 1.5 || qs[1] != 2.5 {
+		t.Fatalf("got %v, want [1.5 2.5]", qs)
+	}
+}

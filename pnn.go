@@ -35,6 +35,8 @@
 package pnn
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/pdf"
@@ -70,6 +72,21 @@ type (
 	KNNOptions = core.KNNOptions
 	// KNNAnswer is one object of a constrained k-NN result.
 	KNNAnswer = core.KNNAnswer
+)
+
+// Batch evaluation, re-exported from the engine: Engine.CPNNBatch and
+// Engine2D.CPNNBatch evaluate many query points over a bounded worker pool,
+// sharing the filter index and discretization memo and recycling per-query
+// scratch, with answers identical to calling CPNN per point.
+type (
+	// BatchOptions tunes 1-D batch evaluation (embedded Options + Workers).
+	BatchOptions = core.BatchOptions
+	// BatchOptions2D tunes planar batch evaluation.
+	BatchOptions2D = core.BatchOptions2D
+	// BatchResult is one Result per query point plus batch statistics.
+	BatchResult = core.BatchResult
+	// BatchStats aggregates the costs of one batch evaluation.
+	BatchStats = core.BatchStats
 )
 
 // Evaluation strategies (paper §V).
@@ -172,6 +189,14 @@ func LongBeachOptions(seed int64) GenOptions { return uncertain.LongBeachOptions
 func QueryWorkload(n int, domain float64, seed int64) []float64 {
 	return uncertain.QueryWorkload(n, domain, seed)
 }
+
+// ReadQueries parses a query-workload file (one finite point per line, '#'
+// comments allowed) — the format of cpnn-query -batch and cpnn-bench
+// -replay.
+func ReadQueries(r io.Reader) ([]float64, error) { return uncertain.ReadQueries(r) }
+
+// WriteQueries serializes a query workload, one point per line.
+func WriteQueries(w io.Writer, qs []float64) error { return uncertain.WriteQueries(w, qs) }
 
 // Serving layer, re-exported from internal/server: a concurrent HTTP/JSON
 // query service with a sharded result cache, singleflight collapsing of
