@@ -1,0 +1,9 @@
+package main
+
+import "net"
+
+// listen binds the TCP listener separately from Serve so run can report the
+// actual bound address (tests use :0).
+func listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

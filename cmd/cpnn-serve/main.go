@@ -1,45 +1,79 @@
 // Command cpnn-serve runs the C-PNN query service: a long-lived engine
 // behind an HTTP/JSON API with a sharded result cache, singleflight
-// collapsing, a bounded evaluation pool and atomic dataset reloads.
+// collapsing, a bounded evaluation pool, atomic dataset reloads — and, with
+// -data-dir, a durable store: object-level updates through a write-ahead
+// log, checkpoints, and crash recovery on boot.
 //
 // Examples:
 //
 //	cpnn-serve -gen -addr :8080                 # serve the Long-Beach-like dataset
 //	cpnn-serve -data intervals.txt -quantum 1   # serve a file, snap queries to 1 unit
+//	cpnn-serve -gen -data-dir /var/lib/cpnn     # durable: updates survive restarts
 //
 //	curl 'localhost:8080/v1/cpnn?q=5000&p=0.3&delta=0.01'
 //	curl 'localhost:8080/v1/pnn?q=5000'
 //	curl 'localhost:8080/v1/knn?q=5000&k=3&p=0.3'
 //	curl -X POST --data-binary @new.txt 'localhost:8080/v1/dataset?source=new.txt'
+//	curl -X POST -d '{"objects":[{"uniform":{"lo":10,"hi":20}}]}' localhost:8080/v1/objects
+//	curl -X DELETE 'localhost:8080/v1/objects?id=7'
 //	curl 'localhost:8080/metrics'
+//
+// On SIGINT/SIGTERM the server drains gracefully: /healthz flips to
+// not-ready, in-flight requests finish (up to -drain-timeout), then the WAL
+// is checkpointed, flushed and closed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/uncertain"
 )
 
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		dataPath     = flag.String("data", "", "dataset file (cpnn-datagen format)")
-		gen          = flag.Bool("gen", false, "generate the Long-Beach-like dataset instead of loading one")
-		seed         = flag.Int64("seed", 1, "generator seed for -gen")
-		quantum      = flag.Float64("quantum", 0, "cache query-point quantization granularity (0 = exact keys)")
-		cacheSize    = flag.Int("cache", server.DefaultCacheEntries, "result-cache capacity in entries (negative disables)")
-		cacheShards  = flag.Int("cache-shards", server.DefaultCacheShards, "result-cache shard count")
-		maxInFlight  = flag.Int("max-inflight", 0, "max concurrent evaluations (0 = 2×GOMAXPROCS)")
-		queueTimeout = flag.Duration("queue-timeout", 0, "max wait for a worker slot before shedding a 503 (0 = 10s, negative = wait forever)")
-	)
-	flag.Parse()
+	if err := run(context.Background(), os.Args[1:], nil); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h already printed usage; that is not a failure
+		}
+		fmt.Fprintln(os.Stderr, "cpnn-serve:", err)
+		os.Exit(1)
+	}
+}
 
-	srv, source, err := buildServer(*dataPath, *gen, *seed, server.Config{
+// run is the whole program behind main, factored out so tests can drive the
+// graceful-shutdown path with a cancelable context. ready, when non-nil,
+// receives the bound address once the listener is up.
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("cpnn-serve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		dataPath     = fs.String("data", "", "dataset file (cpnn-datagen format)")
+		gen          = fs.Bool("gen", false, "generate the Long-Beach-like dataset instead of loading one")
+		seed         = fs.Int64("seed", 1, "generator seed for -gen")
+		dataDir      = fs.String("data-dir", "", "durable store directory (enables /v1/objects, WAL, crash recovery)")
+		noSync       = fs.Bool("no-fsync", false, "skip the per-commit fsync (faster, loses recent batches on crash)")
+		quantum      = fs.Float64("quantum", 0, "cache query-point quantization granularity (0 = exact keys)")
+		cacheSize    = fs.Int("cache", server.DefaultCacheEntries, "result-cache capacity in entries (negative disables)")
+		cacheShards  = fs.Int("cache-shards", server.DefaultCacheShards, "result-cache shard count")
+		maxInFlight  = fs.Int("max-inflight", 0, "max concurrent evaluations (0 = 2×GOMAXPROCS)")
+		queueTimeout = fs.Duration("queue-timeout", 0, "max wait for a worker slot before shedding a 503 (0 = 10s, negative = wait forever)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, source, err := buildServer(*dataPath, *gen, *seed, *dataDir, *noSync, server.Config{
 		Quantum:      *quantum,
 		CacheEntries: *cacheSize,
 		CacheShards:  *cacheShards,
@@ -47,25 +81,89 @@ func main() {
 		QueueTimeout: *queueTimeout,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cpnn-serve:", err)
-		os.Exit(1)
+		return err
 	}
-	log.Printf("cpnn-serve: serving %d objects (%s) on %s", srv.Snapshot().Objects, source, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	log.Printf("cpnn-serve: serving %d objects (%s, version %d) on %s",
+		srv.Snapshot().Objects, source, srv.Snapshot().Version, *addr)
+
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	ln, err := listen(*addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: not-ready first, then stop accepting and wait for
+	// in-flight requests, then flush the store to disk.
+	log.Printf("cpnn-serve: draining (max %v)", *drainTimeout)
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("cpnn-serve: shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil && !errors.Is(err, store.ErrClosed) {
+		return fmt.Errorf("closing store: %w", err)
+	}
+	log.Printf("cpnn-serve: stopped cleanly")
+	return nil
 }
 
-// buildServer validates flags, loads the dataset and assembles the server.
-// All user input is checked before any engine is built.
-func buildServer(dataPath string, gen bool, seed int64, cfg server.Config) (*server.Server, string, error) {
-	ds, source, err := loadDataset(dataPath, gen, seed)
-	if err != nil {
+// buildServer validates flags, loads or recovers the dataset and assembles
+// the server. All user input is checked before any engine is built.
+func buildServer(dataPath string, gen bool, seed int64, dataDir string, noSync bool, cfg server.Config) (*server.Server, string, error) {
+	var st *store.Store
+	if dataDir != "" {
+		var err error
+		st, err = store.Open(dataDir, store.Options{NoSync: noSync})
+		if err != nil {
+			return nil, "", err
+		}
+		cfg.Store = st
+	}
+	fail := func(err error) (*server.Server, string, error) {
+		if st != nil {
+			st.Close()
+		}
 		return nil, "", err
 	}
-	cfg.Dataset = ds
+
+	source := ""
+	if st != nil && (st.View().Dataset.Len() > 0 || len(st.View().Disks) > 0) {
+		// The durable contents win (disks-only stores count: seeding would
+		// truncate them); -gen/-data would have been only the seed.
+		if gen || dataPath != "" {
+			log.Printf("cpnn-serve: store %s already holds %d objects and %d disks; ignoring -gen/-data",
+				dataDir, st.View().Dataset.Len(), len(st.View().Disks))
+		}
+		source = fmt.Sprintf("store:%s", dataDir)
+	} else {
+		ds, src, err := loadDataset(dataPath, gen, seed)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Dataset = ds
+		source = src
+	}
 	cfg.Source = source
 	srv, err := server.New(cfg)
 	if err != nil {
-		return nil, "", err
+		return fail(err)
 	}
 	return srv, source, nil
 }
@@ -92,6 +190,6 @@ func loadDataset(path string, gen bool, seed int64) (*uncertain.Dataset, string,
 		}
 		return ds, path, nil
 	default:
-		return nil, "", fmt.Errorf("provide -data FILE or -gen")
+		return nil, "", fmt.Errorf("provide -data FILE, -gen, or a populated -data-dir")
 	}
 }

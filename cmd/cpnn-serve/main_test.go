@@ -1,13 +1,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func writeDataset(t *testing.T, lines string) string {
@@ -21,7 +26,7 @@ func writeDataset(t *testing.T, lines string) string {
 
 func TestBuildServerFromFile(t *testing.T) {
 	path := writeDataset(t, "1 2\n5 9\nhist 10 11 12 | 1 3\n")
-	srv, source, err := buildServer(path, false, 1, server.Config{})
+	srv, source, err := buildServer(path, false, 1, "", false, server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,21 +44,136 @@ func TestBuildServerFromFile(t *testing.T) {
 }
 
 func TestBuildServerRejectsBadInput(t *testing.T) {
-	if _, _, err := buildServer("", false, 1, server.Config{}); err == nil {
+	if _, _, err := buildServer("", false, 1, "", false, server.Config{}); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, _, err := buildServer("/nonexistent/ds", false, 1, server.Config{}); err == nil {
+	if _, _, err := buildServer("/nonexistent/ds", false, 1, "", false, server.Config{}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, _, err := buildServer("x", true, 1, server.Config{}); err == nil {
+	if _, _, err := buildServer("x", true, 1, "", false, server.Config{}); err == nil {
 		t.Error("-gen with -data accepted")
 	}
 	bad := writeDataset(t, "9 2\n")
-	if _, _, err := buildServer(bad, false, 1, server.Config{}); err == nil {
+	if _, _, err := buildServer(bad, false, 1, "", false, server.Config{}); err == nil {
 		t.Error("inverted interval accepted")
 	}
 	good := writeDataset(t, "1 2\n")
-	if _, _, err := buildServer(good, false, 1, server.Config{Quantum: -2}); err == nil {
+	if _, _, err := buildServer(good, false, 1, "", false, server.Config{Quantum: -2}); err == nil {
 		t.Error("negative quantum accepted")
+	}
+}
+
+// TestBuildServerSeedsAndRecoversDataDir checks the durable boot matrix:
+// empty dir + -data seeds the store; a populated dir wins over -data.
+func TestBuildServerSeedsAndRecoversDataDir(t *testing.T) {
+	path := writeDataset(t, "1 2\n5 9\n")
+	dir := t.TempDir()
+
+	srv, _, err := buildServer(path, false, 1, dir, true, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Snapshot().Objects != 2 || srv.Snapshot().Version != 1 {
+		t.Fatalf("seeded snapshot: %+v", srv.Snapshot())
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a DIFFERENT -data file: the store contents must win.
+	other := writeDataset(t, "100 101\n200 201\n300 301\n")
+	srv, source, err := buildServer(other, false, 1, dir, true, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Snapshot().Objects != 2 {
+		t.Fatalf("store contents overridden: %d objects", srv.Snapshot().Objects)
+	}
+	if !strings.HasPrefix(source, "store:") {
+		t.Fatalf("source = %q", source)
+	}
+}
+
+// TestGracefulShutdown boots the real server loop, mutates through the HTTP
+// API, cancels the context (the SIGTERM path), and expects: a clean exit, a
+// checkpointed store, and full recovery on the next boot.
+func TestGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	dsPath := writeDataset(t, "1 2\n5 9\n")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-data", dsPath, "-data-dir", dir, "-no-fsync"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	}
+
+	// Mutate durably over HTTP.
+	resp, err := http.Post("http://"+addr+"/v1/objects", "application/json",
+		strings.NewReader(`{"objects":[{"uniform":{"lo":50,"hi":60}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("objects: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	hz, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Objects int    `json:"objects"`
+	}
+	json.NewDecoder(hz.Body).Decode(&health)
+	hz.Body.Close()
+	if health.Status != "ok" || health.Objects != 3 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	// SIGTERM equivalent: cancel the run context.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+
+	// The drain checkpointed: reopening finds the mutation with no WAL left.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	if stats.Objects1D != 3 {
+		t.Fatalf("recovered %d objects, want 3", stats.Objects1D)
+	}
+	if stats.WALBytes != 0 {
+		t.Fatalf("WAL holds %d bytes after graceful shutdown", stats.WALBytes)
+	}
+	if stats.Version != 2 {
+		t.Fatalf("recovered version %d, want 2", stats.Version)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-gen", "-data", "x"}, nil); err == nil {
+		t.Fatal("conflicting flags accepted")
+	}
+	if err := run(context.Background(), []string{"-not-a-flag"}, nil); err == nil {
+		t.Fatal("unknown flag accepted")
 	}
 }

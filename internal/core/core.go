@@ -112,6 +112,20 @@ func NewEngine(ds *uncertain.Dataset) (*Engine, error) {
 	return &Engine{ds: ds, ix: ix, dv: newDeriver()}, nil
 }
 
+// NewEngineWithIndex wraps an already-built filter index — the store's
+// incrementally-maintained MVCC views hand their index straight to the
+// engine instead of paying a bulk reload per committed batch. The index must
+// be bound to ds.
+func NewEngineWithIndex(ds *uncertain.Dataset, ix *filter.Index) (*Engine, error) {
+	if ix == nil {
+		return NewEngine(ds)
+	}
+	if ix.Dataset() != ds {
+		return nil, fmt.Errorf("core: index is bound to a different dataset")
+	}
+	return &Engine{ds: ds, ix: ix, dv: newDeriver()}, nil
+}
+
 // Dataset returns the engine's dataset.
 func (e *Engine) Dataset() *uncertain.Dataset { return e.ds }
 

@@ -114,6 +114,17 @@ func (pf *File) WritePage(id PageID, buf []byte) error {
 	return nil
 }
 
+// Sync forces all written pages to stable storage. Durable checkpoints call
+// it before publishing (renaming) the file.
+func (pf *File) Sync() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if err := pf.f.Sync(); err != nil {
+		return fmt.Errorf("pager: %w", err)
+	}
+	return nil
+}
+
 // Close flushes and closes the underlying file.
 func (pf *File) Close() error { return pf.f.Close() }
 

@@ -1,0 +1,103 @@
+package pager
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The torn-write suite injects the partial page writes and short reads a
+// crash can leave behind and asserts the pager detects every one instead of
+// serving bytes it cannot vouch for.
+
+func tornFile(t *testing.T, pages int) (string, *File) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.db")
+	pf, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for p := 0; p < pages; p++ {
+		id, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			buf[i] = byte(p)
+		}
+		if err := pf.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return path, pf
+}
+
+func TestOpenRejectsTornFinalPage(t *testing.T) {
+	path, pf := tornFile(t, 3)
+	pf.Close()
+
+	// A torn write leaves a page-misaligned file: Open must refuse it.
+	for _, cut := range []int64{1, PageSize / 2, PageSize - 1} {
+		if err := os.Truncate(path, 2*PageSize+cut); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path); err == nil {
+			t.Fatalf("cut at 2*PageSize+%d accepted", cut)
+		}
+	}
+	// An aligned truncation is a valid (shorter) file — the page simply no
+	// longer exists, and reads past the end must error.
+	if err := os.Truncate(path, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("aligned truncation rejected: %v", err)
+	}
+	defer re.Close()
+	if got := re.NumPages(); got != 2 {
+		t.Fatalf("NumPages = %d, want 2", got)
+	}
+	buf := make([]byte, PageSize)
+	if err := re.ReadPage(2, buf); err == nil {
+		t.Fatal("short read beyond truncated end succeeded")
+	}
+	if err := re.ReadPage(1, buf); err != nil {
+		t.Fatalf("surviving page unreadable: %v", err)
+	}
+	if buf[0] != 1 || buf[PageSize-1] != 1 {
+		t.Fatalf("surviving page corrupted: %d ... %d", buf[0], buf[PageSize-1])
+	}
+}
+
+func TestReopenedFileRoundTripsAfterSync(t *testing.T) {
+	path, pf := tornFile(t, 4)
+	pf.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	buf := make([]byte, PageSize)
+	for p := 0; p < 4; p++ {
+		if err := re.ReadPage(PageID(p), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(p) {
+			t.Fatalf("page %d holds %d", p, buf[0])
+		}
+	}
+}
+
+func TestSyncOnClosedFileErrors(t *testing.T) {
+	path, pf := tornFile(t, 1)
+	pf.Close()
+	if err := pf.Sync(); err == nil {
+		t.Fatal("Sync on closed file succeeded")
+	}
+	_ = path
+}

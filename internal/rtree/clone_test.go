@@ -1,0 +1,111 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// collectItems returns the sorted item set of a tree.
+func collectItems(t *Tree[int]) []int {
+	var out []int
+	t.All(func(_ geom.Rect, id int) bool {
+		out = append(out, id)
+		return true
+	})
+	sort.Ints(out)
+	return out
+}
+
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := NewDefault[int]()
+	rects := make([]geom.Rect, 500)
+	for i := range rects {
+		rects[i] = randomRect(rng, 100)
+		if err := orig.Insert(rects[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clone := orig.Clone()
+	if clone.Len() != orig.Len() {
+		t.Fatalf("clone size %d, want %d", clone.Len(), orig.Len())
+	}
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the clone heavily: the original must not move.
+	before := collectItems(orig)
+	for i := 0; i < 250; i++ {
+		if !clone.Delete(rects[i], func(id int) bool { return id == i }) {
+			t.Fatalf("clone delete %d failed", i)
+		}
+	}
+	for i := 500; i < 600; i++ {
+		if err := clone.Insert(randomRect(rng, 100), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatalf("clone after churn: %v", err)
+	}
+	after := collectItems(orig)
+	if len(before) != len(after) {
+		t.Fatalf("original changed size: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("original item set changed at %d", i)
+		}
+	}
+	if err := orig.CheckInvariants(); err != nil {
+		t.Fatalf("original after clone churn: %v", err)
+	}
+
+	// And the other direction: mutating the original leaves the clone alone.
+	cloneBefore := collectItems(clone)
+	for i := 300; i < 400; i++ {
+		orig.Delete(rects[i], func(id int) bool { return id == i })
+	}
+	cloneAfter := collectItems(clone)
+	if len(cloneBefore) != len(cloneAfter) {
+		t.Fatal("clone changed when original mutated")
+	}
+}
+
+func TestCloneEmptyAndBulkLoaded(t *testing.T) {
+	empty := NewDefault[string]()
+	c := empty.Clone()
+	if c.Len() != 0 {
+		t.Fatalf("empty clone has %d items", c.Len())
+	}
+	if err := c.Insert(pointRect(1, 1), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatal("insert into clone leaked into original")
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	inputs := make([]Input[int], 300)
+	for i := range inputs {
+		inputs[i] = Input[int]{Rect: randomRect(rng, 50), Item: i}
+	}
+	bulk, err := BulkLoad(inputs, DefaultMinEntries, DefaultMaxEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := bulk.Clone()
+	if err := bc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := collectItems(bulk), collectItems(bc)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("bulk clone item set differs")
+		}
+	}
+}

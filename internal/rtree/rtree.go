@@ -74,6 +74,30 @@ func NewDefault[T any]() *Tree[T] {
 // Len returns the number of stored items.
 func (t *Tree[T]) Len() int { return t.size }
 
+// Clone returns a structurally independent deep copy of the tree: mutating
+// either tree never affects the other. It is the copy-on-write primitive of
+// the store's MVCC index maintenance — a committed batch clones the current
+// index and applies its inserts/deletes to the copy while readers keep
+// traversing the original.
+func (t *Tree[T]) Clone() *Tree[T] {
+	return &Tree[T]{
+		root:       cloneNode(t.root),
+		size:       t.size,
+		maxEntries: t.maxEntries,
+		minEntries: t.minEntries,
+	}
+}
+
+func cloneNode[T any](n *node[T]) *node[T] {
+	c := &node[T]{leaf: n.leaf, entries: append([]entry[T](nil), n.entries...)}
+	if !n.leaf {
+		for i := range c.entries {
+			c.entries[i].child = cloneNode(c.entries[i].child)
+		}
+	}
+	return c
+}
+
 // Height returns the number of levels in the tree; an empty tree has height 1.
 func (t *Tree[T]) Height() int {
 	h := 1

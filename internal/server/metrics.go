@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/store"
 )
 
 // endpoint indexes the per-endpoint request counters.
@@ -15,6 +17,7 @@ const (
 	epPNN
 	epKNN
 	epDataset
+	epObjects
 	epHealthz
 	epMetrics
 	numEndpoints
@@ -32,6 +35,8 @@ func (e endpoint) String() string {
 		return "knn"
 	case epDataset:
 		return "dataset"
+	case epObjects:
+		return "objects"
 	case epHealthz:
 		return "healthz"
 	case epMetrics:
@@ -57,8 +62,9 @@ type metrics struct {
 	reloads atomic.Int64 // successful dataset snapshot swaps
 }
 
-// write renders every counter plus the cache and snapshot gauges.
-func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot) {
+// write renders every counter plus the cache, snapshot and (when a store is
+// attached) durability gauges.
+func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats) {
 	const p = "cpnn_server_"
 	fmt.Fprintf(w, "# HELP %srequests_total Requests served, by endpoint.\n", p)
 	fmt.Fprintf(w, "# TYPE %srequests_total counter\n", p)
@@ -95,4 +101,23 @@ func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot) {
 	fmt.Fprintf(w, "%ssnapshot_objects %d\n", p, snap.Objects)
 	fmt.Fprintf(w, "# TYPE %ssnapshot_reloads_total counter\n", p)
 	fmt.Fprintf(w, "%ssnapshot_reloads_total %d\n", p, m.reloads.Load())
+
+	if st == nil {
+		return
+	}
+	// Durable-store counters (present only with -data-dir / Config.Store).
+	fmt.Fprintf(w, "# TYPE %sstore_ops_applied_total counter\n", p)
+	fmt.Fprintf(w, "%sstore_ops_applied_total %d\n", p, st.OpsApplied)
+	fmt.Fprintf(w, "# TYPE %sstore_commits_total counter\n", p)
+	fmt.Fprintf(w, "%sstore_commits_total %d\n", p, st.Commits)
+	fmt.Fprintf(w, "# TYPE %sstore_wal_bytes gauge\n", p)
+	fmt.Fprintf(w, "%sstore_wal_bytes %d\n", p, st.WALBytes)
+	fmt.Fprintf(w, "# TYPE %sstore_wal_appended_bytes_total counter\n", p)
+	fmt.Fprintf(w, "%sstore_wal_appended_bytes_total %d\n", p, st.WALAppendedBytes)
+	fmt.Fprintf(w, "# TYPE %sstore_checkpoints_total counter\n", p)
+	fmt.Fprintf(w, "%sstore_checkpoints_total %d\n", p, st.Checkpoints)
+	fmt.Fprintf(w, "# TYPE %sstore_checkpoint_seconds_total counter\n", p)
+	fmt.Fprintf(w, "%sstore_checkpoint_seconds_total %g\n", p, float64(st.CheckpointNanos)/1e9)
+	fmt.Fprintf(w, "# TYPE %sstore_objects_2d gauge\n", p)
+	fmt.Fprintf(w, "%sstore_objects_2d %d\n", p, st.Objects2D)
 }

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/store"
+)
+
+// /v1/objects is the object-level mutation API, available when the server
+// has a store attached. POST upserts a batch (inserts assign stable IDs,
+// updates address existing ones); DELETE removes by ID. Every batch commits
+// atomically through the WAL, bumps the snapshot version and therefore
+// invalidates the result cache for free — cache keys embed the version.
+
+// objectSpec is one object of a POST /v1/objects batch. Exactly one payload
+// field must be set. ID zero (or omitted) inserts; non-zero updates.
+type objectSpec struct {
+	ID      uint64       `json:"id,omitempty"`
+	Uniform *uniformSpec `json:"uniform,omitempty"`
+	Hist    *histSpec    `json:"hist,omitempty"`
+	Disk    *diskSpec    `json:"disk,omitempty"`
+}
+
+type uniformSpec struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+type histSpec struct {
+	Edges   []float64 `json:"edges"`
+	Weights []float64 `json:"weights"`
+}
+
+type diskSpec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	R float64 `json:"r"`
+}
+
+type objectsRequest struct {
+	Objects []objectSpec `json:"objects"`
+}
+
+type deleteRequest struct {
+	IDs []uint64 `json:"ids"`
+}
+
+// objectsResponse reports a committed mutation batch.
+type objectsResponse struct {
+	// Version is the snapshot version after the commit.
+	Version uint64 `json:"version"`
+	// Objects counts live 1-D objects after the commit.
+	Objects int `json:"objects"`
+	// IDs lists, per submitted object, its stable ID (POST only).
+	IDs []uint64 `json:"ids,omitempty"`
+	// Deleted counts removed objects (DELETE only).
+	Deleted int `json:"deleted,omitempty"`
+}
+
+// MaxObjectsBatch caps one POST /v1/objects batch.
+const MaxObjectsBatch = 65536
+
+// toOp validates one spec into a store op. All numeric validation happens
+// here, through the same checkFinite guard as the query paths, so malformed
+// objects are 400s before any WAL traffic.
+func (o objectSpec) toOp(i int) (store.Op, error) {
+	set := 0
+	for _, present := range []bool{o.Uniform != nil, o.Hist != nil, o.Disk != nil} {
+		if present {
+			set++
+		}
+	}
+	if set != 1 {
+		return store.Op{}, badRequest("objects[%d]: exactly one of uniform, hist, disk required", i)
+	}
+	field := func(name string) string { return fmt.Sprintf("objects[%d].%s", i, name) }
+	switch {
+	case o.Uniform != nil:
+		if err := checkFinite(field("uniform.lo"), o.Uniform.Lo); err != nil {
+			return store.Op{}, err
+		}
+		if err := checkFinite(field("uniform.hi"), o.Uniform.Hi); err != nil {
+			return store.Op{}, err
+		}
+		u, err := pdf.NewUniform(o.Uniform.Lo, o.Uniform.Hi)
+		if err != nil {
+			return store.Op{}, badRequest("objects[%d]: %v", i, err)
+		}
+		return store.Op{Code: store.OpUniform, ID: o.ID, PDF: u}, nil
+	case o.Hist != nil:
+		for j, e := range o.Hist.Edges {
+			if err := checkFinite(field(fmt.Sprintf("hist.edges[%d]", j)), e); err != nil {
+				return store.Op{}, err
+			}
+		}
+		for j, wt := range o.Hist.Weights {
+			if err := checkFinite(field(fmt.Sprintf("hist.weights[%d]", j)), wt); err != nil {
+				return store.Op{}, err
+			}
+		}
+		h, err := pdf.NewHistogram(o.Hist.Edges, o.Hist.Weights)
+		if err != nil {
+			return store.Op{}, badRequest("objects[%d]: %v", i, err)
+		}
+		return store.Op{Code: store.OpHist, ID: o.ID, PDF: h}, nil
+	default:
+		if err := checkFinite(field("disk.x"), o.Disk.X); err != nil {
+			return store.Op{}, err
+		}
+		if err := checkFinite(field("disk.y"), o.Disk.Y); err != nil {
+			return store.Op{}, err
+		}
+		if err := checkFinite(field("disk.r"), o.Disk.R); err != nil {
+			return store.Op{}, err
+		}
+		if o.Disk.R <= 0 {
+			return store.Op{}, badRequest("objects[%d]: disk radius %g must be > 0", i, o.Disk.R)
+		}
+		c := geom.Circle{Center: geom.Point{X: o.Disk.X, Y: o.Disk.Y}, Radius: o.Disk.R}
+		return store.Op{Code: store.OpDisk, ID: o.ID, Disk: c}, nil
+	}
+}
+
+// storeError maps store failures onto HTTP statuses: unknown IDs are 404s,
+// semantic rejections 400s, a closed or broken store 503s.
+func storeError(err error) error {
+	switch {
+	case errors.Is(err, store.ErrUnknownID):
+		return &httpError{status: http.StatusNotFound, msg: err.Error()}
+	case errors.Is(err, store.ErrInvalidOp):
+		return badRequest("%v", err)
+	case errors.Is(err, store.ErrClosed), errors.Is(err, store.ErrBroken):
+		return &httpError{status: http.StatusServiceUnavailable, msg: err.Error()}
+	default:
+		return err
+	}
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epObjects].Add(1)
+	if s.cfg.Store == nil {
+		s.writeError(w, &httpError{
+			status: http.StatusNotImplemented,
+			msg:    "object-level updates require a store (run cpnn-serve with -data-dir)",
+		})
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		s.handleObjectsPost(w, r)
+	case http.MethodDelete:
+		s.handleObjectsDelete(w, r)
+	default:
+		s.m.clientErrors.Add(1)
+		w.Header().Set("Allow", "POST, DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleObjectsPost(w http.ResponseWriter, r *http.Request) {
+	var req objectsRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxDatasetBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, &httpError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("objects body exceeds the %d-byte limit", tooLarge.Limit),
+			})
+			return
+		}
+		s.writeError(w, badRequest("parsing objects body: %v", err))
+		return
+	}
+	if len(req.Objects) == 0 {
+		s.writeError(w, badRequest("objects batch is empty"))
+		return
+	}
+	if len(req.Objects) > MaxObjectsBatch {
+		s.writeError(w, badRequest("objects batch holds %d specs, limit %d", len(req.Objects), MaxObjectsBatch))
+		return
+	}
+	ops := make([]store.Op, len(req.Objects))
+	for i, spec := range req.Objects {
+		op, err := spec.toOp(i)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		ops[i] = op
+	}
+	s.commitOps(w, ops, func(res store.ApplyResult, snap *Snapshot) objectsResponse {
+		return objectsResponse{Version: snap.Version, Objects: storeObjects(s), IDs: res.IDs}
+	})
+}
+
+func (s *Server) handleObjectsDelete(w http.ResponseWriter, r *http.Request) {
+	var ids []uint64
+	if raw := r.URL.Query().Get("id"); raw != "" {
+		id, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeError(w, badRequest("parameter %q: %q is not an object id", "id", raw))
+			return
+		}
+		ids = []uint64{id}
+	} else {
+		var req deleteRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxDatasetBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeError(w, badRequest("parsing delete body (or pass ?id=N): %v", err))
+			return
+		}
+		ids = req.IDs
+	}
+	if len(ids) == 0 {
+		s.writeError(w, badRequest("no object ids to delete"))
+		return
+	}
+	if len(ids) > MaxObjectsBatch {
+		s.writeError(w, badRequest("delete batch holds %d ids, limit %d", len(ids), MaxObjectsBatch))
+		return
+	}
+	ops := make([]store.Op, len(ids))
+	for i, id := range ids {
+		ops[i] = store.Delete(id)
+	}
+	s.commitOps(w, ops, func(res store.ApplyResult, snap *Snapshot) objectsResponse {
+		return objectsResponse{Version: snap.Version, Objects: storeObjects(s), Deleted: len(ids)}
+	})
+}
+
+// commitOps applies a validated op batch and publishes the resulting view.
+func (s *Server) commitOps(w http.ResponseWriter, ops []store.Op, respond func(store.ApplyResult, *Snapshot) objectsResponse) {
+	res, err := s.cfg.Store.Apply(ops)
+	if err != nil {
+		s.writeError(w, storeError(err))
+		return
+	}
+	if err := s.installLatestView(s.snap.Load().Source); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, respond(res, s.snap.Load()))
+}
+
+// storeObjects counts live 1-D objects through the freshest view.
+func storeObjects(s *Server) int { return s.cfg.Store.View().Dataset.Len() }

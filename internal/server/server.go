@@ -30,12 +30,14 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
 )
@@ -53,13 +55,21 @@ const DefaultMaxDatasetBytes = 1 << 28 // 256 MiB: ~53k 300-bar histogram lines
 // the server sheds it with a 503.
 const DefaultQueueTimeout = 10 * time.Second
 
-// Config configures a Server. Dataset is required; every other zero value
-// selects a sensible default.
+// Config configures a Server. Dataset is required unless Store already
+// holds objects; every other zero value selects a sensible default.
 type Config struct {
-	// Dataset is the initial dataset to serve.
+	// Dataset is the initial dataset to serve. With a Store attached it
+	// seeds an empty store (durably); a non-empty store's own contents win.
 	Dataset *uncertain.Dataset
 	// Source labels the initial dataset in /v1/dataset and /healthz output.
 	Source string
+
+	// Store, when set, makes every mutation durable: POST/DELETE /v1/objects
+	// are enabled, POST /v1/dataset commits a truncate+bulk-insert batch
+	// through the write-ahead log, and snapshot versions are monotonic
+	// across restarts. Response object IDs are the store's stable IDs. The
+	// server owns the store: Close checkpoints and closes it.
+	Store *store.Store
 
 	// CacheEntries is the result-cache capacity; 0 means DefaultCacheEntries
 	// and a negative value disables result storage (singleflight collapsing
@@ -86,12 +96,26 @@ type Config struct {
 	QueueTimeout time.Duration
 }
 
-func (cfg Config) withDefaults() (Config, error) {
-	if cfg.Dataset == nil {
-		return cfg, errors.New("server: Config.Dataset is required")
+// storeHasData reports whether an attached store holds any durable objects
+// — either family. A disks-only store counts: serving it with an empty 1-D
+// dataset is correct, whereas treating it as empty would let a seed dataset
+// truncate (and destroy) the stored disks.
+func storeHasData(st *store.Store) bool {
+	if st == nil {
+		return false
 	}
-	if cfg.Dataset.Len() == 0 {
-		return cfg, errors.New("server: initial dataset is empty")
+	v := st.View()
+	return v.Dataset.Len() > 0 || len(v.Disks) > 0
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if !storeHasData(cfg.Store) {
+		if cfg.Dataset == nil {
+			return cfg, errors.New("server: Config.Dataset is required")
+		}
+		if cfg.Dataset.Len() == 0 {
+			return cfg, errors.New("server: initial dataset is empty")
+		}
 	}
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = DefaultCacheEntries
@@ -126,7 +150,9 @@ func (cfg Config) withDefaults() (Config, error) {
 type Snapshot struct {
 	// Engine answers queries over this generation.
 	Engine *core.Engine
-	// Version increases by one per reload; cache keys embed it.
+	// Version increases by one per reload (or per committed store batch);
+	// cache keys embed it. With a store attached it is monotonic across
+	// restarts.
 	Version uint64
 	// Objects is the dataset size.
 	Objects int
@@ -134,23 +160,36 @@ type Snapshot struct {
 	Source string
 	// LoadedAt is when the snapshot became current.
 	LoadedAt time.Time
+	// IDs maps the engine's dense object IDs to the store's stable IDs;
+	// nil (storeless mode) means identity. Responses carry translated IDs.
+	IDs []uint64
+}
+
+// oid translates an engine (dense) object ID to the externally-visible ID.
+func (snap *Snapshot) oid(dense int) int {
+	if snap.IDs == nil {
+		return dense
+	}
+	return int(snap.IDs[dense])
 }
 
 // Server is a concurrent C-PNN query service over a swappable dataset
 // snapshot. Create one with New; it is safe for use from any number of
 // goroutines.
 type Server struct {
-	cfg  Config
-	snap atomic.Pointer[Snapshot]
-	cc   *cache
-	sem  chan struct{}
-	m    metrics
-	mux  *http.ServeMux
+	cfg      Config
+	snap     atomic.Pointer[Snapshot]
+	cc       *cache
+	sem      chan struct{}
+	m        metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
 
 	reloadMu sync.Mutex // serializes snapshot swaps, not reads
 }
 
-// New builds a server around an initial dataset.
+// New builds a server around an initial dataset (or an already-populated
+// store).
 func New(cfg Config) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -161,12 +200,73 @@ func New(cfg Config) (*Server, error) {
 		cc:  newCache(cfg.CacheEntries, cfg.CacheShards),
 		sem: make(chan struct{}, cfg.MaxInFlight),
 	}
-	if _, err := s.Reload(cfg.Dataset, cfg.Source); err != nil {
-		return nil, err
+	switch {
+	case storeHasData(cfg.Store):
+		// Serve the store's durable contents; a configured Dataset loses to
+		// them (it was only the seed).
+		source := cfg.Source
+		if source == "" {
+			source = "store"
+		}
+		if err := s.installLatestView(source); err != nil {
+			return nil, err
+		}
+	default:
+		if _, err := s.Reload(cfg.Dataset, cfg.Source); err != nil {
+			return nil, err
+		}
 	}
 	s.m.reloads.Store(0) // the initial load is not a reload
 	s.buildMux()
 	return s, nil
+}
+
+// Drain flips /healthz to not-ready so load balancers stop routing here
+// while in-flight requests finish; queries keep being answered. Call it
+// before http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close releases the server's durable resources: with a store attached it
+// takes a final checkpoint (leaving an empty WAL for a fast next boot) and
+// closes it, flushing everything to disk. Safe without a store.
+func (s *Server) Close() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	ckptErr := s.cfg.Store.Checkpoint()
+	if err := s.cfg.Store.Close(); err != nil {
+		return err
+	}
+	return ckptErr
+}
+
+// installLatestView publishes the store's current view as the served
+// snapshot, unless an even newer one is already installed (concurrent
+// committers race benignly; the highest version wins).
+func (s *Server) installLatestView(source string) error {
+	v := s.cfg.Store.View()
+	eng, err := core.NewEngineWithIndex(v.Dataset, v.Index)
+	if err != nil {
+		return err
+	}
+	snap := &Snapshot{
+		Engine:   eng,
+		Version:  v.Version,
+		Objects:  v.Dataset.Len(),
+		Source:   source,
+		LoadedAt: time.Now(),
+		IDs:      v.IDs,
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if cur := s.snap.Load(); cur == nil || snap.Version > cur.Version {
+		s.snap.Store(snap)
+		s.cc.Purge()
+	}
+	return nil
 }
 
 // Snapshot returns the current dataset snapshot.
@@ -177,9 +277,27 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 // that already hold the old snapshot finish against it; the result cache is
 // purged (old entries are version-keyed and could never be served anyway —
 // the purge just reclaims their memory immediately).
+//
+// With a store attached the reload is durable: it commits as one atomic
+// truncate + bulk-insert batch through the WAL, so the loaded dataset
+// survives restarts and the version bump stays monotonic across them.
 func (s *Server) Reload(ds *uncertain.Dataset, source string) (*Snapshot, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, errors.New("server: refusing to load an empty dataset")
+	}
+	if s.cfg.Store != nil {
+		ops, err := store.DatasetOps(ds)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		if _, err := s.cfg.Store.Apply(ops); err != nil {
+			return nil, storeError(err)
+		}
+		s.m.reloads.Add(1)
+		if err := s.installLatestView(source); err != nil {
+			return nil, err
+		}
+		return s.snap.Load(), nil
 	}
 	eng, err := core.NewEngine(ds)
 	if err != nil {
@@ -214,6 +332,7 @@ func (s *Server) buildMux() {
 	s.mux.HandleFunc("/v1/pnn", s.handlePNN)
 	s.mux.HandleFunc("/v1/knn", s.handleKNN)
 	s.mux.HandleFunc("/v1/dataset", s.handleDataset)
+	s.mux.HandleFunc("/v1/objects", s.handleObjects)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 }
@@ -452,10 +571,17 @@ type datasetResponse struct {
 	LoadedAt time.Time `json:"loaded_at"`
 }
 
-func toAnswers(in []core.Answer) []answerJSON {
+// toAnswers converts engine answers to response objects, translating dense
+// engine IDs to the snapshot's stable IDs. Translated answers are re-sorted
+// by external ID so clients always see ID-ordered output; the identity
+// mapping (storeless mode) is already sorted and stays byte-identical.
+func toAnswers(in []core.Answer, snap *Snapshot) []answerJSON {
 	out := make([]answerJSON, len(in))
 	for i, a := range in {
-		out[i] = answerJSON{ID: a.ID, L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()}
+		out[i] = answerJSON{ID: snap.oid(a.ID), L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()}
+	}
+	if snap.IDs != nil {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	}
 	return out
 }
@@ -510,7 +636,7 @@ func (s *Server) cpnnBody(ctx context.Context, snap *Snapshot, qq float64, c ver
 				Delta:    c.Delta,
 				Strategy: strat.String(),
 				Version:  snap.Version,
-				Answers:  toAnswers(res.Answers),
+				Answers:  toAnswers(res.Answers, snap),
 				Stats: statsJSON{
 					Candidates:   res.Stats.Candidates,
 					Subregions:   res.Stats.Subregions,
@@ -522,7 +648,7 @@ func (s *Server) cpnnBody(ctx context.Context, snap *Snapshot, qq float64, c ver
 				},
 			}
 			if all {
-				resp.Candidates = toAnswers(res.Candidates)
+				resp.Candidates = toAnswers(res.Candidates, snap)
 			}
 			return json.Marshal(resp)
 		})
@@ -547,7 +673,7 @@ func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
 			}
 			out := make([]probabilityJSON, len(probs))
 			for i, pr := range probs {
-				out[i] = probabilityJSON{ID: pr.ID, P: pr.P}
+				out[i] = probabilityJSON{ID: snap.oid(pr.ID), P: pr.P}
 			}
 			return json.Marshal(pnnResponse{
 				Query:         qq,
@@ -636,7 +762,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 				resp.Answers = append(resp.Answers,
-					answerJSON{ID: a.ID, L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()})
+					answerJSON{ID: snap.oid(a.ID), L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()})
 			}
 			return json.Marshal(resp)
 		})
@@ -705,6 +831,16 @@ func snapshotInfo(snap *Snapshot) datasetResponse {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epHealthz].Add(1)
 	snap := s.snap.Load()
+	if s.draining.Load() {
+		// Not-ready during drain: load balancers stop sending traffic while
+		// requests already here (and any still arriving) keep being served.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":  "draining",
+			"version": snap.Version,
+			"objects": snap.Objects,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"version": snap.Version,
@@ -715,5 +851,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epMetrics].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.write(w, s.cc, s.snap.Load())
+	var st *store.Stats
+	if s.cfg.Store != nil {
+		v := s.cfg.Store.Stats()
+		st = &v
+	}
+	s.m.write(w, s.cc, s.snap.Load(), st)
 }

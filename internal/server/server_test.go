@@ -294,7 +294,7 @@ func TestReloadAtomicityUnderLoad(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		expect[odd] = toAnswers(res.Answers)
+		expect[odd] = toAnswers(res.Answers, &Snapshot{})
 	}
 	if fmt.Sprint(expect[true]) == fmt.Sprint(expect[false]) {
 		t.Fatal("test needs datasets with different answers at q=500")

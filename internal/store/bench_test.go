@@ -1,0 +1,170 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+	"repro/internal/verify"
+)
+
+// BenchmarkStoreApply measures steady-state committed update throughput
+// (ops/s) across batch sizes, with and without fsync, over a fixed 10k
+// dataset — the paper's sensor/LBS workload where object pdfs move but the
+// population is stable. (Per-commit cost includes the O(n) copy-on-write
+// view materialization, so throughput depends on dataset size; this pins
+// n.) The numbers feed the EXPERIMENTS.md update-throughput table.
+func BenchmarkStoreApply(b *testing.B) {
+	const n = 10000
+	for _, sync := range []bool{true, false} {
+		for _, batch := range []int{1, 16, 256} {
+			name := fmt.Sprintf("fsync=%v/batch=%d", sync, batch)
+			b.Run(name, func(b *testing.B) {
+				s, err := Open(b.TempDir(), Options{NoSync: !sync, CheckpointBytes: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				rng := rand.New(rand.NewSource(1))
+				seedOps := make([]Op, n)
+				for i := range seedOps {
+					lo := rng.Float64() * 10000
+					seedOps[i] = InsertObject(pdf.MustUniform(lo, lo+5))
+				}
+				seeded, err := s.Apply(seedOps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops := make([]Op, batch)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range ops {
+						lo := rng.Float64() * 10000
+						ops[j] = UpdateObject(seeded.IDs[rng.Intn(n)], pdf.MustUniform(lo, lo+5))
+					}
+					if _, err := s.Apply(ops); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkIndexMaintenance compares the two strategies behind filter.Apply
+// for one committed batch over a 20k-object dataset: clone the R-tree and
+// replay the batch's edits, versus a bulk STR rebuild — the measurement
+// behind the rebuildFraction amortization threshold.
+func BenchmarkIndexMaintenance(b *testing.B) {
+	const n = 20000
+	rng := rand.New(rand.NewSource(1))
+	pdfs := make([]pdf.PDF, n)
+	for i := range pdfs {
+		lo := rng.Float64() * 10000
+		pdfs[i] = pdf.MustUniform(lo, lo+1+rng.Float64()*10)
+	}
+	ds := uncertain.NewDataset(pdfs)
+	ix, err := filter.NewIndex(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("incremental/batch=%d", batch), func(b *testing.B) {
+			// One update per batched op: delete the entry, reinsert it (the
+			// edit pair an in-place pdf update produces).
+			edits := make([]filter.Edit, 0, 2*batch)
+			for j := 0; j < batch; j++ {
+				slot := rng.Intn(n)
+				region := ds.Object(slot).Region()
+				edits = append(edits,
+					filter.DeleteEdit(region, slot),
+					filter.InsertEdit(region, slot))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Apply(ds, edits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("bulk-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := filter.NewIndex(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryUnderUpdateLoad measures C-PNN latency over live MVCC views
+// while a background writer commits update batches as fast as the store
+// accepts them — the query-latency-under-update-load row of EXPERIMENTS.md.
+func BenchmarkQueryUnderUpdateLoad(b *testing.B) {
+	for _, writers := range []int{0, 1} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			rng := rand.New(rand.NewSource(1))
+			ops := make([]Op, 2000)
+			for i := range ops {
+				lo := rng.Float64() * 10000
+				ops[i] = InsertObject(pdf.MustUniform(lo, lo+2+rng.Float64()*10))
+			}
+			if _, err := s.Apply(ops); err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					wrng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						batch := make([]Op, 16)
+						for j := range batch {
+							v := s.View()
+							id := v.IDs[wrng.Intn(len(v.IDs))]
+							lo := wrng.Float64() * 10000
+							batch[j] = UpdateObject(id, pdf.MustUniform(lo, lo+5))
+						}
+						if _, err := s.Apply(batch); err != nil {
+							return
+						}
+					}
+				}(int64(w + 7))
+			}
+			c := verify.Constraint{P: 0.3, Delta: 0.01}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := s.View()
+				eng, err := core.NewEngineWithIndex(v.Dataset, v.Index)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.CPNN(rng.Float64()*10000, c, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/pager"
+)
+
+// Checkpoints serialize the whole store state through a pager.File — the
+// page-granular layout of §IV-D — so recovery starts from the latest
+// checkpoint and replays only the WAL records after it.
+//
+// Page 0 is the header: magic, stream length, stream CRC-32C. Pages 1..k
+// carry the state stream back to back:
+//
+//	[8] version  [8] seq  [8] nextID
+//	[op batch]   — one upsert per live object, in slot order (1-D then 2-D)
+//
+// The op batch reuses the WAL encoding, so loading a checkpoint is exactly
+// "replay these upserts into an empty store": one code path, one set of
+// invariants. Checkpoints are written to a temp file, synced, then renamed
+// over the live name — a crash mid-checkpoint leaves the previous
+// checkpoint (and the full WAL) untouched.
+
+const (
+	checkpointName = "checkpoint.db"
+	checkpointTmp  = "checkpoint.db.tmp"
+	walName        = "wal.log"
+
+	ckptMagic = "CPNNCKP1"
+)
+
+// checkpointState is the decoded content of a checkpoint.
+type checkpointState struct {
+	Version uint64
+	Seq     uint64
+	NextID  uint64
+	Ops     []Op
+}
+
+// encodeCheckpoint serializes the header fields and object upserts.
+func encodeCheckpoint(cs checkpointState) ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint64(nil, cs.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, cs.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, cs.NextID)
+	ops, err := encodeOps(cs.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, ops...), nil
+}
+
+func decodeCheckpoint(b []byte) (checkpointState, error) {
+	if len(b) < 24 {
+		return checkpointState{}, fmt.Errorf("store: checkpoint stream of %d bytes", len(b))
+	}
+	cs := checkpointState{
+		Version: binary.LittleEndian.Uint64(b[:8]),
+		Seq:     binary.LittleEndian.Uint64(b[8:16]),
+		NextID:  binary.LittleEndian.Uint64(b[16:24]),
+	}
+	ops, err := decodeOps(b[24:])
+	if err != nil {
+		return checkpointState{}, fmt.Errorf("store: checkpoint: %w", err)
+	}
+	cs.Ops = ops
+	return cs, nil
+}
+
+// writeCheckpoint durably persists the stream under dir. The temp file is
+// fully written and synced before the rename publishes it.
+func writeCheckpoint(dir string, cs checkpointState) error {
+	stream, err := encodeCheckpoint(cs)
+	if err != nil {
+		return err
+	}
+	tmpPath := filepath.Join(dir, checkpointTmp)
+	pf, err := pager.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			pf.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+
+	var page [pager.PageSize]byte
+	copy(page[:8], ckptMagic)
+	binary.LittleEndian.PutUint64(page[8:16], uint64(len(stream)))
+	binary.LittleEndian.PutUint32(page[16:20], crc32.Checksum(stream, crcTable))
+	id, err := pf.Allocate()
+	if err != nil {
+		return err
+	}
+	if err := pf.WritePage(id, page[:]); err != nil {
+		return err
+	}
+	for off := 0; off < len(stream); off += pager.PageSize {
+		end := min(off+pager.PageSize, len(stream))
+		clear(page[:])
+		copy(page[:], stream[off:end])
+		id, err := pf.Allocate()
+		if err != nil {
+			return err
+		}
+		if err := pf.WritePage(id, page[:]); err != nil {
+			return err
+		}
+	}
+	if err := pf.Sync(); err != nil {
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(dir, checkpointName)); err != nil {
+		return fmt.Errorf("store: publishing checkpoint: %w", err)
+	}
+	ok = true
+	syncDir(dir)
+	return nil
+}
+
+// readCheckpoint loads and verifies the checkpoint under dir. A missing file
+// returns ok=false; a present-but-corrupt file returns an error, because
+// silently starting empty would be data loss.
+func readCheckpoint(dir string) (checkpointState, bool, error) {
+	path := filepath.Join(dir, checkpointName)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return checkpointState{}, false, nil
+	}
+	pf, err := pager.Open(path)
+	if err != nil {
+		return checkpointState{}, false, fmt.Errorf("store: corrupt checkpoint: %w", err)
+	}
+	defer pf.Close()
+
+	var page [pager.PageSize]byte
+	if err := pf.ReadPage(0, page[:]); err != nil {
+		return checkpointState{}, false, fmt.Errorf("store: corrupt checkpoint: %w", err)
+	}
+	if string(page[:8]) != ckptMagic {
+		return checkpointState{}, false, fmt.Errorf("store: corrupt checkpoint: bad magic %q", page[:8])
+	}
+	streamLen := binary.LittleEndian.Uint64(page[8:16])
+	wantCRC := binary.LittleEndian.Uint32(page[16:20])
+	maxLen := uint64(pf.NumPages()-1) * pager.PageSize
+	if pf.NumPages() < 1 || streamLen > maxLen {
+		return checkpointState{}, false, fmt.Errorf(
+			"store: corrupt checkpoint: stream of %d bytes in %d pages", streamLen, pf.NumPages())
+	}
+	stream := make([]byte, 0, streamLen)
+	for id := pager.PageID(1); uint64(len(stream)) < streamLen; id++ {
+		if err := pf.ReadPage(id, page[:]); err != nil {
+			return checkpointState{}, false, fmt.Errorf("store: corrupt checkpoint: %w", err)
+		}
+		take := min(uint64(pager.PageSize), streamLen-uint64(len(stream)))
+		stream = append(stream, page[:take]...)
+	}
+	if crc32.Checksum(stream, crcTable) != wantCRC {
+		return checkpointState{}, false, fmt.Errorf("store: corrupt checkpoint: checksum mismatch")
+	}
+	cs, err := decodeCheckpoint(stream)
+	if err != nil {
+		return checkpointState{}, false, err
+	}
+	return cs, true, nil
+}
+
+// syncDir best-effort fsyncs a directory so a rename survives power loss.
+// Errors are ignored: some filesystems reject directory syncs, and the data
+// files themselves are already synced.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

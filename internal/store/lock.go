@@ -1,0 +1,26 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive advisory flock on dir/LOCK so two
+// processes can never mutate one store directory concurrently (a second
+// opener — say, cpnn-store inspect against a live server — would otherwise
+// truncate a WAL record the first is mid-append on). The kernel releases
+// the lock when the process dies, so a kill -9 never leaves the directory
+// stuck.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another process", dir)
+	}
+	return f, nil
+}

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/oracle"
+	"repro/internal/pdf"
+)
+
+// TestRandomOpsAgainstModel drives a store with seeded random op sequences
+// and cross-checks, after every batch, the published view against a plain
+// in-memory model (map of stable ID → pdf), and periodically the engine's
+// PNN answers over the view against the internal/oracle Monte-Carlo
+// evaluator.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		s, _ := openTemp(t, Options{NoSync: true})
+		rng := rand.New(rand.NewSource(seed))
+		sc := newOpScript(seed)
+		model := map[uint64]pdf.PDF{}
+
+		for batch := 0; batch < 25; batch++ {
+			ops := sc.batch(8)
+			res, err := s.Apply(ops)
+			if err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			// Mirror the batch into the model using the reported IDs.
+			for i, op := range ops {
+				switch op.Code {
+				case OpUniform, OpHist:
+					model[res.IDs[i]] = op.PDF
+				case OpDelete:
+					delete(model, res.IDs[i])
+				case OpTruncate:
+					model = map[uint64]pdf.PDF{}
+				}
+			}
+
+			v := s.View()
+			if v.Dataset.Len() != len(model) {
+				t.Fatalf("seed %d batch %d: view %d objects, model %d",
+					seed, batch, v.Dataset.Len(), len(model))
+			}
+			for slot, id := range v.IDs {
+				want, ok := model[id]
+				if !ok {
+					t.Fatalf("seed %d batch %d: view holds unknown id %d", seed, batch, id)
+				}
+				if got := v.Dataset.Object(slot).Region(); got != want.Support() {
+					t.Fatalf("seed %d batch %d: id %d region %+v, model %+v",
+						seed, batch, id, got, want.Support())
+				}
+			}
+
+			// Every few batches, check exact PNN probabilities against the
+			// brute-force oracle sampling the raw pdfs.
+			if batch%8 == 7 && v.Dataset.Len() > 0 {
+				eng, err := core.NewEngineWithIndex(v.Dataset, v.Index)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dom := v.Dataset.Domain()
+				q := dom.Lo + rng.Float64()*(dom.Hi-dom.Lo)
+				probs, _, err := eng.PNN(q, core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				const samples = 30000
+				mc := oracle.PNN1D(v.Dataset, q, samples, rand.New(rand.NewSource(seed*1000+int64(batch))))
+				for _, pr := range probs {
+					// 5σ Monte-Carlo bound plus the engine's integration slack.
+					tol := 5*math.Sqrt(pr.P*(1-pr.P)/samples) + 0.01
+					if diff := math.Abs(pr.P - mc[pr.ID]); diff > tol {
+						t.Fatalf("seed %d batch %d q=%g: object %d engine %g oracle %g (diff %g > %g)",
+							seed, batch, q, pr.ID, pr.P, mc[pr.ID], diff, tol)
+					}
+				}
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestIncrementalIndexMatchesBulkRebuild runs 50 seeded random op sequences
+// and asserts the incrementally-maintained index of the final view answers
+// candidate-set queries identically to an index bulk-rebuilt from the same
+// dataset — same IDs, same f_min (the acceptance gate for live index
+// maintenance).
+func TestIncrementalIndexMatchesBulkRebuild(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s, _ := openTemp(t, Options{NoSync: true})
+		sc := newOpScript(seed + 100)
+		rng := rand.New(rand.NewSource(seed))
+		for batch := 0; batch < 12; batch++ {
+			if _, err := s.Apply(sc.batch(5)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		v := s.View()
+		if v.Dataset.Len() == 0 {
+			s.Close()
+			continue
+		}
+		bulk, err := filter.NewIndex(v.Dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom := v.Dataset.Domain()
+		for probe := 0; probe < 8; probe++ {
+			q := dom.Lo + rng.Float64()*(dom.Hi-dom.Lo)
+			a, b := v.Index.Candidates(q), bulk.Candidates(q)
+			if a.FMin != b.FMin {
+				t.Fatalf("seed %d q=%g: incremental fmin %g, bulk %g", seed, q, a.FMin, b.FMin)
+			}
+			sort.Ints(a.IDs)
+			sort.Ints(b.IDs)
+			if len(a.IDs) != len(b.IDs) {
+				t.Fatalf("seed %d q=%g: %d vs %d candidates", seed, q, len(a.IDs), len(b.IDs))
+			}
+			for i := range a.IDs {
+				if a.IDs[i] != b.IDs[i] {
+					t.Fatalf("seed %d q=%g: candidate sets differ: %v vs %v", seed, q, a.IDs, b.IDs)
+				}
+			}
+		}
+		s.Close()
+	}
+}

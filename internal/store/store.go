@@ -1,0 +1,757 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// DefaultCheckpointBytes is the WAL size past which the committer takes an
+// automatic checkpoint.
+const DefaultCheckpointBytes = 8 << 20
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// ErrBroken is returned after a WAL write or sync failure: the in-memory
+// state may be ahead of disk, so the store refuses further mutations. The
+// last published view remains valid — it was fsync'd before publication.
+var ErrBroken = errors.New("store: broken by an earlier WAL failure")
+
+// ErrUnknownID marks an update or delete addressing a stable ID that does
+// not exist; servers map it to 404.
+var ErrUnknownID = errors.New("store: unknown object id")
+
+// ErrInvalidOp marks a semantically invalid operation (unsupported pdf kind,
+// family mismatch); servers map it to 400.
+var ErrInvalidOp = errors.New("store: invalid op")
+
+// Options tunes a store. The zero value is the durable default.
+type Options struct {
+	// NoSync skips the fsync on commit. Throughput multiplies, but a crash
+	// can lose recent batches (never corrupt surviving ones — the CRC scan
+	// still cuts the tail at the first tear). For bulk loads and benchmarks.
+	NoSync bool
+	// CheckpointBytes is the WAL size that triggers an automatic checkpoint;
+	// 0 means DefaultCheckpointBytes, negative disables auto-checkpointing.
+	CheckpointBytes int64
+}
+
+// Disk is one live 2-D object of a view.
+type Disk struct {
+	// ID is the object's stable ID.
+	ID uint64
+	// Region is the uncertainty disk.
+	Region geom.Circle
+}
+
+// View is one immutable MVCC generation of the store: a dense dataset (slot
+// i holds the object with stable ID IDs[i]), the filter index maintained
+// incrementally over it, and the live 2-D objects. Views are never mutated;
+// each committed batch publishes a new one.
+type View struct {
+	// Version increases by one per committed batch and is monotonic across
+	// restarts — it is persisted in checkpoints and reconstructed from the
+	// WAL, so snapshot-versioned caches stay sound through a reboot.
+	Version uint64
+	// Seq is the last committed batch sequence number.
+	Seq uint64
+	// Dataset holds the 1-D objects with dense IDs 0..Len()-1.
+	Dataset *uncertain.Dataset
+	// IDs maps dense dataset IDs to stable object IDs.
+	IDs []uint64
+	// Index is the filter index over Dataset, ready for an engine.
+	Index *filter.Index
+	// Disks holds the live 2-D objects in slot order.
+	Disks []Disk
+}
+
+// ApplyResult reports a committed batch.
+type ApplyResult struct {
+	// Version is the store version after this batch.
+	Version uint64
+	// Seq is the batch's WAL sequence number.
+	Seq uint64
+	// IDs holds, per op, the stable ID it affected — for inserts, the
+	// freshly assigned ID. Truncates report 0.
+	IDs []uint64
+}
+
+// Stats is a snapshot of the store's operational counters.
+type Stats struct {
+	// OpsApplied counts committed ops; Commits counts committed batches.
+	OpsApplied, Commits uint64
+	// WALBytes is the current WAL length; WALAppendedBytes the total ever
+	// appended (survives WAL resets).
+	WALBytes, WALAppendedBytes uint64
+	// Checkpoints counts completed checkpoints; CheckpointNanos their total
+	// wall time.
+	Checkpoints, CheckpointNanos uint64
+	// TornTailDropped reports whether recovery discarded a torn WAL tail.
+	TornTailDropped bool
+	// Version and Seq mirror the current view.
+	Version, Seq uint64
+	// Objects1D and Objects2D count live objects.
+	Objects1D, Objects2D int
+}
+
+// state is the committer-owned mutable object table.
+type state struct {
+	seq     uint64
+	version uint64
+	nextID  uint64
+
+	slots  []uint64 // dense slot -> stable ID (1-D)
+	pdfs   []pdf.PDF
+	slotOf map[uint64]int
+
+	dslots  []uint64 // dense slot -> stable ID (2-D)
+	disks   []geom.Circle
+	dslotOf map[uint64]int
+}
+
+func newState() *state {
+	// Stable IDs start at 1: ID zero is the "assign me" sentinel of inserts.
+	return &state{nextID: 1, slotOf: map[uint64]int{}, dslotOf: map[uint64]int{}}
+}
+
+// Store is the durable uncertain-object store. All mutations flow through
+// Apply; a single committer goroutine validates, logs, group-commits and
+// publishes MVCC views. Create one with Open; it is safe for concurrent use.
+type Store struct {
+	dir  string
+	opt  Options
+	wal  *wal
+	lock *os.File // flock'd LOCK file; held for the store's lifetime
+	view atomic.Pointer[View]
+
+	sendMu sync.Mutex // guards reqCh against send-after-close
+	closed bool
+	reqCh  chan *request
+	doneCh chan struct{}
+
+	broken atomic.Bool
+
+	opsApplied  atomic.Uint64
+	commits     atomic.Uint64
+	walSize     atomic.Uint64
+	walAppended atomic.Uint64
+	checkpoints atomic.Uint64
+	ckptNanos   atomic.Uint64
+	tornTail    bool
+
+	st *state // owned by the committer goroutine (and by Open/Close around it)
+}
+
+type request struct {
+	ops        []Op
+	checkpoint bool
+	resp       chan result
+}
+
+type result struct {
+	res ApplyResult
+	err error
+}
+
+// Open opens (creating if necessary) the store in dir and recovers its
+// state: load the latest checkpoint, replay intact WAL records past it, and
+// truncate any torn tail. The recovered view is available immediately.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.CheckpointBytes == 0 {
+		opt.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lock.Close()
+		}
+	}()
+	// A temp checkpoint is debris from a crash mid-checkpoint; the rename
+	// never happened, so the previous checkpoint + WAL are authoritative.
+	os.Remove(filepath.Join(dir, checkpointTmp))
+
+	st := newState()
+	cs, haveCkpt, err := readCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if haveCkpt {
+		st.version, st.seq, st.nextID = cs.Version, cs.Seq, cs.NextID
+		if _, _, err := applyDecoded(st, cs.Ops); err != nil {
+			return nil, fmt.Errorf("store: loading checkpoint: %w", err)
+		}
+	}
+
+	w, recs, torn, err := openWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if rec.Seq <= st.seq {
+			continue // already covered by the checkpoint
+		}
+		if rec.Seq != st.seq+1 {
+			w.close()
+			return nil, fmt.Errorf("store: WAL sequence gap: have %d, record %d", st.seq, rec.Seq)
+		}
+		if _, _, err := applyDecoded(st, rec.Ops); err != nil {
+			w.close()
+			return nil, fmt.Errorf("store: replaying WAL record %d: %w", rec.Seq, err)
+		}
+		st.seq = rec.Seq
+		st.version++
+		st.nextID = maxAssigned(st.nextID, rec.Ops)
+	}
+
+	s := &Store{
+		dir:      dir,
+		opt:      opt,
+		wal:      w,
+		lock:     lock,
+		reqCh:    make(chan *request, 256),
+		doneCh:   make(chan struct{}),
+		st:       st,
+		tornTail: torn,
+	}
+	s.walSize.Store(uint64(w.size))
+	view, err := s.materialize(nil, nil, true)
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	s.view.Store(view)
+	go s.committer()
+	ok = true
+	return s, nil
+}
+
+// maxAssigned keeps nextID above every ID a replayed batch assigned.
+func maxAssigned(next uint64, ops []Op) uint64 {
+	for _, op := range ops {
+		if op.ID >= next {
+			next = op.ID + 1
+		}
+	}
+	return next
+}
+
+// View returns the current MVCC view. It never blocks on writers.
+func (s *Store) View() *View { return s.view.Load() }
+
+// Stats returns a snapshot of the operational counters.
+func (s *Store) Stats() Stats {
+	v := s.View()
+	return Stats{
+		OpsApplied:       s.opsApplied.Load(),
+		Commits:          s.commits.Load(),
+		WALBytes:         s.walSize.Load(),
+		WALAppendedBytes: s.walAppended.Load(),
+		Checkpoints:      s.checkpoints.Load(),
+		CheckpointNanos:  s.ckptNanos.Load(),
+		TornTailDropped:  s.tornTail,
+		Version:          v.Version,
+		Seq:              v.Seq,
+		Objects1D:        v.Dataset.Len(),
+		Objects2D:        len(v.Disks),
+	}
+}
+
+// Apply atomically commits a batch of ops: either every op is validated,
+// logged, fsync'd and applied, or none is. Concurrent Apply calls are group
+// committed — the committer drains waiting batches and syncs them with one
+// fsync. Apply returns only after the batch is durable (unless Options.NoSync)
+// and its view published.
+func (s *Store) Apply(ops []Op) (ApplyResult, error) {
+	if len(ops) == 0 {
+		return ApplyResult{}, fmt.Errorf("%w: empty batch", ErrInvalidOp)
+	}
+	return s.submit(&request{ops: ops, resp: make(chan result, 1)})
+}
+
+// Checkpoint serializes the current state through the pager and resets the
+// WAL. It runs on the committer, serialized with commits.
+func (s *Store) Checkpoint() error {
+	_, err := s.submit(&request{checkpoint: true, resp: make(chan result, 1)})
+	return err
+}
+
+func (s *Store) submit(r *request) (ApplyResult, error) {
+	s.sendMu.Lock()
+	if s.closed {
+		s.sendMu.Unlock()
+		return ApplyResult{}, ErrClosed
+	}
+	s.reqCh <- r
+	s.sendMu.Unlock()
+	out := <-r.resp
+	return out.res, out.err
+}
+
+// Close stops the committer, flushes and closes the WAL, and releases the
+// store. Pending Apply calls complete first. Close does not checkpoint;
+// callers wanting a fast next open (and an empty WAL) call Checkpoint first,
+// as cpnn-serve does on graceful shutdown.
+func (s *Store) Close() error {
+	s.sendMu.Lock()
+	if s.closed {
+		s.sendMu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	close(s.reqCh)
+	s.sendMu.Unlock()
+	<-s.doneCh
+
+	var first error
+	if !s.broken.Load() {
+		if err := s.wal.sync(); err != nil {
+			first = err
+		}
+	}
+	if err := s.wal.close(); err != nil && first == nil {
+		first = err
+	}
+	s.lock.Close() // releases the flock
+	return first
+}
+
+// maxGroup caps how many waiting batches one commit group absorbs.
+const maxGroup = 128
+
+// committer is the single mutation loop: it drains waiting requests into a
+// group, stages each batch (validate → encode → decode → apply), writes all
+// records with one WAL append and one fsync, then publishes one view
+// covering the whole group and answers every waiter.
+func (s *Store) committer() {
+	defer close(s.doneCh)
+	for req, ok := <-s.reqCh; ok; req, ok = <-s.reqCh {
+		group := []*request{req}
+	drain:
+		for len(group) < maxGroup {
+			select {
+			case r, more := <-s.reqCh:
+				if !more {
+					break drain // outer receive sees the close and exits
+				}
+				group = append(group, r)
+			default:
+				break drain
+			}
+		}
+		s.commitGroup(group)
+	}
+}
+
+func (s *Store) commitGroup(group []*request) {
+	if s.broken.Load() {
+		for _, r := range group {
+			r.resp <- result{err: ErrBroken}
+		}
+		return
+	}
+
+	var (
+		buf       []byte
+		edits     []filter.Edit
+		rebuild   bool
+		committed []*request
+		outcomes  []ApplyResult
+		wantCkpt  bool
+		opsTotal  uint64
+	)
+	for _, r := range group {
+		if s.broken.Load() {
+			// A partial state mutation earlier in this group poisoned the
+			// in-memory tables; staging further batches against them would
+			// persist records a clean recovery cannot replay.
+			r.resp <- result{err: ErrBroken}
+			continue
+		}
+		if r.checkpoint {
+			wantCkpt = true
+			committed = append(committed, r)
+			outcomes = append(outcomes, ApplyResult{})
+			continue
+		}
+		staged, err := s.stageBatch(r.ops)
+		if err != nil {
+			r.resp <- result{err: err}
+			continue
+		}
+		buf = appendWALRecord(buf, staged.seq, staged.payload)
+		edits = append(edits, staged.edits...)
+		rebuild = rebuild || staged.rebuild
+		opsTotal += uint64(len(r.ops))
+		committed = append(committed, r)
+		outcomes = append(outcomes, ApplyResult{Version: staged.version, Seq: staged.seq, IDs: staged.ids})
+	}
+
+	if s.broken.Load() {
+		// stageBatch poisoned the state partway through the group: even the
+		// batches staged before the failure cannot be published, because the
+		// view would be materialized from the poisoned tables. Nothing was
+		// written; a reopen recovers the last durable state.
+		for _, r := range committed {
+			r.resp <- result{err: ErrBroken}
+		}
+		return
+	}
+
+	if len(buf) > 0 {
+		err := s.wal.append(buf)
+		if err == nil && !s.opt.NoSync {
+			err = s.wal.sync()
+		}
+		if err != nil {
+			// State is ahead of disk; refuse everything from here on. The
+			// published view still reflects only durable commits.
+			s.broken.Store(true)
+			for _, r := range committed {
+				r.resp <- result{err: fmt.Errorf("%w: %v", ErrBroken, err)}
+			}
+			return
+		}
+		s.walAppended.Add(uint64(len(buf)))
+		s.walSize.Store(uint64(s.wal.size))
+
+		view, err := s.materialize(s.View(), edits, rebuild)
+		if err != nil {
+			// Index maintenance failed (internal invariant violation): the
+			// durable log is fine, so a reopen recovers; this process stops.
+			s.broken.Store(true)
+			for _, r := range committed {
+				r.resp <- result{err: fmt.Errorf("store: publishing view: %w", err)}
+			}
+			return
+		}
+		s.view.Store(view)
+		s.opsApplied.Add(opsTotal)
+		s.commits.Add(uint64(len(committed)))
+	}
+
+	if wantCkpt || (s.opt.CheckpointBytes > 0 && s.wal.size >= s.opt.CheckpointBytes) {
+		if err := s.checkpointLocked(); err != nil {
+			for i, r := range committed {
+				if r.checkpoint {
+					r.resp <- result{err: err}
+					committed[i] = nil
+				}
+			}
+		}
+	}
+	for i, r := range committed {
+		if r != nil {
+			r.resp <- result{res: outcomes[i]}
+		}
+	}
+}
+
+// staged is one batch ready for the WAL.
+type staged struct {
+	seq, version uint64
+	payload      []byte
+	ids          []uint64
+	edits        []filter.Edit
+	rebuild      bool
+}
+
+// stageBatch validates ops against the live state, assigns stable IDs to
+// inserts, encodes the batch, and applies the *decoded* encoding to the
+// state — the same bytes recovery will replay, so a recovered store is
+// bit-identical to the live one by construction. On a validation error the
+// state is untouched.
+func (s *Store) stageBatch(ops []Op) (staged, error) {
+	st := s.st
+	assigned, ids, err := validateOps(st, ops)
+	if err != nil {
+		return staged{}, err
+	}
+	payload, err := encodeOps(assigned)
+	if err != nil {
+		return staged{}, fmt.Errorf("%w: %v", ErrInvalidOp, err)
+	}
+	// Mirror the decode-side record cap on the write side: a record larger
+	// than the scanner accepts would commit now and then be dropped as a
+	// "torn tail" on every future recovery (and past 4 GiB the uint32
+	// length prefix would overflow). Refuse it up front instead.
+	if len(payload)+8 > maxWALRecord {
+		return staged{}, fmt.Errorf("%w: encoded batch is %d bytes, limit %d — split the batch",
+			ErrInvalidOp, len(payload)+8, maxWALRecord)
+	}
+	decoded, err := decodeOps(payload)
+	if err != nil {
+		return staged{}, fmt.Errorf("%w: %v", ErrInvalidOp, err)
+	}
+	edits, rebuild, err := applyDecoded(st, decoded)
+	if err != nil {
+		// validateOps should have caught everything; a failure here means the
+		// state mutated partially — unrecoverable in-process.
+		s.broken.Store(true)
+		return staged{}, fmt.Errorf("store: internal apply failure: %w", err)
+	}
+	st.seq++
+	st.version++
+	return staged{
+		seq:     st.seq,
+		version: st.version,
+		payload: payload,
+		ids:     ids,
+		edits:   edits,
+		rebuild: rebuild,
+	}, nil
+}
+
+// validateOps checks a batch against the state plus in-batch effects and
+// returns the ops with assigned IDs alongside the per-op affected IDs.
+func validateOps(st *state, ops []Op) ([]Op, []uint64, error) {
+	// Overlay of in-batch existence changes: +1/+2 = created or updated in
+	// family 1-D/2-D, -1 = deleted, 0 = consult the state.
+	overlay := map[uint64]int8{}
+	truncated := false
+	family := func(id uint64) int8 {
+		if v, ok := overlay[id]; ok {
+			return v
+		}
+		if truncated {
+			return -1
+		}
+		if _, ok := st.slotOf[id]; ok {
+			return 1
+		}
+		if _, ok := st.dslotOf[id]; ok {
+			return 2
+		}
+		return -1
+	}
+	out := make([]Op, len(ops))
+	ids := make([]uint64, len(ops))
+	nextID := st.nextID
+	for i, op := range ops {
+		switch op.Code {
+		case OpTruncate:
+			truncated = true
+			overlay = map[uint64]int8{}
+			out[i] = op
+		case OpDelete:
+			if op.ID == 0 || family(op.ID) == -1 {
+				return nil, nil, fmt.Errorf("ops[%d]: delete: %w %d", i, ErrUnknownID, op.ID)
+			}
+			overlay[op.ID] = -1
+			out[i], ids[i] = op, op.ID
+		case OpUniform, OpHist:
+			if op.PDF == nil || codeFor(op.PDF) != op.Code {
+				return nil, nil, fmt.Errorf("ops[%d]: %w: pdf %T does not match op code %d",
+					i, ErrInvalidOp, op.PDF, op.Code)
+			}
+			if op.ID == 0 {
+				op.ID = nextID
+				nextID++
+			} else {
+				switch family(op.ID) {
+				case 1: // update
+				case 2:
+					return nil, nil, fmt.Errorf("ops[%d]: %w: object %d is 2-D, payload 1-D",
+						i, ErrInvalidOp, op.ID)
+				default:
+					return nil, nil, fmt.Errorf("ops[%d]: update: %w %d", i, ErrUnknownID, op.ID)
+				}
+			}
+			overlay[op.ID] = 1
+			out[i], ids[i] = op, op.ID
+		case OpDisk:
+			if !(op.Disk.Radius > 0) || !isFinite(op.Disk.Radius) ||
+				!isFinite(op.Disk.Center.X) || !isFinite(op.Disk.Center.Y) {
+				return nil, nil, fmt.Errorf("ops[%d]: %w: invalid disk %+v", i, ErrInvalidOp, op.Disk)
+			}
+			if op.ID == 0 {
+				op.ID = nextID
+				nextID++
+			} else {
+				switch family(op.ID) {
+				case 2: // update
+				case 1:
+					return nil, nil, fmt.Errorf("ops[%d]: %w: object %d is 1-D, payload 2-D",
+						i, ErrInvalidOp, op.ID)
+				default:
+					return nil, nil, fmt.Errorf("ops[%d]: update: %w %d", i, ErrUnknownID, op.ID)
+				}
+			}
+			overlay[op.ID] = 2
+			out[i], ids[i] = op, op.ID
+		default:
+			return nil, nil, fmt.Errorf("ops[%d]: %w: unknown code %d", i, ErrInvalidOp, op.Code)
+		}
+	}
+	return out, ids, nil
+}
+
+// applyDecoded mutates the state with already-validated decoded ops,
+// emitting the incremental index edits (in dense-slot terms) for the 1-D
+// family. Deletes swap the last slot into the hole so dense IDs stay dense;
+// the displaced object's index entry moves with it. rebuild reports that the
+// edit stream is useless (truncation) and the index must be rebuilt.
+func applyDecoded(st *state, ops []Op) (edits []filter.Edit, rebuild bool, err error) {
+	for _, op := range ops {
+		switch op.Code {
+		case OpTruncate:
+			st.slots, st.pdfs = nil, nil
+			st.dslots, st.disks = nil, nil
+			st.slotOf = map[uint64]int{}
+			st.dslotOf = map[uint64]int{}
+			edits, rebuild = nil, true
+		case OpUniform, OpHist:
+			if st.nextID <= op.ID {
+				st.nextID = op.ID + 1
+			}
+			if slot, ok := st.slotOf[op.ID]; ok {
+				edits = append(edits,
+					filter.DeleteEdit(st.pdfs[slot].Support(), slot),
+					filter.InsertEdit(op.PDF.Support(), slot))
+				st.pdfs[slot] = op.PDF
+			} else {
+				slot := len(st.slots)
+				st.slots = append(st.slots, op.ID)
+				st.pdfs = append(st.pdfs, op.PDF)
+				st.slotOf[op.ID] = slot
+				edits = append(edits, filter.InsertEdit(op.PDF.Support(), slot))
+			}
+		case OpDisk:
+			if st.nextID <= op.ID {
+				st.nextID = op.ID + 1
+			}
+			if slot, ok := st.dslotOf[op.ID]; ok {
+				st.disks[slot] = op.Disk
+			} else {
+				st.dslots = append(st.dslots, op.ID)
+				st.disks = append(st.disks, op.Disk)
+				st.dslotOf[op.ID] = len(st.dslots) - 1
+			}
+		case OpDelete:
+			if slot, ok := st.slotOf[op.ID]; ok {
+				last := len(st.slots) - 1
+				edits = append(edits, filter.DeleteEdit(st.pdfs[slot].Support(), slot))
+				if slot != last {
+					// Move the last object into the vacated slot; its index
+					// entry must follow its dense ID.
+					edits = append(edits,
+						filter.DeleteEdit(st.pdfs[last].Support(), last),
+						filter.InsertEdit(st.pdfs[last].Support(), slot))
+					st.slots[slot], st.pdfs[slot] = st.slots[last], st.pdfs[last]
+					st.slotOf[st.slots[slot]] = slot
+				}
+				st.slots, st.pdfs = st.slots[:last], st.pdfs[:last]
+				delete(st.slotOf, op.ID)
+			} else if slot, ok := st.dslotOf[op.ID]; ok {
+				last := len(st.dslots) - 1
+				if slot != last {
+					st.dslots[slot], st.disks[slot] = st.dslots[last], st.disks[last]
+					st.dslotOf[st.dslots[slot]] = slot
+				}
+				st.dslots, st.disks = st.dslots[:last], st.disks[:last]
+				delete(st.dslotOf, op.ID)
+			} else {
+				return nil, false, fmt.Errorf("%w %d", ErrUnknownID, op.ID)
+			}
+		default:
+			return nil, false, fmt.Errorf("%w: code %d", ErrInvalidOp, op.Code)
+		}
+	}
+	return edits, rebuild, nil
+}
+
+// materialize builds the immutable view of the current state. The dataset
+// and ID slices are fresh copies; the index is prev's clone with the group's
+// edits replayed (or a bulk rebuild when forced or cheaper — see
+// filter.Apply).
+func (s *Store) materialize(prev *View, edits []filter.Edit, rebuild bool) (*View, error) {
+	st := s.st
+	ds := uncertain.NewDataset(append([]pdf.PDF(nil), st.pdfs...))
+	var (
+		ix  *filter.Index
+		err error
+	)
+	if rebuild || prev == nil {
+		ix, err = filter.NewIndex(ds)
+	} else {
+		ix, err = prev.Index.Apply(ds, edits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	disks := make([]Disk, len(st.disks))
+	for i := range disks {
+		disks[i] = Disk{ID: st.dslots[i], Region: st.disks[i]}
+	}
+	return &View{
+		Version: st.version,
+		Seq:     st.seq,
+		Dataset: ds,
+		IDs:     append([]uint64(nil), st.slots...),
+		Index:   ix,
+		Disks:   disks,
+	}, nil
+}
+
+// checkpointLocked runs on the committer goroutine with exclusive state
+// access: serialize every live object as upserts, write the pager file
+// durably, then reset the WAL (its records are now redundant).
+func (s *Store) checkpointLocked() error {
+	if s.broken.Load() {
+		return ErrBroken
+	}
+	start := time.Now()
+	st := s.st
+	ops := make([]Op, 0, len(st.slots)+len(st.dslots))
+	for i, id := range st.slots {
+		ops = append(ops, Op{Code: codeFor(st.pdfs[i]), ID: id, PDF: st.pdfs[i]})
+	}
+	for i, id := range st.dslots {
+		ops = append(ops, Op{Code: OpDisk, ID: id, Disk: st.disks[i]})
+	}
+	cs := checkpointState{Version: st.version, Seq: st.seq, NextID: st.nextID, Ops: ops}
+	if err := writeCheckpoint(s.dir, cs); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.walSize.Store(0)
+	s.checkpoints.Add(1)
+	s.ckptNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	return nil
+}
+
+// DatasetOps converts a dataset into the op batch that loads it: a truncate
+// followed by one insert per object, in ID order — how POST /v1/dataset
+// reloads become durable. Every pdf must have a durable encoding (uniform or
+// histogram).
+func DatasetOps(ds *uncertain.Dataset) ([]Op, error) {
+	ops := make([]Op, 0, ds.Len()+1)
+	ops = append(ops, Truncate())
+	for _, o := range ds.Objects() {
+		code := codeFor(o.PDF)
+		if code == 0 {
+			return nil, fmt.Errorf("%w: object %d: pdf %T has no durable encoding",
+				ErrInvalidOp, o.ID, o.PDF)
+		}
+		ops = append(ops, Op{Code: code, PDF: o.PDF})
+	}
+	return ops, nil
+}

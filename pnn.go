@@ -41,6 +41,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/pdf"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
 )
@@ -215,6 +216,62 @@ type (
 // http.ListenAndServe(addr, srv.Handler()) or mount Handler() in a larger
 // mux; cmd/cpnn-serve is the stand-alone binary.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Durable store, re-exported from internal/store: a write-ahead-logged,
+// checkpointed, crash-recovering uncertain-object store with MVCC views and
+// live (incremental, copy-on-write) filter-index maintenance. Attach one to
+// a ServerConfig to make every server mutation durable, or drive it
+// directly with Apply.
+type (
+	// Store is the durable mutation subsystem. Open one with OpenStore.
+	Store = store.Store
+	// StoreOptions tunes durability (fsync, checkpoint cadence).
+	StoreOptions = store.Options
+	// StoreView is one immutable MVCC generation: dataset, stable-ID
+	// mapping, filter index, 2-D disks.
+	StoreView = store.View
+	// StoreOp is one logged operation; build them with the *Op helpers.
+	StoreOp = store.Op
+	// StoreStats snapshots the store's operational counters.
+	StoreStats = store.Stats
+	// StoreApplyResult reports a committed batch (assigned IDs, version).
+	StoreApplyResult = store.ApplyResult
+	// StoreDisk is one live 2-D object of a view.
+	StoreDisk = store.Disk
+)
+
+// OpenStore opens (creating or crash-recovering) a durable store in dir.
+func OpenStore(dir string, opt StoreOptions) (*Store, error) { return store.Open(dir, opt) }
+
+// InsertObjectOp returns the op inserting a 1-D object (uniform or
+// histogram pdf); the store assigns its stable ID at commit.
+func InsertObjectOp(p PDF) StoreOp { return store.InsertObject(p) }
+
+// UpdateObjectOp returns the op replacing object id's pdf.
+func UpdateObjectOp(id uint64, p PDF) StoreOp { return store.UpdateObject(id, p) }
+
+// InsertDiskOp returns the op inserting a 2-D disk object.
+func InsertDiskOp(c Circle) StoreOp { return store.InsertDisk(c) }
+
+// UpdateDiskOp returns the op replacing object id's disk region.
+func UpdateDiskOp(id uint64, c Circle) StoreOp { return store.UpdateDisk(id, c) }
+
+// DeleteObjectOp returns the op removing object id (either family).
+func DeleteObjectOp(id uint64) StoreOp { return store.Delete(id) }
+
+// TruncateOp returns the op removing every object.
+func TruncateOp() StoreOp { return store.Truncate() }
+
+// DatasetToOps converts a dataset into the truncate+insert batch that loads
+// it durably.
+func DatasetToOps(ds *Dataset) ([]StoreOp, error) { return store.DatasetOps(ds) }
+
+// EngineFromView wraps a store view's dataset and incrementally-maintained
+// index in a query engine without rebuilding anything. Engine answer IDs
+// are the view's dense IDs; translate through view.IDs for stable IDs.
+func EngineFromView(v *StoreView) (*Engine, error) {
+	return core.NewEngineWithIndex(v.Dataset, v.Index)
+}
 
 // Two-dimensional support (the paper's §IV-A extension): disk-shaped
 // uncertainty regions reduce to distance pdfs and reuse the whole pipeline.
