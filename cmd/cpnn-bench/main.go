@@ -1,7 +1,9 @@
 // Command cpnn-bench regenerates the paper's evaluation figures (§V,
 // Figures 9–14) and prints the measured series as aligned tables. It also
-// replays recorded query workloads through the batch evaluation path,
-// reporting latency percentiles and the batch-vs-singles amortization ratio.
+// replays recorded query workloads through the batch evaluation path
+// (latency percentiles, batch-vs-singles amortization) and runs the
+// continuous-monitoring experiment (re-evaluated-query fraction and push
+// latency under localized update load — see internal/monitor).
 //
 // Usage:
 //
@@ -9,6 +11,12 @@
 //	cpnn-bench -fig 0                          # run every figure
 //	cpnn-bench -replay q.txt                   # workload replay (see cpnn-datagen -queries)
 //	cpnn-bench -replay q.txt -data lb.txt -batch-sizes 1,8,64,512
+//	cpnn-bench -monitor -batch-sizes 1,4,16,64 # standing-query monitoring
+//	cpnn-bench -monitor -json BENCH_monitor.json
+//
+// -json additionally writes the replay/monitor series as machine-readable
+// records (name, ops/s, p50/p95/p99 latency, allocs per op) — the format of
+// the repo's BENCH_*.json trajectory files.
 //
 // Absolute timings depend on the host; the orderings, ratios and crossovers
 // are the reproduction targets (see EXPERIMENTS.md).
@@ -38,19 +46,38 @@ func main() {
 
 		replay     = flag.String("replay", "", "replay a query-workload file through the batch path instead of a figure")
 		dataPath   = flag.String("data", "", "dataset file for -replay (default: generate the Long Beach set)")
-		batchSizes = flag.String("batch-sizes", "1,8,64,512", "comma-separated batch sizes for -replay")
+		batchSizes = flag.String("batch-sizes", "", "comma-separated batch sizes (-replay default 1,8,64,512; -monitor default 1,4,16,64)")
 		workers    = flag.Int("workers", 0, "batch worker pool size for -replay (0 = GOMAXPROCS)")
 		p          = flag.Float64("p", 0.3, "replay threshold P")
 		delta      = flag.Float64("delta", 0.01, "replay tolerance Delta")
+
+		mon        = flag.Bool("monitor", false, "run the continuous-monitoring experiment instead of a figure")
+		monObjects = flag.Int("monitor-objects", 10000, "monitoring experiment dataset size")
+		monQueries = flag.Int("monitor-queries", 200, "monitoring experiment standing-query count")
+		monCommits = flag.Int("monitor-commits", 100, "monitoring experiment update commits per batch size")
+
+		jsonOut = flag.String("json", "", "also write machine-readable results (replay/monitor modes) to this file")
 	)
 	flag.Parse()
 
+	if *replay != "" && *mon {
+		fatal(fmt.Errorf("-replay and -monitor are mutually exclusive"))
+	}
 	if *replay != "" {
 		if err := runReplay(*replay, *dataPath, *batchSizes, *workers, *n, *seed,
-			verify.Constraint{P: *p, Delta: *delta}); err != nil {
+			verify.Constraint{P: *p, Delta: *delta}, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *mon {
+		if err := runMonitor(*batchSizes, *monObjects, *monQueries, *monCommits, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		fatal(fmt.Errorf("-json applies to -replay and -monitor modes"))
 	}
 
 	cfg := exp.Config{
@@ -78,9 +105,54 @@ func main() {
 	table.Print(os.Stdout)
 }
 
+// parseSizes parses a comma-separated batch-size list, or returns def when
+// empty.
+func parseSizes(csv string, def []int) ([]int, error) {
+	if strings.TrimSpace(csv) == "" {
+		return def, nil
+	}
+	var sizes []int
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad batch size %q (want positive integers, comma-separated)", s)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}
+
+// runMonitor runs the continuous-monitoring experiment and prints (and
+// optionally records) its table.
+func runMonitor(sizesCSV string, objects, queries, commits int, seed int64, jsonOut string) error {
+	sizes, err := parseSizes(sizesCSV, []int{1, 4, 16, 64})
+	if err != nil {
+		return err
+	}
+	report, err := exp.RunMonitor(exp.MonitorConfig{
+		Objects:    objects,
+		Queries:    queries,
+		Commits:    commits,
+		BatchSizes: sizes,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	report.Print(os.Stdout)
+	if jsonOut != "" {
+		return exp.WriteBenchJSON(jsonOut, report.Records())
+	}
+	return nil
+}
+
 // runReplay loads (or generates) the dataset and query workload and prints
 // the amortization table.
-func runReplay(queryPath, dataPath, sizesCSV string, workers, n int, seed int64, c verify.Constraint) error {
+func runReplay(queryPath, dataPath, sizesCSV string, workers, n int, seed int64, c verify.Constraint, jsonOut string) error {
 	qf, err := os.Open(queryPath)
 	if err != nil {
 		return err
@@ -114,17 +186,9 @@ func runReplay(queryPath, dataPath, sizesCSV string, workers, n int, seed int64,
 		}
 	}
 
-	var sizes []int
-	for _, s := range strings.Split(sizesCSV, ",") {
-		s = strings.TrimSpace(s)
-		if s == "" {
-			continue
-		}
-		v, err := strconv.Atoi(s)
-		if err != nil || v < 1 {
-			return fmt.Errorf("bad batch size %q (want positive integers, comma-separated)", s)
-		}
-		sizes = append(sizes, v)
+	sizes, err := parseSizes(sizesCSV, []int{1, 8, 64, 512})
+	if err != nil {
+		return err
 	}
 
 	report, err := exp.Replay(exp.ReplayConfig{
@@ -138,6 +202,9 @@ func runReplay(queryPath, dataPath, sizesCSV string, workers, n int, seed int64,
 		return err
 	}
 	report.Print(os.Stdout)
+	if jsonOut != "" {
+		return exp.WriteBenchJSON(jsonOut, report.Records())
+	}
 	return nil
 }
 

@@ -110,7 +110,7 @@ func main() {
 			printStats(st)
 		}
 	case *k > 0:
-		answers, err := eng.CKNN(*q, c, core.KNNOptions{K: *k, Seed: *seed})
+		answers, _, err := eng.CKNN(*q, c, core.KNNOptions{K: *k, Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}

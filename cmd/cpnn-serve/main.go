@@ -16,6 +16,8 @@
 //	curl -X POST --data-binary @new.txt 'localhost:8080/v1/dataset?source=new.txt'
 //	curl -X POST -d '{"objects":[{"uniform":{"lo":10,"hi":20}}]}' localhost:8080/v1/objects
 //	curl -X DELETE 'localhost:8080/v1/objects?id=7'
+//	curl -X POST -d '{"kind":"cpnn","q":5000,"p":0.3}' localhost:8080/v1/monitors
+//	curl -N 'localhost:8080/v1/subscribe'          # SSE stream of answer updates
 //	curl 'localhost:8080/metrics'
 //
 // On SIGINT/SIGTERM the server drains gracefully: /healthz flips to
@@ -68,17 +70,19 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		maxInFlight  = fs.Int("max-inflight", 0, "max concurrent evaluations (0 = 2×GOMAXPROCS)")
 		queueTimeout = fs.Duration("queue-timeout", 0, "max wait for a worker slot before shedding a 503 (0 = 10s, negative = wait forever)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+		monWorkers   = fs.Int("monitor-workers", 0, "continuous-query re-evaluation workers (0 = GOMAXPROCS; store mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	srv, source, err := buildServer(*dataPath, *gen, *seed, *dataDir, *noSync, server.Config{
-		Quantum:      *quantum,
-		CacheEntries: *cacheSize,
-		CacheShards:  *cacheShards,
-		MaxInFlight:  *maxInFlight,
-		QueueTimeout: *queueTimeout,
+		Quantum:        *quantum,
+		CacheEntries:   *cacheSize,
+		CacheShards:    *cacheShards,
+		MaxInFlight:    *maxInFlight,
+		QueueTimeout:   *queueTimeout,
+		MonitorWorkers: *monWorkers,
 	})
 	if err != nil {
 		return err

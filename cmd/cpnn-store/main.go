@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/store"
@@ -86,12 +87,15 @@ func inspect(out io.Writer, dir string, s *store.Store) error {
 	fmt.Fprintf(out, "seq:          %d\n", st.Seq)
 	fmt.Fprintf(out, "objects (1d): %d\n", st.Objects1D)
 	fmt.Fprintf(out, "objects (2d): %d\n", st.Objects2D)
-	fmt.Fprintf(out, "wal bytes:    %d\n", st.WALBytes)
+	// Compaction debt at a glance: the WAL tail is what the next boot must
+	// replay, and the checkpoint age is how long it has been accruing.
+	fmt.Fprintf(out, "wal tail:     %d bytes\n", st.WALBytes)
 	if st.TornTailDropped {
 		fmt.Fprintf(out, "wal:          torn tail detected and dropped during recovery\n")
 	}
 	if info, err := os.Stat(filepath.Join(dir, "checkpoint.db")); err == nil {
 		fmt.Fprintf(out, "checkpoint:   %d bytes (%d pages)\n", info.Size(), info.Size()/4096)
+		fmt.Fprintf(out, "checkpoint age: %.0f seconds\n", time.Since(info.ModTime()).Seconds())
 	} else {
 		fmt.Fprintf(out, "checkpoint:   none\n")
 	}

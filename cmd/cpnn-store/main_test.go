@@ -38,7 +38,7 @@ func TestInspect(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"version:      1", "objects (1d): 3", "checkpoint:   none"} {
+	for _, want := range []string{"version:      1", "objects (1d): 3", "checkpoint:   none", "wal tail:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("inspect output missing %q:\n%s", want, out)
 		}
@@ -51,8 +51,11 @@ func TestCompactThenVerify(t *testing.T) {
 	if err := run([]string{"-dir", dir, "-no-fsync", "compact"}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "wal bytes:    0") {
+	if !strings.Contains(sb.String(), "wal tail:     0 bytes") {
 		t.Fatalf("compact did not reset WAL:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "checkpoint age:") {
+		t.Fatalf("compact output lacks the checkpoint age:\n%s", sb.String())
 	}
 	if _, err := os.Stat(filepath.Join(dir, "checkpoint.db")); err != nil {
 		t.Fatal(err)

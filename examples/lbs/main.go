@@ -56,7 +56,7 @@ func main() {
 
 	// Dispatch planning wants backups: the three most probable responders,
 	// via the constrained k-NN extension.
-	answers, err := eng.CKNN(incident, pnn.Constraint{P: 0.5, Delta: 0.05},
+	answers, _, err := eng.CKNN(incident, pnn.Constraint{P: 0.5, Delta: 0.05},
 		pnn.KNNOptions{K: 3, Samples: 8000, Seed: 9, Bins: 120})
 	if err != nil {
 		log.Fatal(err)

@@ -134,6 +134,33 @@ func (sc *queryScratch) buildTable(cands []subregion.Candidate) (*subregion.Tabl
 	return &sc.table, nil
 }
 
+// Scratch is a caller-owned reusable evaluation scratch for long-lived loops
+// that evaluate single queries one at a time — the monitor's re-evaluation
+// workers hold one per worker. It recycles the candidate buffer, subregion
+// table and fold arena exactly like a batch worker's pooled scratch, cutting
+// the per-query allocation profile to the batch path's. A Scratch is not safe
+// for concurrent use; the zero value (and NewScratch) is ready.
+type Scratch struct{ qs queryScratch }
+
+// NewScratch returns an empty reusable evaluation scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// CPNNScratch is CPNN evaluated on a caller-owned scratch. Results never
+// alias scratch memory, so they stay valid across subsequent calls. A nil
+// scratch falls back to plain CPNN.
+func (e *Engine) CPNNScratch(q float64, c verify.Constraint, opt Options, sc *Scratch) (*Result, error) {
+	if sc == nil {
+		return e.CPNN(q, c, opt)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkQuery(q); err != nil {
+		return nil, err
+	}
+	return e.cpnn(q, c, opt.withDefaults(), &sc.qs)
+}
+
 // CPNNBatch evaluates one C-PNN per query point over a bounded worker pool,
 // sharing the engine's filter index and discretization memo and recycling
 // per-query scratch (subregion tables, candidate buffers) via a sync.Pool.

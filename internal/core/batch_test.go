@@ -147,7 +147,7 @@ func TestCPNNBatchRejectsNonFinite(t *testing.T) {
 	if _, _, err := eng.PNN(math.Inf(1), Options{}); err == nil {
 		t.Fatal("PNN accepted +Inf")
 	}
-	if _, err := eng.CKNN(math.NaN(), c, KNNOptions{K: 2}); err == nil {
+	if _, _, err := eng.CKNN(math.NaN(), c, KNNOptions{K: 2}); err == nil {
 		t.Fatal("CKNN accepted NaN")
 	}
 }

@@ -156,7 +156,12 @@ type Stats struct {
 	Candidates int
 	// Subregions is M.
 	Subregions int
-	// FMin is the filtering bound.
+	// FMin is the filtering bound — the critical distance of the query. For
+	// CPNN/PNN it is the minimum far-point distance over all objects; for
+	// CKNN the k-th smallest far-point distance. Every object whose region
+	// stays entirely beyond FMin from the query point provably cannot change
+	// the answer, which is what the continuous-monitoring layer's
+	// influence-region pruning is built on (see internal/monitor).
 	FMin float64
 	// VerifiersApplied names the verifiers that ran, in order.
 	VerifiersApplied []string
@@ -443,6 +448,15 @@ type KNNOptions struct {
 	// Bins is the discretization resolution for analytic pdfs; 0 means
 	// dist.DefaultBins.
 	Bins int
+	// IDs, when set, maps dense dataset IDs to stable external IDs and makes
+	// the evaluation a pure function of the *stable-ID object set*: each
+	// candidate samples from its own RNG stream seeded by (Seed, IDs[id]),
+	// and rank ties break by stable ID. Without it, all candidates share one
+	// stream in dense-ID order, so answers depend on dataset slot layout.
+	// The monitoring layer needs the stable form: after an unrelated delete,
+	// dense IDs reshuffle but a pruned standing query's answer must be
+	// byte-identical on recomputation. Must have length Dataset().Len().
+	IDs []uint64
 }
 
 // KNNAnswer is one object of a constrained k-NN result.
@@ -461,16 +475,18 @@ type KNNAnswer struct {
 // point (the natural generalization of the RS pruning rule) and estimating
 // membership probabilities by Monte-Carlo over the surviving candidates.
 // Bounds carry a ±4σ normal-approximation confidence width, and objects are
-// classified with the same Definition 1 rules as the C-PNN.
-func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnswer, error) {
+// classified with the same Definition 1 rules as the C-PNN. The returned
+// Stats expose the candidate count and the critical distance f_k (Stats.FMin).
+func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnswer, Stats, error) {
+	var st Stats
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	if err := checkQuery(q); err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	if opt.K < 1 {
-		return nil, fmt.Errorf("core: k = %d < 1", opt.K)
+		return nil, st, fmt.Errorf("core: k = %d < 1", opt.K)
 	}
 	if opt.Samples == 0 {
 		opt.Samples = 10000
@@ -479,8 +495,11 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 		opt.Bins = dist.DefaultBins
 	}
 	n := e.ds.Len()
+	if opt.IDs != nil && len(opt.IDs) != n {
+		return nil, st, fmt.Errorf("core: IDs maps %d objects, dataset holds %d", len(opt.IDs), n)
+	}
 	if n == 0 {
-		return nil, nil
+		return nil, st, nil
 	}
 	k := opt.K
 	if k > n {
@@ -488,6 +507,7 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 	}
 	// f_k: the k-th smallest far point. Objects whose near point exceeds it
 	// cannot be among the k nearest, because k objects are certainly closer.
+	start := time.Now()
 	fars := make([]float64, n)
 	for i, o := range e.ds.Objects() {
 		fars[i] = o.Region().MaxDist(q)
@@ -500,9 +520,12 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 			ids = append(ids, o.ID)
 		}
 	}
+	st.FilterTime = time.Since(start)
+	st.FMin = fk
+	st.Candidates = len(ids)
 	cands, err := e.distanceCandidates(nil, ids, q, opt.Bins)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 
 	// Analytic pre-verification (the RS rule generalized to k-NN): an
@@ -527,19 +550,46 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 			out[i] = KNNAnswer{ID: cand.ID, Bounds: b, Status: verify.Fail}
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-		return out, nil
+		return out, st, nil
 	}
 
-	rng := rand.New(rand.NewSource(opt.Seed))
+	// With IDs, each candidate draws from its own stable-ID-seeded stream and
+	// rank ties break by stable ID, so the tallies are invariant under dense
+	// slot relabeling; otherwise one shared stream in slot order (the original
+	// single-shot behavior, kept for compatibility with recorded baselines).
+	var rng *rand.Rand
+	var rngs []*rand.Rand
+	if opt.IDs == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	} else {
+		rngs = make([]*rand.Rand, len(cands))
+		for i, cand := range cands {
+			rngs[i] = rand.New(rand.NewSource(mixSeed(opt.Seed, opt.IDs[cand.ID])))
+		}
+	}
 	counts := make([]int, len(cands))
 	dists := make([]float64, len(cands))
 	idx := make([]int, len(cands))
+	less := func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] }
+	if opt.IDs != nil {
+		less = func(a, b int) bool {
+			da, db := dists[idx[a]], dists[idx[b]]
+			if da != db {
+				return da < db
+			}
+			return opt.IDs[cands[idx[a]].ID] < opt.IDs[cands[idx[b]].ID]
+		}
+	}
 	for s := 0; s < opt.Samples; s++ {
 		for i, cand := range cands {
-			dists[i] = cand.Dist.Sample(rng)
+			if rngs != nil {
+				dists[i] = cand.Dist.Sample(rngs[i])
+			} else {
+				dists[i] = cand.Dist.Sample(rng)
+			}
 			idx[i] = i
 		}
-		sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+		sort.Slice(idx, less)
 		top := k
 		if top > len(idx) {
 			top = len(idx)
@@ -572,7 +622,16 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 		out[i] = KNNAnswer{ID: cand.ID, Bounds: b, Status: verify.Classify(b, c)}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-	return out, nil
+	return out, st, nil
+}
+
+// mixSeed derives a per-object RNG seed from the query seed and a stable ID
+// (splitmix64 finalizer), decorrelating the per-candidate sample streams.
+func mixSeed(seed int64, id uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 func sampleSigma(p float64, n int) float64 {

@@ -182,7 +182,7 @@ func TestCPNNEmptyDataset(t *testing.T) {
 	if r, err := e.Min(verify.Constraint{P: 0.3}, Options{}); err != nil || len(r.Answers) != 0 {
 		t.Errorf("Min on empty dataset: %v, %v", r, err)
 	}
-	if out, err := e.CKNN(5, verify.Constraint{P: 0.3}, KNNOptions{K: 2}); err != nil || out != nil {
+	if out, _, err := e.CKNN(5, verify.Constraint{P: 0.3}, KNNOptions{K: 2}); err != nil || out != nil {
 		t.Errorf("CKNN on empty dataset: %v, %v", out, err)
 	}
 }
@@ -289,7 +289,7 @@ func TestCKNNBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.CKNN(10, verify.Constraint{P: 0.5, Delta: 0.05}, KNNOptions{K: 2, Samples: 4000, Seed: 1})
+	out, _, err := e.CKNN(10, verify.Constraint{P: 0.5, Delta: 0.05}, KNNOptions{K: 2, Samples: 4000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestCKNNBasics(t *testing.T) {
 		t.Error("far object satisfied 2-NN")
 	}
 	// k = 1 must agree with the C-PNN winner direction.
-	out1, err := e.CKNN(10, verify.Constraint{P: 0.5, Delta: 0.05}, KNNOptions{K: 1, Samples: 8000, Seed: 2})
+	out1, _, err := e.CKNN(10, verify.Constraint{P: 0.5, Delta: 0.05}, KNNOptions{K: 1, Samples: 8000, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestCKNNBasics(t *testing.T) {
 			t.Error("far object won 1-NN")
 		}
 	}
-	if _, err := e.CKNN(10, verify.Constraint{P: 0.5}, KNNOptions{K: 0}); err == nil {
+	if _, _, err := e.CKNN(10, verify.Constraint{P: 0.5}, KNNOptions{K: 0}); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
@@ -329,7 +329,7 @@ func TestCKNNKEqualsOneMatchesPNN(t *testing.T) {
 	for _, p := range probs {
 		exact[p.ID] = p.P
 	}
-	out, err := e.CKNN(q, verify.Constraint{P: 0.99, Delta: 1}, KNNOptions{K: 1, Samples: 30000, Seed: 3})
+	out, _, err := e.CKNN(q, verify.Constraint{P: 0.99, Delta: 1}, KNNOptions{K: 1, Samples: 30000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +489,7 @@ func TestKNNPreVerifierPrunesWithoutSampling(t *testing.T) {
 	// With a high threshold, the analytic bound D_i(f_k) alone fails every
 	// candidate; results must still be well-formed and all marked fail.
 	e := genEngine(t, 300, 6)
-	out, err := e.CKNN(500, verify.Constraint{P: 0.999999, Delta: 0}, KNNOptions{K: 2, Samples: 10, Seed: 1})
+	out, _, err := e.CKNN(500, verify.Constraint{P: 0.999999, Delta: 0}, KNNOptions{K: 2, Samples: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// BenchRecord is one machine-readable benchmark result — the format of
+// cpnn-bench -json and of the repo's recorded BENCH_*.json trajectory files,
+// so successive PRs can compare numbers without parsing tables.
+type BenchRecord struct {
+	// Name identifies the series and point, e.g. "replay/batch=64" or
+	// "monitor/batch=16".
+	Name string `json:"name"`
+	// OpsPerSec is the primary throughput metric (queries/s or update ops/s).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// P50Ms, P95Ms and P99Ms are latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// AllocsPerOp counts heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra carries series-specific metrics (amortization ratio, re-eval
+	// fraction, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchFile is the on-disk shape of a -json output.
+type benchFile struct {
+	Records []BenchRecord `json:"records"`
+}
+
+// WriteBenchJSON writes records to path as indented JSON.
+func WriteBenchJSON(path string, records []BenchRecord) error {
+	data, err := json.MarshalIndent(benchFile{Records: records}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Records converts a replay report to bench records.
+func (r *ReplayReport) Records() []BenchRecord {
+	out := make([]BenchRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, BenchRecord{
+			Name:        fmt.Sprintf("replay/batch=%d", row.BatchSize),
+			OpsPerSec:   float64(r.Queries) / row.Total.Seconds(),
+			P50Ms:       ms(row.P50),
+			P95Ms:       ms(row.P95),
+			P99Ms:       ms(row.P99),
+			AllocsPerOp: row.AllocsPerQuery,
+			Extra:       map[string]float64{"ratio": row.Ratio},
+		})
+	}
+	return out
+}
+
+// Records converts a monitoring report to bench records.
+func (r *MonitorReport) Records() []BenchRecord {
+	out := make([]BenchRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, BenchRecord{
+			Name:        fmt.Sprintf("monitor/batch=%d", row.BatchSize),
+			OpsPerSec:   row.OpsPerSec,
+			P50Ms:       ms(row.P50),
+			P95Ms:       ms(row.P95),
+			P99Ms:       ms(row.P99),
+			AllocsPerOp: row.AllocsPerCommit,
+			Extra: map[string]float64{
+				"reeval_fraction": row.ReevalFraction,
+				"standing":        float64(r.Queries),
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/pdf"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/verify"
+)
+
+// MonitorConfig drives the continuous-monitoring experiment: a store full of
+// uncertain objects, a population of standing C-PNN queries, and a stream of
+// localized update commits. The measured quantities are the re-evaluated
+// query fraction (vs. the naive re-evaluate-every-query-per-commit baseline)
+// and the commit-to-quiescence push latency.
+type MonitorConfig struct {
+	// Objects is the dataset size; 0 means 10000.
+	Objects int
+	// Queries is the standing-query count; 0 means 200.
+	Queries int
+	// Commits is the number of update commits per batch size; 0 means 100.
+	Commits int
+	// BatchSizes lists ops-per-commit sizes; empty means 1, 4, 16, 64.
+	BatchSizes []int
+	// Seed makes the workload deterministic.
+	Seed int64
+	// Dir is the store directory; empty means a temp dir removed afterwards.
+	Dir string
+}
+
+// MonitorRow is the measured outcome of one batch size.
+type MonitorRow struct {
+	// BatchSize is the ops per commit.
+	BatchSize int
+	// OpsPerSec is update throughput through monitor quiescence (commit,
+	// spatial join, triggered re-evaluations and pushes all included).
+	OpsPerSec float64
+	// ActualReevals counts triggered re-evaluations; NaiveReevals is what
+	// re-evaluate-all would have done (queries × commits).
+	ActualReevals, NaiveReevals uint64
+	// ReevalFraction is ActualReevals / NaiveReevals.
+	ReevalFraction float64
+	// P50, P95 and P99 are per-commit push latencies: the time from Apply
+	// returning until every affected standing answer is re-evaluated and
+	// pushed.
+	P50, P95, P99 time.Duration
+	// AllocsPerCommit is the allocation count per commit, pruning included.
+	AllocsPerCommit float64
+}
+
+// MonitorReport is the outcome of the monitoring experiment.
+type MonitorReport struct {
+	Objects, Queries, Commits int
+	Rows                      []MonitorRow
+}
+
+// RunMonitor runs the continuous-monitoring experiment.
+func RunMonitor(cfg MonitorConfig) (*MonitorReport, error) {
+	if cfg.Objects == 0 {
+		cfg.Objects = 10000
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 200
+	}
+	if cfg.Commits == 0 {
+		cfg.Commits = 100
+	}
+	sizes := cfg.BatchSizes
+	if len(sizes) == 0 {
+		sizes = []int{1, 4, 16, 64}
+	}
+	for _, b := range sizes {
+		if b < 1 {
+			return nil, fmt.Errorf("exp: batch size %d < 1", b)
+		}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "cpnn-monitor-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	s, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	const domain = 10000.0
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	iv := func() (float64, float64) {
+		lo := rng.Float64() * domain
+		return lo, lo + 1 + rng.Float64()*24 // mean length ~13, like Long Beach
+	}
+	ops := make([]store.Op, cfg.Objects)
+	for i := range ops {
+		lo, hi := iv()
+		ops[i] = store.InsertObject(pdf.MustUniform(lo, hi))
+	}
+	res, err := s.Apply(ops)
+	if err != nil {
+		return nil, err
+	}
+	ids := res.IDs
+
+	m, err := monitor.New(monitor.Config{Store: s})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	for i := 0; i < cfg.Queries; i++ {
+		if _, err := m.Register(monitor.Spec{
+			Kind: monitor.KindCPNN, Q: rng.Float64() * domain,
+			Constraint: verify.Constraint{P: 0.3, Delta: 0.01},
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	report := &MonitorReport{Objects: cfg.Objects, Queries: cfg.Queries, Commits: cfg.Commits}
+	for _, size := range sizes {
+		before := m.Stats()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		var lat stats.Sample
+		start := time.Now()
+		for c := 0; c < cfg.Commits; c++ {
+			batch := make([]store.Op, size)
+			for i := range batch {
+				lo, hi := iv()
+				batch[i] = store.UpdateObject(ids[rng.Intn(len(ids))], pdf.MustUniform(lo, hi))
+			}
+			cStart := time.Now()
+			if _, err := s.Apply(batch); err != nil {
+				return nil, err
+			}
+			if err := m.Sync(30 * time.Second); err != nil {
+				return nil, err
+			}
+			lat.AddDuration(time.Since(cStart))
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		after := m.Stats()
+
+		actual := after.ReEvals - before.ReEvals
+		naive := uint64(cfg.Queries) * uint64(cfg.Commits)
+		row := MonitorRow{
+			BatchSize:       size,
+			OpsPerSec:       float64(size*cfg.Commits) / total.Seconds(),
+			ActualReevals:   actual,
+			NaiveReevals:    naive,
+			P50:             msToDur(lat.Percentile(50)),
+			P95:             msToDur(lat.Percentile(95)),
+			P99:             msToDur(lat.Percentile(99)),
+			AllocsPerCommit: float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.Commits),
+		}
+		if naive > 0 {
+			row.ReevalFraction = float64(actual) / float64(naive)
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// Print renders the monitoring report as an aligned table.
+func (r *MonitorReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "# Continuous monitoring: %d objects, %d standing C-PNN queries, %d update commits per size\n",
+		r.Objects, r.Queries, r.Commits)
+	fmt.Fprintf(w, "%10s %10s %10s %12s %12s %12s %12s %14s\n",
+		"batch", "ops/s", "reeval%", "reevals", "naive", "p50", "p95", "allocs/commit")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d %10.0f %9.2f%% %12d %12d %12s %12s %14.0f\n",
+			row.BatchSize, row.OpsPerSec, 100*row.ReevalFraction,
+			row.ActualReevals, row.NaiveReevals,
+			row.P50.Round(time.Microsecond), row.P95.Round(time.Microsecond),
+			row.AllocsPerCommit)
+	}
+}

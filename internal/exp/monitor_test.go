@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunMonitorSmall runs a scaled-down monitoring experiment end to end
+// and sanity-checks the measured series plus the bench-record conversion.
+func TestRunMonitorSmall(t *testing.T) {
+	report, err := RunMonitor(MonitorConfig{
+		Objects:    500,
+		Queries:    40,
+		Commits:    10,
+		BatchSizes: []int{1, 8},
+		Seed:       1,
+		Dir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(report.Rows))
+	}
+	for _, row := range report.Rows {
+		if row.NaiveReevals != 40*10 {
+			t.Fatalf("naive = %d, want 400", row.NaiveReevals)
+		}
+		if row.ActualReevals > row.NaiveReevals {
+			t.Fatalf("actual %d > naive %d", row.ActualReevals, row.NaiveReevals)
+		}
+		if row.OpsPerSec <= 0 || row.P95 < row.P50 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+	// Localized single-op commits must re-evaluate a minority of queries.
+	if frac := report.Rows[0].ReevalFraction; frac >= 0.5 {
+		t.Fatalf("re-eval fraction %.2f at batch 1, want < 0.5", frac)
+	}
+
+	var sb strings.Builder
+	report.Print(&sb)
+	if !strings.Contains(sb.String(), "reeval%") {
+		t.Fatalf("table output:\n%s", sb.String())
+	}
+
+	// JSON records round-trip with the documented fields.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBenchJSON(path, report.Records()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Records []BenchRecord `json:"records"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Records) != 2 || parsed.Records[0].Name != "monitor/batch=1" {
+		t.Fatalf("records = %+v", parsed.Records)
+	}
+	if parsed.Records[0].OpsPerSec <= 0 {
+		t.Fatalf("ops/s missing: %+v", parsed.Records[0])
+	}
+	if _, ok := parsed.Records[0].Extra["reeval_fraction"]; !ok {
+		t.Fatalf("extra metrics missing: %+v", parsed.Records[0])
+	}
+}
+
+// TestReplayRecords checks the replay → bench-record conversion carries the
+// allocation metric.
+func TestReplayRecords(t *testing.T) {
+	r := &ReplayReport{Queries: 100, Rows: []ReplayRow{{BatchSize: 1, Total: 1e9, Ratio: 1, AllocsPerQuery: 42}}}
+	recs := r.Records()
+	if len(recs) != 1 || recs[0].Name != "replay/batch=1" || recs[0].AllocsPerOp != 42 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].OpsPerSec != 100 {
+		t.Fatalf("ops/s = %g, want 100", recs[0].OpsPerSec)
+	}
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -42,6 +43,8 @@ type ReplayRow struct {
 	P50, P95, P99 time.Duration
 	// Ratio is the amortization: singles total time over this size's total.
 	Ratio float64
+	// AllocsPerQuery counts heap allocations per query at this batch size.
+	AllocsPerQuery float64
 }
 
 // ReplayReport is the outcome of a workload replay.
@@ -91,6 +94,8 @@ func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 
 	// Baseline: sequential singles, timed per query.
 	var lat stats.Sample
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	singleStart := time.Now()
 	baseAnswers := 0
 	for _, q := range cfg.Queries {
@@ -103,22 +108,26 @@ func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 		baseAnswers += len(res.Answers)
 	}
 	singlesTotal := time.Since(singleStart)
+	runtime.ReadMemStats(&ms1)
+	singlesAllocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(len(cfg.Queries))
 	report.Answers = baseAnswers
 
 	for _, size := range sizes {
 		if size == 1 {
 			report.Rows = append(report.Rows, ReplayRow{
-				BatchSize: 1,
-				Total:     singlesTotal,
-				P50:       msToDur(lat.Percentile(50)),
-				P95:       msToDur(lat.Percentile(95)),
-				P99:       msToDur(lat.Percentile(99)),
-				Ratio:     1,
+				BatchSize:      1,
+				Total:          singlesTotal,
+				P50:            msToDur(lat.Percentile(50)),
+				P95:            msToDur(lat.Percentile(95)),
+				P99:            msToDur(lat.Percentile(99)),
+				Ratio:          1,
+				AllocsPerQuery: singlesAllocs,
 			})
 			continue
 		}
 		var batchLat stats.Sample
 		answers := 0
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		for off := 0; off < len(cfg.Queries); off += size {
 			end := off + size
@@ -138,17 +147,19 @@ func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 			}
 		}
 		total := time.Since(start)
+		runtime.ReadMemStats(&ms1)
 		if answers != baseAnswers {
 			return nil, fmt.Errorf("exp: batch size %d returned %d answers, singles returned %d",
 				size, answers, baseAnswers)
 		}
 		report.Rows = append(report.Rows, ReplayRow{
-			BatchSize: size,
-			Total:     total,
-			P50:       msToDur(batchLat.Percentile(50)),
-			P95:       msToDur(batchLat.Percentile(95)),
-			P99:       msToDur(batchLat.Percentile(99)),
-			Ratio:     float64(singlesTotal) / float64(total),
+			BatchSize:      size,
+			Total:          total,
+			P50:            msToDur(batchLat.Percentile(50)),
+			P95:            msToDur(batchLat.Percentile(95)),
+			P99:            msToDur(batchLat.Percentile(99)),
+			Ratio:          float64(singlesTotal) / float64(total),
+			AllocsPerQuery: float64(ms1.Mallocs-ms0.Mallocs) / float64(len(cfg.Queries)),
 		})
 	}
 	return report, nil

@@ -1,0 +1,72 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/pdf"
+	"repro/internal/store"
+	"repro/internal/verify"
+)
+
+// BenchmarkMonitorCommit measures the end-to-end cost of one localized
+// update commit with standing queries registered: WAL append, view publish,
+// spatial join, and the (few) triggered re-evaluations, through quiescence.
+// The standing-query count is the axis: with influence pruning the cost
+// should stay nearly flat as queries grow, where naive re-evaluate-all is
+// linear (see internal/exp.MonitorExperiment for the recorded comparison).
+func BenchmarkMonitorCommit(b *testing.B) {
+	for _, nq := range []int{16, 256} {
+		b.Run(fmt.Sprintf("queries=%d", nq), func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := store.Open(dir, store.Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			rng := rand.New(rand.NewSource(1))
+			const domain = 10000.0
+			var ops []store.Op
+			for i := 0; i < 2000; i++ {
+				lo := rng.Float64() * domain
+				ops = append(ops, store.InsertObject(pdf.MustUniform(lo, lo+1+rng.Float64()*12)))
+			}
+			res, err := s.Apply(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := New(Config{Store: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			for i := 0; i < nq; i++ {
+				if _, err := m.Register(Spec{Kind: KindCPNN, Q: rng.Float64() * domain,
+					Constraint: verify.Constraint{P: 0.3, Delta: 0.01}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ids := res.IDs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := ids[rng.Intn(len(ids))]
+				lo := rng.Float64() * domain
+				if _, err := s.Apply([]store.Op{
+					store.UpdateObject(id, pdf.MustUniform(lo, lo+1+rng.Float64()*12)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Sync(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := m.Stats()
+			if st.Affected+st.Pruned > 0 {
+				b.ReportMetric(float64(st.Affected)/float64(st.Affected+st.Pruned), "reeval-fraction")
+			}
+		})
+	}
+}

@@ -1,0 +1,245 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/store"
+	"repro/internal/verify"
+)
+
+// Kind selects the standing-query flavor.
+type Kind uint8
+
+const (
+	// KindCPNN is a standing constrained PNN (threshold + tolerance).
+	KindCPNN Kind = iota + 1
+	// KindPNN is a standing unconstrained PNN (exact probabilities).
+	KindPNN
+	// KindKNN is a standing constrained k-NN (sampling-based).
+	KindKNN
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCPNN:
+		return "cpnn"
+	case KindPNN:
+		return "pnn"
+	case KindKNN:
+		return "knn"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind parses the wire name of a query kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "cpnn":
+		return KindCPNN, nil
+	case "pnn":
+		return KindPNN, nil
+	case "knn":
+		return KindKNN, nil
+	default:
+		return 0, fmt.Errorf("monitor: unknown query kind %q (cpnn, pnn, knn)", s)
+	}
+}
+
+// Spec describes one standing query. Constraint applies to KindCPNN and
+// KindKNN; Strategy to KindCPNN; K/Samples/Seed to KindKNN.
+type Spec struct {
+	Kind       Kind
+	Q          float64
+	Constraint verify.Constraint
+	Strategy   core.Strategy
+	K          int
+	Samples    int
+	Seed       int64
+}
+
+// Validate rejects malformed specs before they are registered.
+func (sp Spec) Validate() error {
+	if math.IsNaN(sp.Q) || math.IsInf(sp.Q, 0) {
+		return fmt.Errorf("monitor: non-finite query point %g", sp.Q)
+	}
+	switch sp.Kind {
+	case KindCPNN, KindKNN:
+		if err := sp.Constraint.Validate(); err != nil {
+			return err
+		}
+		if sp.Kind == KindKNN {
+			if sp.K < 1 {
+				return fmt.Errorf("monitor: k = %d < 1", sp.K)
+			}
+			if sp.Samples < 0 {
+				return fmt.Errorf("monitor: samples = %d < 0", sp.Samples)
+			}
+		}
+	case KindPNN:
+	default:
+		return fmt.Errorf("monitor: unknown query kind %d", sp.Kind)
+	}
+	return nil
+}
+
+// maxCoord bounds the synthetic influence interval that stands in for an
+// unbounded radius; it stays finite so R-tree arithmetic (areas, margins,
+// enlargement deltas) never overflows into Inf−Inf = NaN.
+const maxCoord = math.MaxFloat64 / 4
+
+// answerJSON is one classified object of a canonical answer body, in
+// stable-ID terms.
+type answerJSON struct {
+	ID     uint64  `json:"id"`
+	L      float64 `json:"l"`
+	U      float64 `json:"u"`
+	Status string  `json:"status"`
+}
+
+// probJSON is one entry of a PNN answer body.
+type probJSON struct {
+	ID uint64  `json:"id"`
+	P  float64 `json:"p"`
+}
+
+// round9 rounds to 9 decimal places. Answer bodies are compared byte-wise to
+// decide whether to push; probability sums and products inside the engine
+// run in dense-slot order, so an unrelated delete (which reshuffles slots)
+// can perturb the last couple of float bits of an otherwise-unchanged
+// answer. Quantizing far below any meaningful precision (the paper's Δ is
+// 0.01) and far above the ~1e-16 relative jitter makes "unchanged" robust.
+func round9(v float64) float64 { return math.Round(v*1e9) / 1e9 }
+
+// Evaluate computes the canonical answer body of a spec against one MVCC
+// view, plus the query's influence radius: the critical distance within
+// which a changed object can possibly alter the answer (math.Inf(1) when
+// every change can, e.g. on an empty dataset). The body is a deterministic
+// function of the view's stable-ID object set — evaluating the same spec at
+// any view holding the same objects yields identical bytes.
+//
+// eng must be an engine over view's dataset and index (pass nil to build
+// one); sc optionally recycles evaluation scratch.
+func Evaluate(view *store.View, eng *core.Engine, sc *core.Scratch, spec Spec) (body []byte, radius float64, err error) {
+	if eng == nil {
+		eng, err = core.NewEngineWithIndex(view.Dataset, view.Index)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	n := view.Dataset.Len()
+	switch spec.Kind {
+	case KindCPNN:
+		res, err := eng.CPNNScratch(spec.Q, spec.Constraint, core.Options{Strategy: spec.Strategy}, sc)
+		if err != nil {
+			return nil, 0, err
+		}
+		out := make([]answerJSON, 0, len(res.Answers))
+		for _, a := range res.Answers {
+			out = append(out, answerJSON{
+				ID: stableID(view, a.ID), L: round9(a.Bounds.L), U: round9(a.Bounds.U),
+				Status: a.Status.String(),
+			})
+		}
+		sortAnswers(out)
+		body, err = json.Marshal(struct {
+			Answers []answerJSON `json:"answers"`
+		}{out})
+		return body, boundedRadius(n > 0, res.Stats.FMin), err
+
+	case KindPNN:
+		probs, st, err := eng.PNN(spec.Q, core.Options{})
+		if err != nil {
+			return nil, 0, err
+		}
+		out := make([]probJSON, 0, len(probs))
+		for _, p := range probs {
+			out = append(out, probJSON{ID: stableID(view, p.ID), P: round9(p.P)})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		body, err = json.Marshal(struct {
+			Probabilities []probJSON `json:"probabilities"`
+		}{out})
+		return body, boundedRadius(n > 0, st.FMin), err
+
+	case KindKNN:
+		answers, st, err := eng.CKNN(spec.Q, spec.Constraint, core.KNNOptions{
+			K: spec.K, Samples: spec.Samples, Seed: spec.Seed, IDs: knnIDs(view),
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		out := make([]answerJSON, 0, len(answers))
+		for _, a := range answers {
+			if a.Status != verify.Satisfy {
+				continue
+			}
+			out = append(out, answerJSON{
+				ID: stableID(view, a.ID), L: round9(a.Bounds.L), U: round9(a.Bounds.U),
+				Status: a.Status.String(),
+			})
+		}
+		sortAnswers(out)
+		body, err = json.Marshal(struct {
+			Answers []answerJSON `json:"answers"`
+		}{out})
+		// With fewer than K objects, any insert anywhere joins the k-NN set:
+		// the critical distance f_k only prunes when at least K objects exist.
+		return body, boundedRadius(n >= spec.K && n > 0, st.FMin), err
+
+	default:
+		return nil, 0, fmt.Errorf("monitor: unknown query kind %d", spec.Kind)
+	}
+}
+
+// stableID translates a dense engine ID through the view's stable-ID map.
+func stableID(view *store.View, dense int) uint64 {
+	if view.IDs == nil {
+		return uint64(dense)
+	}
+	return view.IDs[dense]
+}
+
+// knnIDs returns the view's stable-ID map, synthesizing the identity for
+// views without one so CKNN always runs in order-independent mode.
+func knnIDs(view *store.View) []uint64 {
+	if view.IDs != nil {
+		return view.IDs
+	}
+	ids := make([]uint64, view.Dataset.Len())
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	return ids
+}
+
+func sortAnswers(out []answerJSON) {
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+}
+
+// boundedRadius returns the influence radius, widening to +Inf when the
+// critical-distance argument does not apply (empty dataset, k-NN with fewer
+// than K objects).
+func boundedRadius(ok bool, r float64) float64 {
+	if !ok {
+		return math.Inf(1)
+	}
+	return r
+}
+
+// influenceRect is the query's standing entry in the monitor's R-tree: every
+// object whose region stays outside it provably cannot change the answer.
+// Unbounded radii clamp to a huge finite interval (see maxCoord).
+func influenceRect(q, radius float64) geom.Rect {
+	lo, hi := q-radius, q+radius
+	if math.IsInf(radius, 1) || lo < -maxCoord || hi > maxCoord {
+		lo, hi = -maxCoord, maxCoord
+	}
+	return geom.Rect{MinX: lo, MinY: 0, MaxX: hi, MaxY: 0}
+}

@@ -1,0 +1,524 @@
+// Package monitor is the continuous-query subsystem of the C-PNN engine: it
+// maintains standing C-PNN / PNN / constrained-k-NN queries over the durable
+// store's change feed and pushes answer updates as batches commit — the
+// paper's motivating LBS and sensor scenarios, where object pdfs change
+// continuously and clients care about the current answer, made incremental.
+//
+// The core idea is influence-region pruning. Every evaluation already
+// computes a critical distance (the filtering bound f_min, or f_k for k-NN):
+// an object whose region stays entirely farther from the query point
+// provably cannot change the answer — it can neither join the candidate set
+// nor move the filtering bound. The monitor indexes each standing query's
+// influence interval [q−r, q+r] in an R-tree and, on every committed batch,
+// spatially joins the batch's changed rectangles (old and new) against it.
+// Only intersected queries re-evaluate; for everything else the previous
+// answer is provably current. Localized updates therefore cost work
+// proportional to the queries they can actually affect, not to the number of
+// standing queries (O(affected) instead of O(queries × commits)).
+//
+// Re-evaluation runs on a bounded worker pool that recycles per-worker
+// evaluation scratch (core.Scratch — the batch path's candidate buffers,
+// subregion tables and fold arenas). Bursts coalesce: a query dirtied by
+// several commits evaluates once, against the latest view. Answers are
+// canonical JSON in stable-ID terms; a query is pushed to subscribers only
+// when its answer actually changed. Slow subscribers are never waited on —
+// their stream drops and they receive an explicit lagged event.
+package monitor
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/store"
+)
+
+// ErrClosed is returned by operations on a closed monitor.
+var ErrClosed = errors.New("monitor: closed")
+
+// ErrUnknownMonitor marks operations addressing an unregistered monitor ID.
+var ErrUnknownMonitor = errors.New("monitor: unknown monitor id")
+
+// DefaultMaxMonitors caps registered standing queries.
+const DefaultMaxMonitors = 65536
+
+// Config tunes a Monitor. Store is required; every other zero value selects
+// a sensible default.
+type Config struct {
+	// Store supplies the change feed and the views to evaluate against.
+	Store *store.Store
+	// Workers bounds concurrent re-evaluations; 0 means GOMAXPROCS.
+	Workers int
+	// FeedBuffer is the store-subscription buffer; 0 means
+	// store.DefaultWatchBuffer. Overflowing it is safe (the feed delivers a
+	// Gap and the monitor re-evaluates everything) but costs pruning.
+	FeedBuffer int
+	// MaxMonitors caps registered standing queries; 0 means
+	// DefaultMaxMonitors.
+	MaxMonitors int
+}
+
+// standing is one registered query.
+type standing struct {
+	id   uint64
+	spec Spec
+
+	rect    geom.Rect // influence rect currently indexed
+	version uint64    // view version of the last completed evaluation
+	body    []byte    // canonical answer at version
+
+	evaluating bool // a worker is evaluating this query right now
+	redo       bool // dirtied again while evaluating; requeue on completion
+}
+
+// State is a read-only snapshot of one standing query.
+type State struct {
+	// ID is the monitor ID assigned at registration.
+	ID uint64
+	// Spec is the registered query.
+	Spec Spec
+	// Version is the view version of the current answer.
+	Version uint64
+	// Answer is the canonical answer body (JSON) at Version.
+	Answer []byte
+}
+
+// Stats is a snapshot of the monitor's operational counters.
+type Stats struct {
+	// Active counts registered standing queries; Subscribers live
+	// subscriptions.
+	Active, Subscribers int
+	// Version is the latest view version the feed loop has consumed.
+	Version uint64
+	// Deltas counts processed change-feed deltas; Gaps those that arrived as
+	// lag gaps (forcing full re-evaluation).
+	Deltas, Gaps uint64
+	// Affected counts query re-evaluations scheduled by the spatial join;
+	// Pruned counts standing queries a delta provably could not affect
+	// (skipped entirely). Pruned/(Affected+Pruned) is the paper-style
+	// saved-work fraction.
+	Affected, Pruned uint64
+	// ReEvals counts completed re-evaluations; Pushes those that changed the
+	// answer and were fanned out.
+	ReEvals, Pushes uint64
+	// Dropped counts updates dropped on slow subscribers (each drop run ends
+	// in one lagged event).
+	Dropped uint64
+	// Errors counts failed evaluations and unbuildable views — a non-zero
+	// value means some standing answers may be stale until their next
+	// triggering commit.
+	Errors uint64
+}
+
+// Monitor maintains standing queries over a store's change feed. Create one
+// with New; it is safe for concurrent use.
+type Monitor struct {
+	cfg  Config
+	st   *store.Store
+	feed *store.Sub
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queries map[uint64]*standing
+	qix     *rtree.Tree[uint64]
+	nextID  uint64
+	subs    map[*Subscription]struct{}
+
+	cur     *store.View  // latest view consumed by the feed loop
+	curEng  *core.Engine // engine over cur
+	feedVer uint64       // cur.Version, for Sync
+	dirty   map[uint64]struct{}
+	closed  bool
+
+	inflight int // workers currently evaluating
+
+	wg sync.WaitGroup
+
+	// counters, guarded by mu (the hot paths already hold it)
+	nDeltas, nGaps, nAffected, nPruned, nReEvals, nPushes, nDropped, nErrors uint64
+}
+
+// New builds and starts a monitor over the store's change feed.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("monitor: Config.Store is required")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("monitor: workers %d < 1", cfg.Workers)
+	}
+	if cfg.MaxMonitors == 0 {
+		cfg.MaxMonitors = DefaultMaxMonitors
+	}
+	feed, err := cfg.Store.Watch(cfg.FeedBuffer)
+	if err != nil {
+		return nil, err
+	}
+	view := cfg.Store.View()
+	eng, err := core.NewEngineWithIndex(view.Dataset, view.Index)
+	if err != nil {
+		feed.Close()
+		return nil, err
+	}
+	m := &Monitor{
+		cfg:     cfg,
+		st:      cfg.Store,
+		feed:    feed,
+		queries: map[uint64]*standing{},
+		qix:     rtree.NewDefault[uint64](),
+		nextID:  1,
+		subs:    map[*Subscription]struct{}{},
+		cur:     view,
+		curEng:  eng,
+		feedVer: view.Version,
+		dirty:   map[uint64]struct{}{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(1 + cfg.Workers)
+	go m.feedLoop()
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Close stops the feed loop and workers and closes every subscription.
+// Registered queries are discarded. Safe to call more than once.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	for sub := range m.subs {
+		delete(m.subs, sub)
+		close(sub.ch)
+	}
+	m.mu.Unlock()
+	m.feed.Close() // unblocks the feed loop
+	m.wg.Wait()
+}
+
+// Register adds a standing query, evaluates it against the current view, and
+// returns its initial state. From then on the query re-evaluates whenever a
+// committed batch can affect it, and answer changes are pushed to
+// subscribers.
+func (m *Monitor) Register(spec Spec) (*State, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(m.queries) >= m.cfg.MaxMonitors {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("monitor: %d standing queries registered, limit %d",
+			m.cfg.MaxMonitors, m.cfg.MaxMonitors)
+	}
+	view, eng := m.cur, m.curEng
+	m.mu.Unlock()
+
+	body, radius, err := Evaluate(view, eng, nil, spec)
+	if err != nil {
+		return nil, err
+	}
+	q := &standing{
+		spec:    spec,
+		rect:    influenceRect(spec.Q, radius),
+		version: view.Version,
+		body:    body,
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	q.id = m.nextID
+	m.nextID++
+	m.queries[q.id] = q
+	if err := m.qix.Insert(q.rect, q.id); err != nil {
+		delete(m.queries, q.id)
+		return nil, err
+	}
+	// A commit may have slipped in between the evaluation above and the
+	// index insert; it could not have seen this query in the join, so force
+	// one catch-up evaluation.
+	if m.cur.Version != view.Version {
+		m.dirty[q.id] = struct{}{}
+		m.cond.Broadcast()
+	}
+	return &State{ID: q.id, Spec: spec, Version: q.version, Answer: q.body}, nil
+}
+
+// Unregister removes a standing query, reporting whether it existed.
+func (m *Monitor) Unregister(id uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.queries[id]
+	if !ok {
+		return false
+	}
+	delete(m.queries, id)
+	delete(m.dirty, id)
+	m.qix.Delete(q.rect, func(v uint64) bool { return v == id })
+	m.cond.Broadcast()
+	return true
+}
+
+// Get returns a snapshot of one standing query.
+func (m *Monitor) Get(id uint64) (*State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.queries[id]
+	if !ok {
+		return nil, false
+	}
+	return &State{ID: q.id, Spec: q.spec, Version: q.version, Answer: q.body}, true
+}
+
+// List returns a snapshot of every standing query, in ID order.
+func (m *Monitor) List() []*State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*State, 0, len(m.queries))
+	for _, q := range m.queries {
+		out = append(out, &State{ID: q.id, Spec: q.spec, Version: q.version, Answer: q.body})
+	}
+	sortStates(out)
+	return out
+}
+
+func sortStates(out []*State) {
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+}
+
+// Stats returns a snapshot of the operational counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Active:      len(m.queries),
+		Subscribers: len(m.subs),
+		Version:     m.feedVer,
+		Deltas:      m.nDeltas,
+		Gaps:        m.nGaps,
+		Affected:    m.nAffected,
+		Pruned:      m.nPruned,
+		ReEvals:     m.nReEvals,
+		Pushes:      m.nPushes,
+		Dropped:     m.nDropped,
+		Errors:      m.nErrors,
+	}
+}
+
+// Sync blocks until the monitor is quiescent at (at least) the store's
+// current version: the feed loop has consumed every committed delta and no
+// query is dirty or mid-evaluation. Tests and benchmarks use it as a commit
+// barrier.
+func (m *Monitor) Sync(timeout time.Duration) error {
+	target := m.st.View().Version
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer timer.Stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return ErrClosed
+		}
+		if m.feedVer >= target && len(m.dirty) == 0 && m.inflight == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("monitor: sync: not quiescent at version %d after %v (feed %d, %d dirty, %d evaluating)",
+				target, timeout, m.feedVer, len(m.dirty), m.inflight)
+		}
+		m.cond.Wait()
+	}
+}
+
+// feedLoop consumes the store's change feed: for every committed delta it
+// advances the current view, joins the changed rectangles against the
+// standing-query index, and dirties exactly the queries the batch can
+// affect.
+func (m *Monitor) feedLoop() {
+	defer m.wg.Done()
+	for d := range m.feed.C() {
+		view := d.View
+		if d.Gap {
+			// The Gap marker's own view can predate later-dropped deltas;
+			// the latest published view is ≥ every drop by the time the
+			// marker is read, so resync from there.
+			view = m.st.View()
+		}
+		eng, err := core.NewEngineWithIndex(view.Dataset, view.Index)
+		if err != nil {
+			// An index/dataset mismatch is an internal invariant violation;
+			// fall back to a bulk engine build rather than going dark.
+			if eng, err = core.NewEngine(view.Dataset); err != nil {
+				m.mu.Lock()
+				m.nErrors++
+				m.mu.Unlock()
+				continue
+			}
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		if view.Version <= m.feedVer && !d.Gap && !d.Truncated {
+			// Already subsumed by an earlier gap resync (normal deltas are
+			// strictly increasing, so only a resync can put feedVer ahead);
+			// the resync dirtied every query, covering these changes.
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			continue
+		}
+		if view.Version > m.feedVer {
+			m.cur, m.curEng, m.feedVer = view, eng, view.Version
+		}
+		m.nDeltas++
+
+		var affected int
+		if d.Gap || d.Truncated {
+			if d.Gap {
+				m.nGaps++
+			}
+			for id := range m.queries {
+				m.dirty[id] = struct{}{}
+			}
+			affected = len(m.queries)
+		} else {
+			hit := map[uint64]struct{}{}
+			for _, ch := range d.Changes {
+				if ch.TwoD {
+					continue // standing queries are 1-D; disk churn can't touch them
+				}
+				if ch.Kind != store.ChangeInsert {
+					m.qix.Search(ch.OldRect, func(_ geom.Rect, id uint64) bool {
+						hit[id] = struct{}{}
+						return true
+					})
+				}
+				if ch.Kind != store.ChangeDelete {
+					m.qix.Search(ch.NewRect, func(_ geom.Rect, id uint64) bool {
+						hit[id] = struct{}{}
+						return true
+					})
+				}
+			}
+			for id := range hit {
+				m.dirty[id] = struct{}{}
+			}
+			affected = len(hit)
+		}
+		m.nAffected += uint64(affected)
+		m.nPruned += uint64(len(m.queries) - affected)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// worker re-evaluates dirty queries against the latest view, one at a time,
+// on a private reusable scratch. Evaluations of one query never overlap: a
+// query dirtied mid-evaluation is requeued when its evaluation completes.
+func (m *Monitor) worker() {
+	defer m.wg.Done()
+	sc := core.NewScratch()
+	m.mu.Lock()
+	for {
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		var q *standing
+		for id := range m.dirty {
+			delete(m.dirty, id)
+			st, ok := m.queries[id]
+			if !ok {
+				continue // unregistered while queued
+			}
+			if st.evaluating {
+				st.redo = true
+				continue
+			}
+			q = st
+			break
+		}
+		if q == nil {
+			m.cond.Wait()
+			continue
+		}
+		q.evaluating = true
+		m.inflight++
+		view, eng, spec := m.cur, m.curEng, q.spec
+		m.mu.Unlock()
+
+		body, radius, err := Evaluate(view, eng, sc, spec)
+
+		m.mu.Lock()
+		m.inflight--
+		m.nReEvals++
+		if err != nil {
+			m.nErrors++
+		}
+		q.evaluating = false
+		// Requeue when the query was dirtied mid-evaluation (redo) — and
+		// also when a commit raced this evaluation AND the influence rect
+		// grew: the raced commits' spatial joins ran against the
+		// pre-evaluation rect, so a change inside the new annulus (outside
+		// the old rect) was wrongly pruned. When the new rect stays within
+		// the old one the raced joins already covered it (any relevant
+		// change hit the old rect and set redo), so no requeue is needed —
+		// which keeps sustained write load from degenerating into
+		// re-evaluate-per-commit and lets Sync drain.
+		rect := q.rect
+		if err == nil {
+			rect = influenceRect(spec.Q, radius)
+		}
+		grew := !q.rect.Contains(rect)
+		if q.redo || (m.feedVer > view.Version && grew) {
+			q.redo = false
+			if _, ok := m.queries[q.id]; ok {
+				m.dirty[q.id] = struct{}{}
+			}
+		}
+		if _, ok := m.queries[q.id]; ok && err == nil && view.Version >= q.version {
+			if rect != q.rect {
+				m.qix.Delete(q.rect, func(v uint64) bool { return v == q.id })
+				if ierr := m.qix.Insert(rect, q.id); ierr == nil {
+					q.rect = rect
+				}
+			}
+			q.version = view.Version
+			if !bytes.Equal(body, q.body) {
+				q.body = body
+				m.nPushes++
+				m.pushLocked(Update{
+					ID: q.id, Version: view.Version, Kind: spec.Kind.String(),
+					Q: spec.Q, Answer: body,
+				})
+			}
+		}
+		m.cond.Broadcast() // wake Sync waiters and idle workers
+	}
+}

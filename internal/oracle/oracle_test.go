@@ -156,7 +156,7 @@ func TestOracleCrossCheckKNN(t *testing.T) {
 		c := verify.Constraint{P: 0.2 + 0.4*rng.Float64(), Delta: 0.05}
 		q := 10 + 80*rng.Float64()
 		k := 1 + rng.Intn(3)
-		answers, err := eng.CKNN(q, c, core.KNNOptions{K: k, Samples: oracleSamples, Seed: seed})
+		answers, _, err := eng.CKNN(q, c, core.KNNOptions{K: k, Samples: oracleSamples, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}

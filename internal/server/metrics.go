@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"repro/internal/monitor"
 	"repro/internal/store"
 )
 
@@ -18,6 +19,8 @@ const (
 	epKNN
 	epDataset
 	epObjects
+	epMonitors
+	epSubscribe
 	epHealthz
 	epMetrics
 	numEndpoints
@@ -37,6 +40,10 @@ func (e endpoint) String() string {
 		return "dataset"
 	case epObjects:
 		return "objects"
+	case epMonitors:
+		return "monitors"
+	case epSubscribe:
+		return "subscribe"
 	case epHealthz:
 		return "healthz"
 	case epMetrics:
@@ -60,11 +67,16 @@ type metrics struct {
 	evalNanos atomic.Int64 // total wall time inside engine evaluations
 
 	reloads atomic.Int64 // successful dataset snapshot swaps
+
+	// followerErrors counts snapshot installs the store-feed follower could
+	// not complete — a non-zero value means the served snapshot may lag the
+	// durable store (store mode only).
+	followerErrors atomic.Int64
 }
 
 // write renders every counter plus the cache, snapshot and (when a store is
-// attached) durability gauges.
-func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats) {
+// attached) durability and continuous-query gauges.
+func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats, ms *monitor.Stats) {
 	const p = "cpnn_server_"
 	fmt.Fprintf(w, "# HELP %srequests_total Requests served, by endpoint.\n", p)
 	fmt.Fprintf(w, "# TYPE %srequests_total counter\n", p)
@@ -120,4 +132,42 @@ func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats) 
 	fmt.Fprintf(w, "%sstore_checkpoint_seconds_total %g\n", p, float64(st.CheckpointNanos)/1e9)
 	fmt.Fprintf(w, "# TYPE %sstore_objects_2d gauge\n", p)
 	fmt.Fprintf(w, "%sstore_objects_2d %d\n", p, st.Objects2D)
+	fmt.Fprintf(w, "# TYPE %sstore_feed_subscribers gauge\n", p)
+	fmt.Fprintf(w, "%sstore_feed_subscribers %d\n", p, st.FeedSubscribers)
+	fmt.Fprintf(w, "# TYPE %sstore_feed_dropped_total counter\n", p)
+	fmt.Fprintf(w, "%sstore_feed_dropped_total %d\n", p, st.FeedDropped)
+	fmt.Fprintf(w, "# TYPE %ssnapshot_follower_errors_total counter\n", p)
+	fmt.Fprintf(w, "%ssnapshot_follower_errors_total %d\n", p, m.followerErrors.Load())
+
+	if ms == nil {
+		return
+	}
+	// Continuous-query counters (the monitor rides the store's change feed).
+	fmt.Fprintf(w, "# TYPE %smonitor_active gauge\n", p)
+	fmt.Fprintf(w, "# HELP %smonitor_active Registered standing queries.\n", p)
+	fmt.Fprintf(w, "%smonitor_active %d\n", p, ms.Active)
+	fmt.Fprintf(w, "# TYPE %smonitor_subscribers gauge\n", p)
+	fmt.Fprintf(w, "%smonitor_subscribers %d\n", p, ms.Subscribers)
+	fmt.Fprintf(w, "# TYPE %smonitor_deltas_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_deltas_total %d\n", p, ms.Deltas)
+	fmt.Fprintf(w, "# TYPE %smonitor_gaps_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_gaps_total %d\n", p, ms.Gaps)
+	fmt.Fprintf(w, "# TYPE %smonitor_reevals_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_reevals_total %d\n", p, ms.ReEvals)
+	fmt.Fprintf(w, "# TYPE %smonitor_affected_total counter\n", p)
+	fmt.Fprintf(w, "# HELP %smonitor_affected_total (query, commit) pairs the spatial join re-evaluated.\n", p)
+	fmt.Fprintf(w, "%smonitor_affected_total %d\n", p, ms.Affected)
+	fmt.Fprintf(w, "# TYPE %smonitor_pruned_total counter\n", p)
+	fmt.Fprintf(w, "# HELP %smonitor_pruned_total (query, commit) pairs influence pruning skipped.\n", p)
+	fmt.Fprintf(w, "%smonitor_pruned_total %d\n", p, ms.Pruned)
+	if total := ms.Affected + ms.Pruned; total > 0 {
+		fmt.Fprintf(w, "# TYPE %smonitor_pruned_fraction gauge\n", p)
+		fmt.Fprintf(w, "%smonitor_pruned_fraction %g\n", p, float64(ms.Pruned)/float64(total))
+	}
+	fmt.Fprintf(w, "# TYPE %smonitor_pushes_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_pushes_total %d\n", p, ms.Pushes)
+	fmt.Fprintf(w, "# TYPE %smonitor_dropped_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_dropped_total %d\n", p, ms.Dropped)
+	fmt.Fprintf(w, "# TYPE %smonitor_errors_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_errors_total %d\n", p, ms.Errors)
 }

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/monitor"
 	"repro/internal/store"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
@@ -94,6 +95,12 @@ type Config struct {
 	// (not tied to the client's connection): a singleflight leader holds the
 	// queue position for every collapsed waiter behind it.
 	QueueTimeout time.Duration
+
+	// MonitorWorkers bounds the continuous-query re-evaluation pool (store
+	// mode only); 0 means the monitor's default (GOMAXPROCS). The monitor
+	// itself exists whenever a store is attached: /v1/monitors registers
+	// standing queries and /v1/subscribe streams their answer updates.
+	MonitorWorkers int
 }
 
 // storeHasData reports whether an attached store holds any durable objects
@@ -185,6 +192,13 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 
+	// monitor is the continuous-query subsystem (store mode only); drainCh
+	// closes on Drain so /v1/subscribe streams end and Shutdown can finish.
+	monitor   *monitor.Monitor
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	feedDone  chan struct{} // snapshot-follower goroutine exit (store mode)
+
 	reloadMu sync.Mutex // serializes snapshot swaps, not reads
 }
 
@@ -196,9 +210,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg: cfg,
-		cc:  newCache(cfg.CacheEntries, cfg.CacheShards),
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:     cfg,
+		cc:      newCache(cfg.CacheEntries, cfg.CacheShards),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		drainCh: make(chan struct{}),
 	}
 	switch {
 	case storeHasData(cfg.Store):
@@ -217,27 +232,63 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.m.reloads.Store(0) // the initial load is not a reload
+	if cfg.Store != nil {
+		// The continuous-query subsystem rides the store's change feed.
+		mon, err := monitor.New(monitor.Config{Store: cfg.Store, Workers: cfg.MonitorWorkers})
+		if err != nil {
+			return nil, err
+		}
+		s.monitor = mon
+		// Follow the feed so the served snapshot (and therefore every cached
+		// query) tracks commits from ANY writer, not only this server's own
+		// /v1/objects handlers. A tiny buffer suffices — the follower only
+		// ever installs the latest view, so gaps are harmless.
+		feed, err := cfg.Store.Watch(4)
+		if err != nil {
+			mon.Close()
+			return nil, err
+		}
+		s.feedDone = make(chan struct{})
+		go func() {
+			defer close(s.feedDone)
+			for range feed.C() {
+				if err := s.installLatestView(s.snap.Load().Source); err != nil {
+					// The snapshot silently freezing would be invisible;
+					// surface it where operators already look.
+					s.m.followerErrors.Add(1)
+				}
+			}
+		}()
+	}
 	s.buildMux()
 	return s, nil
 }
 
 // Drain flips /healthz to not-ready so load balancers stop routing here
-// while in-flight requests finish; queries keep being answered. Call it
-// before http.Server.Shutdown.
-func (s *Server) Drain() { s.draining.Store(true) }
+// while in-flight requests finish; queries keep being answered. Open
+// /v1/subscribe streams are closed (they would otherwise hold
+// http.Server.Shutdown hostage). Call it before http.Server.Shutdown.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close releases the server's durable resources: with a store attached it
-// takes a final checkpoint (leaving an empty WAL for a fast next boot) and
-// closes it, flushing everything to disk. Safe without a store.
+// Close releases the server's durable resources: the continuous-query
+// subsystem stops first, then the store takes a final checkpoint (leaving an
+// empty WAL for a fast next boot) and closes, flushing everything to disk.
+// Safe without a store.
 func (s *Server) Close() error {
 	if s.cfg.Store == nil {
 		return nil
 	}
+	s.monitor.Close()
 	ckptErr := s.cfg.Store.Checkpoint()
-	if err := s.cfg.Store.Close(); err != nil {
+	err := s.cfg.Store.Close()
+	<-s.feedDone // the follower exits once the store closes its feed
+	if err != nil {
 		return err
 	}
 	return ckptErr
@@ -333,6 +384,8 @@ func (s *Server) buildMux() {
 	s.mux.HandleFunc("/v1/knn", s.handleKNN)
 	s.mux.HandleFunc("/v1/dataset", s.handleDataset)
 	s.mux.HandleFunc("/v1/objects", s.handleObjects)
+	s.mux.HandleFunc("/v1/monitors", s.handleMonitors)
+	s.mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 }
@@ -491,6 +544,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		s.m.serverErrors.Add(1)
 	} else {
 		s.m.clientErrors.Add(1)
+	}
+	if status == http.StatusServiceUnavailable {
+		// Overload shed, drain, or a briefly unavailable store: all are
+		// transient, so tell clients when to come back.
+		w.Header().Set("Retry-After", sseRetryAfter)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -739,7 +797,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		k, samples, seed, all)
 	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			answers, err := snap.Engine.CKNN(qq, c, core.KNNOptions{
+			answers, _, err := snap.Engine.CKNN(qq, c, core.KNNOptions{
 				K:       k,
 				Samples: samples,
 				Seed:    int64(seed),
@@ -831,30 +889,43 @@ func snapshotInfo(snap *Snapshot) datasetResponse {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epHealthz].Add(1)
 	snap := s.snap.Load()
-	if s.draining.Load() {
-		// Not-ready during drain: load balancers stop sending traffic while
-		// requests already here (and any still arriving) keep being served.
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status":  "draining",
-			"version": snap.Version,
-			"objects": snap.Objects,
-		})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":  "ok",
 		"version": snap.Version,
 		"objects": snap.Objects,
-	})
+	}
+	if s.cfg.Store != nil {
+		// The store's own version/seq can briefly run ahead of the served
+		// snapshot while a commit's view install is in flight; operators
+		// watching compaction or replication lag want the durable truth.
+		v := s.cfg.Store.View()
+		body["store_version"] = v.Version
+		body["store_seq"] = v.Seq
+	}
+	if s.draining.Load() {
+		// Not-ready during drain: load balancers stop sending traffic while
+		// requests already here (and any still arriving) keep being served.
+		// Retry-After tells well-behaved clients when to probe again.
+		body["status"] = "draining"
+		w.Header().Set("Retry-After", sseRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epMetrics].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	var st *store.Stats
+	var ms *monitor.Stats
 	if s.cfg.Store != nil {
 		v := s.cfg.Store.Stats()
 		st = &v
 	}
-	s.m.write(w, s.cc, s.snap.Load(), st)
+	if s.monitor != nil {
+		v := s.monitor.Stats()
+		ms = &v
+	}
+	s.m.write(w, s.cc, s.snap.Load(), st, ms)
 }

@@ -98,6 +98,11 @@ type Stats struct {
 	Checkpoints, CheckpointNanos uint64
 	// TornTailDropped reports whether recovery discarded a torn WAL tail.
 	TornTailDropped bool
+	// FeedSubscribers counts live change-feed subscriptions; FeedDropped
+	// counts deltas dropped on lagging subscribers (each drop run ends in one
+	// Gap delivery).
+	FeedSubscribers int
+	FeedDropped     uint64
 	// Version and Seq mirror the current view.
 	Version, Seq uint64
 	// Objects1D and Objects2D count live objects.
@@ -138,6 +143,11 @@ type Store struct {
 	closed bool
 	reqCh  chan *request
 	doneCh chan struct{}
+
+	watchMu        sync.Mutex // guards watchers, watchersClosed, per-Sub gap flags
+	watchers       map[*Sub]struct{}
+	watchersClosed bool
+	watchDropped   atomic.Uint64
 
 	broken atomic.Bool
 
@@ -194,7 +204,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 	if haveCkpt {
 		st.version, st.seq, st.nextID = cs.Version, cs.Seq, cs.NextID
-		if _, _, err := applyDecoded(st, cs.Ops); err != nil {
+		if _, _, err := applyDecoded(st, cs.Ops, nil); err != nil {
 			return nil, fmt.Errorf("store: loading checkpoint: %w", err)
 		}
 	}
@@ -211,7 +221,7 @@ func Open(dir string, opt Options) (*Store, error) {
 			w.close()
 			return nil, fmt.Errorf("store: WAL sequence gap: have %d, record %d", st.seq, rec.Seq)
 		}
-		if _, _, err := applyDecoded(st, rec.Ops); err != nil {
+		if _, _, err := applyDecoded(st, rec.Ops, nil); err != nil {
 			w.close()
 			return nil, fmt.Errorf("store: replaying WAL record %d: %w", rec.Seq, err)
 		}
@@ -227,6 +237,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		lock:     lock,
 		reqCh:    make(chan *request, 256),
 		doneCh:   make(chan struct{}),
+		watchers: map[*Sub]struct{}{},
 		st:       st,
 		tornTail: torn,
 	}
@@ -258,7 +269,12 @@ func (s *Store) View() *View { return s.view.Load() }
 // Stats returns a snapshot of the operational counters.
 func (s *Store) Stats() Stats {
 	v := s.View()
+	s.watchMu.Lock()
+	subs := len(s.watchers)
+	s.watchMu.Unlock()
 	return Stats{
+		FeedSubscribers:  subs,
+		FeedDropped:      s.watchDropped.Load(),
 		OpsApplied:       s.opsApplied.Load(),
 		Commits:          s.commits.Load(),
 		WALBytes:         s.walSize.Load(),
@@ -318,6 +334,7 @@ func (s *Store) Close() error {
 	close(s.reqCh)
 	s.sendMu.Unlock()
 	<-s.doneCh
+	s.closeWatchers()
 
 	var first error
 	if !s.broken.Load() {
@@ -375,6 +392,7 @@ func (s *Store) commitGroup(group []*request) {
 		outcomes  []ApplyResult
 		wantCkpt  bool
 		opsTotal  uint64
+		rec       deltaRec
 	)
 	for _, r := range group {
 		if s.broken.Load() {
@@ -390,7 +408,7 @@ func (s *Store) commitGroup(group []*request) {
 			outcomes = append(outcomes, ApplyResult{})
 			continue
 		}
-		staged, err := s.stageBatch(r.ops)
+		staged, err := s.stageBatch(r.ops, &rec)
 		if err != nil {
 			r.resp <- result{err: err}
 			continue
@@ -444,6 +462,7 @@ func (s *Store) commitGroup(group []*request) {
 		s.view.Store(view)
 		s.opsApplied.Add(opsTotal)
 		s.commits.Add(uint64(len(committed)))
+		s.publish(view, &rec)
 	}
 
 	if wantCkpt || (s.opt.CheckpointBytes > 0 && s.wal.size >= s.opt.CheckpointBytes) {
@@ -477,7 +496,7 @@ type staged struct {
 // state — the same bytes recovery will replay, so a recovered store is
 // bit-identical to the live one by construction. On a validation error the
 // state is untouched.
-func (s *Store) stageBatch(ops []Op) (staged, error) {
+func (s *Store) stageBatch(ops []Op, rec *deltaRec) (staged, error) {
 	st := s.st
 	assigned, ids, err := validateOps(st, ops)
 	if err != nil {
@@ -499,7 +518,7 @@ func (s *Store) stageBatch(ops []Op) (staged, error) {
 	if err != nil {
 		return staged{}, fmt.Errorf("%w: %v", ErrInvalidOp, err)
 	}
-	edits, rebuild, err := applyDecoded(st, decoded)
+	edits, rebuild, err := applyDecoded(st, decoded, rec)
 	if err != nil {
 		// validateOps should have caught everything; a failure here means the
 		// state mutated partially — unrecoverable in-process.
@@ -606,11 +625,19 @@ func validateOps(st *state, ops []Op) ([]Op, []uint64, error) {
 // emitting the incremental index edits (in dense-slot terms) for the 1-D
 // family. Deletes swap the last slot into the hole so dense IDs stay dense;
 // the displaced object's index entry moves with it. rebuild reports that the
-// edit stream is useless (truncation) and the index must be rebuilt.
-func applyDecoded(st *state, ops []Op) (edits []filter.Edit, rebuild bool, err error) {
+// edit stream is useless (truncation) and the index must be rebuilt. rec,
+// when non-nil, collects the change-feed records (stable-ID terms, old/new
+// MBRs); recovery passes nil and pays nothing.
+func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebuild bool, err error) {
 	for _, op := range ops {
 		switch op.Code {
 		case OpTruncate:
+			if rec != nil {
+				// Everything changed; per-object records before this point are
+				// subsumed by the truncation flag.
+				rec.truncated = true
+				rec.changes = rec.changes[:0]
+			}
 			st.slots, st.pdfs = nil, nil
 			st.dslots, st.disks = nil, nil
 			st.slotOf = map[uint64]int{}
@@ -621,11 +648,24 @@ func applyDecoded(st *state, ops []Op) (edits []filter.Edit, rebuild bool, err e
 				st.nextID = op.ID + 1
 			}
 			if slot, ok := st.slotOf[op.ID]; ok {
+				if rec != nil {
+					rec.changes = append(rec.changes, Change{
+						ID: op.ID, Kind: ChangeUpdate,
+						OldRect: geom.RectFromInterval(st.pdfs[slot].Support()),
+						NewRect: geom.RectFromInterval(op.PDF.Support()),
+					})
+				}
 				edits = append(edits,
 					filter.DeleteEdit(st.pdfs[slot].Support(), slot),
 					filter.InsertEdit(op.PDF.Support(), slot))
 				st.pdfs[slot] = op.PDF
 			} else {
+				if rec != nil {
+					rec.changes = append(rec.changes, Change{
+						ID: op.ID, Kind: ChangeInsert,
+						NewRect: geom.RectFromInterval(op.PDF.Support()),
+					})
+				}
 				slot := len(st.slots)
 				st.slots = append(st.slots, op.ID)
 				st.pdfs = append(st.pdfs, op.PDF)
@@ -637,14 +677,33 @@ func applyDecoded(st *state, ops []Op) (edits []filter.Edit, rebuild bool, err e
 				st.nextID = op.ID + 1
 			}
 			if slot, ok := st.dslotOf[op.ID]; ok {
+				if rec != nil {
+					rec.changes = append(rec.changes, Change{
+						ID: op.ID, Kind: ChangeUpdate, TwoD: true,
+						OldRect: geom.RectFromCircle(st.disks[slot]),
+						NewRect: geom.RectFromCircle(op.Disk),
+					})
+				}
 				st.disks[slot] = op.Disk
 			} else {
+				if rec != nil {
+					rec.changes = append(rec.changes, Change{
+						ID: op.ID, Kind: ChangeInsert, TwoD: true,
+						NewRect: geom.RectFromCircle(op.Disk),
+					})
+				}
 				st.dslots = append(st.dslots, op.ID)
 				st.disks = append(st.disks, op.Disk)
 				st.dslotOf[op.ID] = len(st.dslots) - 1
 			}
 		case OpDelete:
 			if slot, ok := st.slotOf[op.ID]; ok {
+				if rec != nil {
+					rec.changes = append(rec.changes, Change{
+						ID: op.ID, Kind: ChangeDelete,
+						OldRect: geom.RectFromInterval(st.pdfs[slot].Support()),
+					})
+				}
 				last := len(st.slots) - 1
 				edits = append(edits, filter.DeleteEdit(st.pdfs[slot].Support(), slot))
 				if slot != last {
@@ -659,6 +718,12 @@ func applyDecoded(st *state, ops []Op) (edits []filter.Edit, rebuild bool, err e
 				st.slots, st.pdfs = st.slots[:last], st.pdfs[:last]
 				delete(st.slotOf, op.ID)
 			} else if slot, ok := st.dslotOf[op.ID]; ok {
+				if rec != nil {
+					rec.changes = append(rec.changes, Change{
+						ID: op.ID, Kind: ChangeDelete, TwoD: true,
+						OldRect: geom.RectFromCircle(st.disks[slot]),
+					})
+				}
 				last := len(st.dslots) - 1
 				if slot != last {
 					st.dslots[slot], st.disks[slot] = st.dslots[last], st.disks[last]

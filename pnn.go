@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/monitor"
 	"repro/internal/pdf"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -272,6 +273,68 @@ func DatasetToOps(ds *Dataset) ([]StoreOp, error) { return store.DatasetOps(ds) 
 func EngineFromView(v *StoreView) (*Engine, error) {
 	return core.NewEngineWithIndex(v.Dataset, v.Index)
 }
+
+// Change feed, re-exported from internal/store: every committed batch
+// publishes one StoreDelta (the new view plus changed-object rectangles) to
+// Store.Watch subscribers — the substrate of continuous monitoring.
+type (
+	// StoreDelta is one committed group's effect.
+	StoreDelta = store.Delta
+	// StoreChange is one changed object with its old/new MBRs.
+	StoreChange = store.Change
+	// StoreSub is one change-feed subscription (Store.Watch).
+	StoreSub = store.Sub
+)
+
+// Continuous queries, re-exported from internal/monitor: standing
+// C-PNN/PNN/k-NN queries maintained incrementally over the store's change
+// feed. Each evaluation's critical distance (the filtering bound f_min, or
+// f_k for k-NN) becomes an influence interval indexed in an R-tree; a
+// committed batch spatially joins its changed rectangles against those
+// intervals and re-evaluates only the queries it can possibly affect —
+// answer updates are pushed to subscribers.
+type (
+	// Monitor maintains standing queries over a store. Create with NewMonitor.
+	Monitor = monitor.Monitor
+	// MonitorConfig configures a Monitor; Store is required.
+	MonitorConfig = monitor.Config
+	// MonitorSpec describes one standing query.
+	MonitorSpec = monitor.Spec
+	// MonitorKind selects the standing-query flavor (cpnn, pnn, knn).
+	MonitorKind = monitor.Kind
+	// MonitorState is a snapshot of one standing query.
+	MonitorState = monitor.State
+	// MonitorUpdate is one pushed answer change.
+	MonitorUpdate = monitor.Update
+	// MonitorSubscription consumes pushed updates.
+	MonitorSubscription = monitor.Subscription
+	// MonitorEvent is one subscription delivery (update or lagged).
+	MonitorEvent = monitor.Event
+	// MonitorStats snapshots the monitor's counters (re-evals, pruned, ...).
+	MonitorStats = monitor.Stats
+)
+
+// Standing-query kinds.
+const (
+	// MonitorCPNN is a standing constrained PNN.
+	MonitorCPNN = monitor.KindCPNN
+	// MonitorPNN is a standing unconstrained PNN.
+	MonitorPNN = monitor.KindPNN
+	// MonitorKNN is a standing constrained k-NN.
+	MonitorKNN = monitor.KindKNN
+)
+
+// Subscription event types.
+const (
+	// MonitorEventUpdate carries a changed answer.
+	MonitorEventUpdate = monitor.EventUpdate
+	// MonitorEventLagged reports dropped updates on a slow subscriber.
+	MonitorEventLagged = monitor.EventLagged
+)
+
+// NewMonitor builds and starts a continuous-query monitor over a store's
+// change feed.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
 
 // Two-dimensional support (the paper's §IV-A extension): disk-shaped
 // uncertainty regions reduce to distance pdfs and reuse the whole pipeline.
