@@ -46,15 +46,17 @@ func main() {
 
 		replay     = flag.String("replay", "", "replay a query-workload file through the batch path instead of a figure")
 		dataPath   = flag.String("data", "", "dataset file for -replay (default: generate the Long Beach set)")
-		batchSizes = flag.String("batch-sizes", "", "comma-separated batch sizes (-replay default 1,8,64,512; -monitor default 1,4,16,64)")
+		batchSizes = flag.String("batch-sizes", "", "comma-separated batch sizes (-replay default 1,8,64,512; -monitor default 1,4,16,64,256)")
 		workers    = flag.Int("workers", 0, "batch worker pool size for -replay (0 = GOMAXPROCS)")
 		p          = flag.Float64("p", 0.3, "replay threshold P")
 		delta      = flag.Float64("delta", 0.01, "replay tolerance Delta")
 
-		mon        = flag.Bool("monitor", false, "run the continuous-monitoring experiment instead of a figure")
-		monObjects = flag.Int("monitor-objects", 10000, "monitoring experiment dataset size")
-		monQueries = flag.Int("monitor-queries", 200, "monitoring experiment standing-query count")
-		monCommits = flag.Int("monitor-commits", 100, "monitoring experiment update commits per batch size")
+		mon         = flag.Bool("monitor", false, "run the continuous-monitoring experiment instead of a figure")
+		monObjects  = flag.Int("monitor-objects", 10000, "monitoring experiment dataset size")
+		monQueries  = flag.Int("monitor-queries", 200, "monitoring experiment standing-query count")
+		monCommits  = flag.Int("monitor-commits", 100, "monitoring experiment update commits per batch size")
+		monBaseline = flag.Bool("monitor-baseline", false, "disable incremental evaluation (from-scratch baseline rows)")
+		noCliff     = flag.Bool("assert-no-cliff", false, "exit non-zero if batch=64 ops/s falls below batch=16 ops/s (regression gate)")
 
 		jsonOut = flag.String("json", "", "also write machine-readable results (replay/monitor modes) to this file")
 	)
@@ -71,10 +73,14 @@ func main() {
 		return
 	}
 	if *mon {
-		if err := runMonitor(*batchSizes, *monObjects, *monQueries, *monCommits, *seed, *jsonOut); err != nil {
+		if err := runMonitor(*batchSizes, *monObjects, *monQueries, *monCommits, *seed,
+			*monBaseline, *noCliff, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *noCliff {
+		fatal(fmt.Errorf("-assert-no-cliff applies to -monitor mode"))
 	}
 	if *jsonOut != "" {
 		fatal(fmt.Errorf("-json applies to -replay and -monitor modes"))
@@ -128,8 +134,8 @@ func parseSizes(csv string, def []int) ([]int, error) {
 
 // runMonitor runs the continuous-monitoring experiment and prints (and
 // optionally records) its table.
-func runMonitor(sizesCSV string, objects, queries, commits int, seed int64, jsonOut string) error {
-	sizes, err := parseSizes(sizesCSV, []int{1, 4, 16, 64})
+func runMonitor(sizesCSV string, objects, queries, commits int, seed int64, baseline, noCliff bool, jsonOut string) error {
+	sizes, err := parseSizes(sizesCSV, []int{1, 4, 16, 64, 256})
 	if err != nil {
 		return err
 	}
@@ -139,14 +145,44 @@ func runMonitor(sizesCSV string, objects, queries, commits int, seed int64, json
 		Commits:    commits,
 		BatchSizes: sizes,
 		Seed:       seed,
+		Baseline:   baseline,
 	})
 	if err != nil {
 		return err
 	}
 	report.Print(os.Stdout)
 	if jsonOut != "" {
-		return exp.WriteBenchJSON(jsonOut, report.Records())
+		if err := exp.WriteBenchJSON(jsonOut, report.Records()); err != nil {
+			return err
+		}
 	}
+	if noCliff {
+		return assertNoCliff(report)
+	}
+	return nil
+}
+
+// assertNoCliff is the bench-regression gate: larger update batches touch
+// more standing queries per commit but also amortize the commit overhead, so
+// update throughput must not collapse between batch=16 and batch=64 — the
+// cliff the incremental evaluation path exists to remove.
+func assertNoCliff(report *exp.MonitorReport) error {
+	var ops16, ops64 float64
+	for _, row := range report.Rows {
+		switch row.BatchSize {
+		case 16:
+			ops16 = row.OpsPerSec
+		case 64:
+			ops64 = row.OpsPerSec
+		}
+	}
+	if ops16 == 0 || ops64 == 0 {
+		return fmt.Errorf("-assert-no-cliff needs batch sizes 16 and 64 in the run")
+	}
+	if ops64 < ops16 {
+		return fmt.Errorf("batch-64 cliff: %.0f ops/s at batch=64 < %.0f ops/s at batch=16", ops64, ops16)
+	}
+	fmt.Printf("no cliff: batch=64 %.0f ops/s >= batch=16 %.0f ops/s\n", ops64, ops16)
 	return nil
 }
 

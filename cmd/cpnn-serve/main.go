@@ -71,18 +71,20 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		queueTimeout = fs.Duration("queue-timeout", 0, "max wait for a worker slot before shedding a 503 (0 = 10s, negative = wait forever)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 		monWorkers   = fs.Int("monitor-workers", 0, "continuous-query re-evaluation workers (0 = GOMAXPROCS; store mode only)")
+		monStateB    = fs.Int64("monitor-state-bytes", 0, "memory cap for per-query incremental evaluation states (0 = 64 MiB default, negative = uncapped; store mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	srv, source, err := buildServer(*dataPath, *gen, *seed, *dataDir, *noSync, server.Config{
-		Quantum:        *quantum,
-		CacheEntries:   *cacheSize,
-		CacheShards:    *cacheShards,
-		MaxInFlight:    *maxInFlight,
-		QueueTimeout:   *queueTimeout,
-		MonitorWorkers: *monWorkers,
+		Quantum:           *quantum,
+		CacheEntries:      *cacheSize,
+		CacheShards:       *cacheShards,
+		MaxInFlight:       *maxInFlight,
+		QueueTimeout:      *queueTimeout,
+		MonitorWorkers:    *monWorkers,
+		MonitorStateBytes: *monStateB,
 	})
 	if err != nil {
 		return err

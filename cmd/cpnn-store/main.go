@@ -90,6 +90,7 @@ func inspect(out io.Writer, dir string, s *store.Store) error {
 	// Compaction debt at a glance: the WAL tail is what the next boot must
 	// replay, and the checkpoint age is how long it has been accruing.
 	fmt.Fprintf(out, "wal tail:     %d bytes\n", st.WALBytes)
+	fmt.Fprintf(out, "wal records:  %d since checkpoint\n", st.WALRecords)
 	if st.TornTailDropped {
 		fmt.Fprintf(out, "wal:          torn tail detected and dropped during recovery\n")
 	}

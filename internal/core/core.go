@@ -407,13 +407,19 @@ func (e *Engine) PNN(q float64, opt Options) ([]Probability, Stats, error) {
 	}
 	st.RefineTime = time.Since(start)
 	st.RefinedObjects = len(out)
+	sortProbs(out)
+	return out, st, nil
+}
+
+// sortProbs orders a PNN result by descending probability, ties by ID —
+// shared by PNN and PNNIncremental so both produce identical orderings.
+func sortProbs(out []Probability) {
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].P != out[b].P {
 			return out[a].P > out[b].P
 		}
 		return out[a].ID < out[b].ID
 	})
-	return out, st, nil
 }
 
 // Min answers a constrained probabilistic minimum query: which objects have
@@ -505,10 +511,24 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 	if k > n {
 		k = n
 	}
-	// f_k: the k-th smallest far point. Objects whose near point exceeds it
-	// cannot be among the k nearest, because k objects are certainly closer.
 	start := time.Now()
-	fars := make([]float64, n)
+	fk, ids := e.cknnFilter(q, k)
+	st.FilterTime = time.Since(start)
+	st.FMin = fk
+	st.Candidates = len(ids)
+	cands, err := e.distanceCandidates(nil, ids, q, opt.Bins)
+	if err != nil {
+		return nil, st, err
+	}
+	return cknnClassify(cands, fk, k, c, opt), st, nil
+}
+
+// cknnFilter computes the k-NN critical distance f_k — the k-th smallest far
+// point; objects whose near point exceeds it cannot be among the k nearest,
+// because k objects are certainly closer — and the surviving candidate IDs in
+// dense order. Shared by CKNN and KNNIncremental.
+func (e *Engine) cknnFilter(q float64, k int) (float64, []int) {
+	fars := make([]float64, e.ds.Len())
 	for i, o := range e.ds.Objects() {
 		fars[i] = o.Region().MaxDist(q)
 	}
@@ -520,14 +540,16 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 			ids = append(ids, o.ID)
 		}
 	}
-	st.FilterTime = time.Since(start)
-	st.FMin = fk
-	st.Candidates = len(ids)
-	cands, err := e.distanceCandidates(nil, ids, q, opt.Bins)
-	if err != nil {
-		return nil, st, err
-	}
+	return fk, ids
+}
 
+// cknnClassify is the verification half of a constrained k-NN evaluation,
+// shared by CKNN and KNNIncremental: analytic pre-verification against f_k,
+// Monte-Carlo rank sampling for the survivors, and Definition 1
+// classification. It is a deterministic function of the candidate set, f_k
+// and the options (with opt.IDs set, sampling streams are keyed by stable ID,
+// so the result is also independent of candidate order).
+func cknnClassify(cands []subregion.Candidate, fk float64, k int, c verify.Constraint, opt KNNOptions) []KNNAnswer {
 	// Analytic pre-verification (the RS rule generalized to k-NN): an
 	// object is in the k-NN set only if its distance is at most f_k, so
 	// Pr(X_i ∈ kNN) <= D_i(f_k). Candidates whose analytic upper bound
@@ -550,7 +572,7 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 			out[i] = KNNAnswer{ID: cand.ID, Bounds: b, Status: verify.Fail}
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-		return out, st, nil
+		return out
 	}
 
 	// With IDs, each candidate draws from its own stable-ID-seeded stream and
@@ -622,7 +644,7 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 		out[i] = KNNAnswer{ID: cand.ID, Bounds: b, Status: verify.Classify(b, c)}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-	return out, st, nil
+	return out
 }
 
 // mixSeed derives a per-object RNG seed from the query seed and a stable ID

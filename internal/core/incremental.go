@@ -1,0 +1,684 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/filter"
+	"repro/internal/pdf"
+	"repro/internal/subregion"
+	"repro/internal/verify"
+)
+
+// This file is the incremental re-evaluation entry point of the engine: the
+// same filter → derive → verify pipeline as CPNN/PNN/CKNN, but run against a
+// persistent per-query EvalState so a commit that changes k objects costs
+// O(k) fold derivations instead of O(|C|). The continuous-monitoring layer
+// (internal/monitor) keeps one EvalState per standing query and feeds each
+// re-evaluation the set of stable IDs the triggering commits actually
+// changed.
+//
+// Three increasingly cheap paths apply, in order:
+//
+//  1. Early exit — when the recomputed critical distance equals the cached
+//     one and no changed object is in either the cached or the fresh
+//     candidate set, the previous answer is provably byte-identical; nothing
+//     is derived and no verifier runs.
+//  2. Single-candidate patch — when exactly one candidate entered, left or
+//     moved (and dense IDs did not reshuffle), the cached subregion table is
+//     patched in place via subregion.(*Table).Patch: one fold derivation,
+//     zero matrix allocations.
+//  3. Fold-cache rebuild — otherwise the candidate set is re-assembled
+//     reusing every unchanged candidate's cached distance pdf, deriving only
+//     changed ones, and the table is rebuilt in place over the state's
+//     storage.
+//
+// All three produce answers bit-identical to a from-scratch evaluation
+// against the same view: folds are deterministic functions of (pdf, q)
+// (proven arena==heap by FuzzFold), the table is a pure function of the
+// candidate set regardless of input order or patch history (ID tie-break in
+// Rebuild, proven by FuzzIncrementalPatch), and verification/refinement are
+// deterministic over the table.
+
+// Dense-slot hints carried in a changed-ID map. A non-negative value is the
+// object's dense dataset slot as of the commit that changed it — a
+// best-effort accelerator which incremental evaluation validates against the
+// current view before trusting (later commits may have re-slotted the
+// object). The two sentinels are authoritative where hints are not:
+// SlotDeleted asserts the object is gone from the view, SlotUnknown asserts
+// nothing.
+const (
+	SlotUnknown = -1
+	SlotDeleted = -2
+)
+
+// cachedFold is one retained candidate derivation: the object's discretized
+// distance pdf for the state's query point, heap-allocated so it survives
+// arena resets, plus the dense slot it occupied at the last evaluation (the
+// subregion table is keyed by dense IDs, so patching requires the mapping to
+// have held still) and the near-point distance of the object's region from
+// the query (regions of unchanged objects hold still, so the cached value
+// feeds the filter replay's survival test).
+type cachedFold struct {
+	h     *pdf.Histogram
+	gen   uint64
+	dense int
+	near  float64
+}
+
+// foldEntryOverhead approximates the map-entry plus struct overhead of one
+// cached fold, for memory accounting.
+const foldEntryOverhead = 64
+
+// EvalState is the persistent evaluation state of one standing query: the
+// last candidate set with each candidate's derived distance pdf (keyed by
+// stable ID), the last subregion table, and the last critical distance. It
+// is owned by a single query — evaluations against different query points or
+// specs must not share one — and is not safe for concurrent use.
+//
+// The zero value is not ready; use NewEvalState.
+type EvalState struct {
+	valid bool    // the cache reflects a completed evaluation
+	fmin  float64 // critical distance (f_min / f_k) at that evaluation
+	gen   uint64  // bumped per evaluation; entries off-generation are evicted
+
+	// fminStable is the stable ID of an object attaining fmin at the last
+	// evaluation (valid when fminKnown). As long as that object is unchanged
+	// its far-point distance still equals fmin, which lets the filter replay
+	// recompute the critical distance from the changed set alone.
+	fminStable uint64
+	fminKnown  bool
+
+	folds     map[uint64]*cachedFold
+	foldBytes int
+
+	table      subregion.Table
+	tableBuilt bool
+
+	cands     []subregion.Candidate // assembly scratch, reused across evaluations
+	replayIDs []int                 // filter-replay scratch, reused across evaluations
+}
+
+// NewEvalState returns an empty evaluation state.
+func NewEvalState() *EvalState {
+	return &EvalState{folds: map[uint64]*cachedFold{}}
+}
+
+// Valid reports whether the state reflects a completed evaluation and may be
+// reused. An invalid state is still usable — the next evaluation re-derives
+// everything and re-validates it.
+func (st *EvalState) Valid() bool { return st.valid }
+
+// Invalidate marks the state stale: the next evaluation ignores every cached
+// fold. Callers must invalidate whenever they can no longer enumerate the
+// objects changed since the state's last evaluation (feed gaps, truncations,
+// errors).
+func (st *EvalState) Invalidate() { st.valid = false }
+
+// CachedFolds returns the number of retained candidate derivations.
+func (st *EvalState) CachedFolds() int { return len(st.folds) }
+
+// MemBytes returns the approximate heap footprint of the state: cached folds,
+// the retained subregion table, and assembly scratch. The monitor accounts
+// this against its configured state-cache cap.
+func (st *EvalState) MemBytes() int {
+	return st.foldBytes + len(st.folds)*foldEntryOverhead +
+		st.table.MemBytes() + 24*cap(st.cands) + 8*cap(st.replayIDs)
+}
+
+// clear resets the state to a valid empty candidate set at critical distance
+// fmin (the outcome of evaluating over an empty or fully-pruned dataset).
+func (st *EvalState) clear(fmin float64) {
+	for s, cf := range st.folds {
+		st.foldBytes -= cf.h.MemBytes()
+		delete(st.folds, s)
+	}
+	st.foldBytes = 0
+	st.tableBuilt = false
+	st.fmin = fmin
+	st.fminKnown = false
+	st.valid = true
+}
+
+// IncrementalStats reports what an incremental evaluation actually did.
+type IncrementalStats struct {
+	// Skipped reports the early exit: the previous answer is provably
+	// unchanged and no result was produced.
+	Skipped bool
+	// Patched reports the single-candidate table patch path.
+	Patched bool
+	// Reused counts candidates whose cached distance pdf was kept; Derived
+	// counts fold derivations actually performed.
+	Reused, Derived int
+}
+
+// checkIncremental validates the shared incremental-call invariants.
+func (e *Engine) checkIncremental(st *EvalState, ids []uint64) error {
+	if st == nil || st.folds == nil {
+		return fmt.Errorf("core: incremental evaluation requires a NewEvalState state")
+	}
+	if len(ids) != e.ds.Len() {
+		return fmt.Errorf("core: IDs maps %d objects, dataset holds %d", len(ids), e.ds.Len())
+	}
+	return nil
+}
+
+// skipCheck reports whether the previous answer is provably unchanged: the
+// critical distance is bit-equal and no changed object is in the fresh
+// candidate set (dense IDs) or was in the cached one (stable IDs). Unchanged
+// objects keep their exact distances, so under these conditions the two
+// candidate sets — and every fold over them — coincide exactly.
+func (st *EvalState) skipCheck(fmin float64, denseIDs []int, ids []uint64, changed map[uint64]int) bool {
+	if !st.valid || fmin != st.fmin {
+		return false
+	}
+	for _, d := range denseIDs {
+		if _, ok := changed[ids[d]]; ok {
+			return false
+		}
+	}
+	for s := range changed {
+		if _, ok := st.folds[s]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// replayFilter recomputes the filtering phase from the state's cache and the
+// changed set alone, bypassing the R-tree — the per-evaluation cost the
+// standing-query path pays even when a commit touches a handful of objects.
+// It is sound exactly when the changed set is exhaustive over objects that
+// could matter (the monitor's influence-region invariant: an unlisted object
+// kept its region, or moved entirely outside the query's critical ball, so
+// its near point exceeds the old critical distance and its far point cannot
+// lower it):
+//
+//   - The critical distance can only shrink, to min(fmin, far(changed)),
+//     because the object that attained the old fmin is unchanged (when it is
+//     itself in the changed set the replay bails to the tree).
+//   - The new candidate set is then the cached candidates whose near point
+//     still clears the bound, plus the changed objects that do.
+//
+// Distances are computed by the same float operations as the tree path, so
+// the result — and every answer derived from it — is bit-identical. The
+// second return is the stable ID attaining the new critical distance; ok
+// reports whether the replay applied.
+func (e *Engine) replayFilter(q float64, st *EvalState, ids []uint64, changed map[uint64]int) (filter.Result, uint64, bool) {
+	if !st.valid || !st.fminKnown || len(ids) == 0 {
+		return filter.Result{}, 0, false
+	}
+	if _, ok := changed[st.fminStable]; ok {
+		return filter.Result{}, 0, false
+	}
+	// Resolve the dense slot of every changed object still in the view and of
+	// every cached candidate: commit-time hints and cached slots are validated
+	// against the view's ID map, the rest resolved in one sweep. A changed ID
+	// absent from the sweep is deleted; a cached unchanged one would mean the
+	// changed set was not exhaustive after all — bail to the tree.
+	n := len(ids)
+	slots := make(map[uint64]int, len(changed))
+	var need map[uint64]struct{}
+	miss := func(s uint64) {
+		if need == nil {
+			need = make(map[uint64]struct{})
+		}
+		need[s] = struct{}{}
+	}
+	for s, hint := range changed {
+		switch {
+		case hint == SlotDeleted:
+		case hint >= 0 && hint < n && ids[hint] == s:
+			slots[s] = hint
+		default:
+			if cf := st.folds[s]; cf != nil && cf.dense >= 0 && cf.dense < n && ids[cf.dense] == s {
+				slots[s] = cf.dense
+			} else {
+				miss(s)
+			}
+		}
+	}
+	for s, cf := range st.folds {
+		if _, ch := changed[s]; ch {
+			continue
+		}
+		if cf.dense < 0 || cf.dense >= n || ids[cf.dense] != s {
+			miss(s) // re-slotted by an unrelated delete
+		}
+	}
+	if len(need) > 0 {
+		for d, s := range ids {
+			if _, ok := need[s]; ok {
+				slots[s] = d
+				delete(need, s)
+				if len(need) == 0 {
+					break
+				}
+			}
+		}
+		for s := range need {
+			if _, ch := changed[s]; !ch {
+				return filter.Result{}, 0, false // unchanged candidate vanished
+			}
+		}
+	}
+
+	fmin, fminStable := st.fmin, st.fminStable
+	for s := range changed {
+		d, ok := slots[s]
+		if !ok {
+			continue // deleted
+		}
+		if far := e.ds.Object(d).Region().MaxDist(q); far < fmin {
+			fmin, fminStable = far, s
+		}
+	}
+	out := st.replayIDs[:0]
+	for s, cf := range st.folds {
+		if _, ch := changed[s]; ch {
+			continue
+		}
+		if cf.near > fmin {
+			continue
+		}
+		d := cf.dense
+		if d < 0 || d >= n || ids[d] != s {
+			d = slots[s]
+		}
+		out = append(out, d)
+	}
+	for s := range changed {
+		d, ok := slots[s]
+		if !ok {
+			continue
+		}
+		if e.ds.Object(d).Region().MinDist(q) <= fmin {
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	st.replayIDs = out
+	return filter.Result{IDs: out, FMin: fmin}, fminStable, true
+}
+
+// incrementalFilter produces the filtering result for an incremental
+// evaluation — by cache replay when the state supports it, else through the
+// R-tree — along with the stable ID attaining the critical distance (known
+// whenever ok; the tree path recovers it from the candidate set, where the
+// attaining object always appears since its near point cannot exceed its far
+// point).
+func (e *Engine) incrementalFilter(q float64, st *EvalState, ids []uint64, changed map[uint64]int) (filter.Result, uint64, bool) {
+	if fr, fs, ok := e.replayFilter(q, st, ids, changed); ok {
+		return fr, fs, true
+	}
+	fr := e.ix.Candidates(q)
+	for _, d := range fr.IDs {
+		if e.ds.Object(d).Region().MaxDist(q) == fr.FMin {
+			return fr, ids[d], true
+		}
+	}
+	return fr, 0, false
+}
+
+// incrementalPrepare runs the filter and derivation phases of an incremental
+// evaluation: early-exit check, fold-cache classification, and (when
+// buildTable is set) the in-place table patch or rebuild. On return with
+// inc.Skipped the caller reuses its previous answer; with stats.Candidates
+// == 0 the answer is empty; otherwise st.table (or st.cands when buildTable
+// is false) holds the prepared candidate set. Filter and init timings land
+// in stats.
+func (e *Engine) incrementalPrepare(q float64, bins int, buildTable bool, st *EvalState, ids []uint64, changed map[uint64]int, inc *IncrementalStats, stats *Stats) error {
+	start := time.Now()
+	fr, fminStable, fminKnown := e.incrementalFilter(q, st, ids, changed)
+	stats.FilterTime = time.Since(start)
+	stats.Candidates = len(fr.IDs)
+	stats.FMin = fr.FMin
+
+	if st.skipCheck(fr.FMin, fr.IDs, ids, changed) {
+		inc.Skipped = true
+		return nil
+	}
+	if len(fr.IDs) == 0 {
+		st.clear(fr.FMin)
+		return nil
+	}
+
+	start = time.Now()
+	st.gen++
+	gen := st.gen
+
+	// First pass: mark reusable folds and decide patch feasibility. A patch
+	// needs a previously built table, every surviving candidate still in the
+	// dense slot the table knows it by, and at most one candidate entering,
+	// leaving or moving.
+	canPatch := buildTable && st.valid && st.tableBuilt
+	upDense, upStable := -1, uint64(0)
+	for _, d := range fr.IDs {
+		s := ids[d]
+		cf := st.folds[s]
+		reuse := cf != nil && st.valid
+		if reuse {
+			if _, isChanged := changed[s]; isChanged {
+				reuse = false
+			}
+		}
+		if reuse {
+			if cf.dense != d {
+				canPatch = false // dense reshuffle: the table's IDs are stale
+			}
+			cf.gen, cf.dense = gen, d
+			continue
+		}
+		if upDense >= 0 || (cf != nil && cf.dense != d) {
+			canPatch = false // second upsert, or a moved candidate that also re-slotted
+		}
+		upDense, upStable = d, s
+	}
+
+	if canPatch {
+		// Identify departures. More than one kills the patch path; the
+		// upsert's own (off-generation) entry is not a departure.
+		evictDense, evictStable, departed := -1, uint64(0), 0
+		for s, cf := range st.folds {
+			if cf.gen == gen || (upDense >= 0 && s == upStable) {
+				continue
+			}
+			departed++
+			evictDense, evictStable = cf.dense, s
+		}
+		if departed <= 1 {
+			var up *subregion.Candidate
+			if upDense >= 0 {
+				h, err := e.dv.distFor(e.ds.Object(upDense), q, bins, nil)
+				if err != nil {
+					st.Invalidate()
+					return err
+				}
+				cf := st.folds[upStable]
+				if cf == nil {
+					cf = &cachedFold{}
+					st.folds[upStable] = cf
+				} else {
+					st.foldBytes -= cf.h.MemBytes()
+				}
+				cf.h, cf.gen, cf.dense = h, gen, upDense
+				cf.near = e.ds.Object(upDense).Region().MinDist(q)
+				st.foldBytes += h.MemBytes()
+				inc.Derived++
+				up = &subregion.Candidate{ID: upDense, Dist: h}
+			}
+			if up != nil || evictDense >= 0 {
+				if err := st.table.Patch(up, evictDense); err != nil {
+					// The edited set no longer forms a valid table (should
+					// not happen for genuine filter output); fall back to a
+					// full re-derivation below.
+					st.Invalidate()
+				} else {
+					if evictDense >= 0 {
+						if cf := st.folds[evictStable]; cf != nil {
+							st.foldBytes -= cf.h.MemBytes()
+							delete(st.folds, evictStable)
+						}
+					}
+					inc.Patched = true
+					inc.Reused = len(st.folds)
+					if up != nil {
+						inc.Reused--
+					}
+					st.fmin = fr.FMin
+					st.fminStable, st.fminKnown = fminStable, fminKnown
+					st.valid = true
+					stats.InitTime = time.Since(start)
+					return nil
+				}
+			} else {
+				// Candidate set identical and nothing changed inside it; the
+				// cached table already is the fresh one.
+				inc.Patched = true
+				inc.Reused = len(st.folds)
+				st.fmin = fr.FMin
+				st.fminStable, st.fminKnown = fminStable, fminKnown
+				st.valid = true
+				stats.InitTime = time.Since(start)
+				return nil
+			}
+		}
+	}
+
+	// Full path: assemble the candidate set in filter order, reusing cached
+	// folds (marked with this generation above) and deriving the rest on the
+	// heap — cached folds outlive any arena reset, so the arena is never
+	// used here.
+	cands := st.cands[:0]
+	for _, d := range fr.IDs {
+		s := ids[d]
+		cf := st.folds[s]
+		if cf != nil && cf.gen == gen {
+			inc.Reused++
+		} else {
+			h, err := e.dv.distFor(e.ds.Object(d), q, bins, nil)
+			if err != nil {
+				st.Invalidate()
+				return err
+			}
+			if cf == nil {
+				cf = &cachedFold{}
+				st.folds[s] = cf
+			} else {
+				st.foldBytes -= cf.h.MemBytes()
+			}
+			cf.h, cf.gen, cf.dense = h, gen, d
+			cf.near = e.ds.Object(d).Region().MinDist(q)
+			st.foldBytes += h.MemBytes()
+			inc.Derived++
+		}
+		cands = append(cands, subregion.Candidate{ID: d, Dist: cf.h})
+	}
+	st.cands = cands
+	for s, cf := range st.folds {
+		if cf.gen != gen {
+			st.foldBytes -= cf.h.MemBytes()
+			delete(st.folds, s)
+		}
+	}
+	if buildTable {
+		if err := st.table.Rebuild(cands); err != nil {
+			st.Invalidate()
+			return fmt.Errorf("core: %w", err)
+		}
+		st.tableBuilt = true
+	}
+	st.fmin = fr.FMin
+	st.fminStable, st.fminKnown = fminStable, fminKnown
+	st.valid = true
+	stats.InitTime = time.Since(start)
+	return nil
+}
+
+// CPNNIncremental evaluates a constrained probabilistic nearest-neighbor
+// query against the engine's view, reusing the per-query state from the
+// previous evaluation. ids maps dense dataset IDs to stable external IDs
+// (length Dataset().Len()); changed holds the stable IDs of every object
+// modified since the state's last evaluation — pass nil to force a full
+// re-derivation. The result is bit-identical to CPNN on the same view; on
+// IncrementalStats.Skipped the result is nil and the caller's previous
+// answer stands unchanged.
+func (e *Engine) CPNNIncremental(q float64, c verify.Constraint, opt Options, st *EvalState, ids []uint64, changed map[uint64]int) (*Result, IncrementalStats, error) {
+	var inc IncrementalStats
+	if err := c.Validate(); err != nil {
+		return nil, inc, err
+	}
+	if err := checkQuery(q); err != nil {
+		return nil, inc, err
+	}
+	if err := e.checkIncremental(st, ids); err != nil {
+		return nil, inc, err
+	}
+	if changed == nil {
+		st.Invalidate()
+		changed = map[uint64]int{}
+	}
+	opt = opt.withDefaults()
+	res := &Result{}
+	buildTable := opt.Strategy != Basic
+	if err := e.incrementalPrepare(q, opt.Bins, buildTable, st, ids, changed, &inc, &res.Stats); err != nil {
+		return nil, inc, err
+	}
+	if inc.Skipped {
+		return nil, inc, nil
+	}
+	if res.Stats.Candidates == 0 {
+		return res, inc, nil
+	}
+	if opt.Strategy == Basic {
+		r, err := cpnnBasic(st.cands, c, opt, res)
+		return r, inc, err
+	}
+	res.Stats.Subregions = st.table.NumSubregions()
+	r, err := finishVerifyRefine(&st.table, c, opt, res)
+	return r, inc, err
+}
+
+// PNNIncremental is the incremental form of PNN; see CPNNIncremental for the
+// state/ids/changed contract. On Skipped the probability slice is nil and the
+// previous answer stands.
+func (e *Engine) PNNIncremental(q float64, opt Options, st *EvalState, ids []uint64, changed map[uint64]int) ([]Probability, Stats, IncrementalStats, error) {
+	var inc IncrementalStats
+	var stats Stats
+	if err := checkQuery(q); err != nil {
+		return nil, stats, inc, err
+	}
+	if err := e.checkIncremental(st, ids); err != nil {
+		return nil, stats, inc, err
+	}
+	if changed == nil {
+		st.Invalidate()
+		changed = map[uint64]int{}
+	}
+	opt = opt.withDefaults()
+	if err := e.incrementalPrepare(q, opt.Bins, true, st, ids, changed, &inc, &stats); err != nil {
+		return nil, stats, inc, err
+	}
+	if inc.Skipped || stats.Candidates == 0 {
+		return nil, stats, inc, nil
+	}
+	stats.Subregions = st.table.NumSubregions()
+	start := time.Now()
+	out, err := exactAll(&st.table, opt.GLNodes)
+	if err != nil {
+		return nil, stats, inc, err
+	}
+	stats.RefineTime = time.Since(start)
+	stats.RefinedObjects = len(out)
+	sortProbs(out)
+	return out, stats, inc, nil
+}
+
+// KNNIncremental is the incremental form of CKNN; see CPNNIncremental for
+// the state/ids/changed contract. The sampling streams are keyed by stable
+// ID (opt.IDs is overridden with ids), so the answers are bit-identical to
+// CKNN with the same ids on the same view. On Skipped the answer slice is
+// nil and the previous answer stands. Re-sampling still runs whenever a
+// candidate changed — only derivations are cached — but the early exit skips
+// the sampling phase entirely for commits that cannot affect the query.
+func (e *Engine) KNNIncremental(q float64, c verify.Constraint, opt KNNOptions, st *EvalState, ids []uint64, changed map[uint64]int) ([]KNNAnswer, Stats, IncrementalStats, error) {
+	var inc IncrementalStats
+	var stats Stats
+	if err := c.Validate(); err != nil {
+		return nil, stats, inc, err
+	}
+	if err := checkQuery(q); err != nil {
+		return nil, stats, inc, err
+	}
+	if err := e.checkIncremental(st, ids); err != nil {
+		return nil, stats, inc, err
+	}
+	if opt.K < 1 {
+		return nil, stats, inc, fmt.Errorf("core: k = %d < 1", opt.K)
+	}
+	if changed == nil {
+		st.Invalidate()
+		changed = map[uint64]int{}
+	}
+	if opt.Samples == 0 {
+		opt.Samples = 10000
+	}
+	if opt.Bins == 0 {
+		opt.Bins = dist.DefaultBins
+	}
+	opt.IDs = ids
+	n := e.ds.Len()
+	if n == 0 {
+		st.clear(0)
+		return nil, stats, inc, nil
+	}
+	k := opt.K
+	if k > n {
+		k = n
+	}
+	start := time.Now()
+	fk, candIDs := e.cknnFilter(q, k)
+	stats.FilterTime = time.Since(start)
+	stats.FMin = fk
+	stats.Candidates = len(candIDs)
+
+	if st.skipCheck(fk, candIDs, ids, changed) {
+		inc.Skipped = true
+		return nil, stats, inc, nil
+	}
+
+	start = time.Now()
+	st.gen++
+	gen := st.gen
+	cands := st.cands[:0]
+	for _, d := range candIDs {
+		s := ids[d]
+		cf := st.folds[s]
+		reuse := cf != nil && st.valid
+		if reuse {
+			if _, isChanged := changed[s]; isChanged {
+				reuse = false
+			}
+		}
+		if reuse {
+			cf.gen, cf.dense = gen, d
+			inc.Reused++
+		} else {
+			h, err := e.dv.distFor(e.ds.Object(d), q, opt.Bins, nil)
+			if err != nil {
+				st.Invalidate()
+				return nil, stats, inc, err
+			}
+			if cf == nil {
+				cf = &cachedFold{}
+				st.folds[s] = cf
+			} else {
+				st.foldBytes -= cf.h.MemBytes()
+			}
+			cf.h, cf.gen, cf.dense = h, gen, d
+			cf.near = e.ds.Object(d).Region().MinDist(q)
+			st.foldBytes += h.MemBytes()
+			inc.Derived++
+		}
+		cands = append(cands, subregion.Candidate{ID: d, Dist: cf.h})
+	}
+	st.cands = cands
+	for s, cf := range st.folds {
+		if cf.gen != gen {
+			st.foldBytes -= cf.h.MemBytes()
+			delete(st.folds, s)
+		}
+	}
+	st.fmin = fk
+	st.fminKnown = false // f_k is not a far-point minimum; no replay for k-NN
+	st.valid = true
+	stats.InitTime = time.Since(start)
+
+	start = time.Now()
+	out := cknnClassify(cands, fk, k, c, opt)
+	stats.RefineTime = time.Since(start)
+	stats.RefinedObjects = len(out)
+	return out, stats, inc, nil
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+	"repro/internal/verify"
+)
+
+// The incremental equivalence suite: replay 50 seeded op sequences over a
+// store-like mutable object world (stable IDs, dense slots with
+// swap-into-hole deletes) and assert, at every version, that the incremental
+// entry points produce results bit-identical to a from-scratch evaluation on
+// the same view — bounds, classifications and Stats.FMin — and that an
+// early-exit (Skipped) only ever happens when the fresh answer is indeed
+// unchanged from the previous version.
+
+// mutWorld is the simulated store: objects by stable ID, dense slot layout
+// with the same swap-into-hole delete semantics as internal/store, so dense
+// reshuffles (which the incremental path must survive) actually happen.
+type mutWorld struct {
+	slots []uint64
+	objs  map[uint64]pdf.Uniform
+	next  uint64
+}
+
+func newMutWorld(rng *rand.Rand, n int) *mutWorld {
+	w := &mutWorld{objs: map[uint64]pdf.Uniform{}}
+	for i := 0; i < n; i++ {
+		w.insert(rng)
+	}
+	return w
+}
+
+func randUniform(rng *rand.Rand) pdf.Uniform {
+	lo := rng.Float64() * 100
+	return pdf.MustUniform(lo, lo+0.5+rng.Float64()*5)
+}
+
+func (w *mutWorld) insert(rng *rand.Rand) uint64 {
+	id := w.next
+	w.next++
+	w.objs[id] = randUniform(rng)
+	w.slots = append(w.slots, id)
+	return id
+}
+
+// step applies 1..4 random ops and returns the changed stable IDs with
+// dense-slot hints. Hints are dropped (SlotUnknown) at random so both the
+// hinted and the sweep-resolution paths of the filter replay get exercised;
+// op coalescing within a step can also leave hints stale, which the replay
+// must survive by validating them.
+func (w *mutWorld) step(rng *rand.Rand) map[uint64]int {
+	changed := map[uint64]int{}
+	hintOr := func(slot int) int {
+		if rng.Intn(2) == 0 {
+			return SlotUnknown
+		}
+		return slot
+	}
+	n := 1 + rng.Intn(4)
+	if rng.Intn(2) == 0 {
+		n = 1 // plenty of single-op commits, so the patch path gets exercised
+	}
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(4); {
+		case r == 0: // insert
+			changed[w.insert(rng)] = hintOr(len(w.slots) - 1)
+		case r == 1 && len(w.slots) > 5: // delete, swap-into-hole
+			slot := rng.Intn(len(w.slots))
+			id := w.slots[slot]
+			last := len(w.slots) - 1
+			w.slots[slot] = w.slots[last]
+			w.slots = w.slots[:last]
+			delete(w.objs, id)
+			if rng.Intn(2) == 0 {
+				changed[id] = SlotDeleted
+			} else {
+				changed[id] = SlotUnknown // sweep must conclude "deleted"
+			}
+		default: // update in place
+			slot := rng.Intn(len(w.slots))
+			id := w.slots[slot]
+			u := w.objs[id]
+			sup := u.Support()
+			if rng.Intn(2) == 0 {
+				// Small nudge: stays near its old position, likely inside
+				// the same candidate balls.
+				d := (rng.Float64() - 0.5) * 2
+				w.objs[id] = pdf.MustUniform(sup.Lo+d, sup.Hi+d)
+			} else {
+				w.objs[id] = randUniform(rng)
+			}
+			changed[id] = hintOr(slot)
+		}
+	}
+	return changed
+}
+
+// view materializes the world into a dataset, its dense→stable map and a
+// fresh engine, exactly as the monitor sees one MVCC view.
+func (w *mutWorld) view(t *testing.T) (*Engine, []uint64) {
+	t.Helper()
+	pdfs := make([]pdf.PDF, len(w.slots))
+	ids := make([]uint64, len(w.slots))
+	for i, id := range w.slots {
+		pdfs[i] = w.objs[id]
+		ids[i] = id
+	}
+	e, err := NewEngine(uncertain.NewDataset(pdfs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ids
+}
+
+// stableAns is an answer canonicalized the way the monitor compares bodies:
+// stable IDs and bounds quantized to 1e-9, absorbing the low-bit jitter a
+// dense reshuffle introduces into otherwise-unchanged products.
+type stableAns struct {
+	l, u   float64
+	status verify.Status
+}
+
+func round9(v float64) float64 { return math.Round(v*1e9) / 1e9 }
+
+func canonCPNN(res *Result, ids []uint64) map[uint64]stableAns {
+	m := map[uint64]stableAns{}
+	for _, a := range res.Candidates {
+		m[ids[a.ID]] = stableAns{round9(a.Bounds.L), round9(a.Bounds.U), a.Status}
+	}
+	return m
+}
+
+func canonKNN(out []KNNAnswer, ids []uint64) map[uint64]stableAns {
+	m := map[uint64]stableAns{}
+	for _, a := range out {
+		m[ids[a.ID]] = stableAns{round9(a.Bounds.L), round9(a.Bounds.U), a.Status}
+	}
+	return m
+}
+
+func canonPNN(out []Probability, ids []uint64) map[uint64]stableAns {
+	m := map[uint64]stableAns{}
+	for _, p := range out {
+		m[ids[p.ID]] = stableAns{l: round9(p.P)}
+	}
+	return m
+}
+
+func sameCanon(a, b map[uint64]stableAns) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, v := range a {
+		if b[id] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIncrementalEquivalence(t *testing.T) {
+	const seeds = 50
+	c := verify.Constraint{P: 0.25, Delta: 0.01}
+	var aggMu sync.Mutex
+	var agg IncrementalStats
+	skips := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			w := newMutWorld(rng, 40)
+			qC := rng.Float64() * 100
+			qP := rng.Float64() * 100
+			qK := rng.Float64() * 100
+			optC := Options{}
+			if seed%5 == 4 {
+				optC.Strategy = Basic // the no-table incremental path
+			}
+			knnOpt := KNNOptions{K: 3, Samples: 400, Seed: seed}
+
+			stC, stP, stK := NewEvalState(), NewEvalState(), NewEvalState()
+			var prevC, prevP, prevK map[uint64]stableAns
+
+			for step := 0; step < 10; step++ {
+				var changed map[uint64]int
+				if step > 0 {
+					changed = w.step(rng)
+				} else {
+					changed = nil // first call: full derivation
+				}
+				eng, ids := w.view(t)
+
+				// CPNN
+				want, err := eng.CPNN(qC, c, optC)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, inc, err := eng.CPNNIncremental(qC, c, optC, stC, ids, changed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aggMu.Lock()
+				agg.Reused += inc.Reused
+				agg.Derived += inc.Derived
+				if inc.Patched {
+					agg.Patched = true
+				}
+				if inc.Skipped {
+					skips++
+				}
+				aggMu.Unlock()
+				freshC := canonCPNN(want, ids)
+				if inc.Skipped {
+					if !sameCanon(freshC, prevC) {
+						t.Fatalf("step %d: cpnn skipped but fresh answer changed", step)
+					}
+				} else {
+					if got.Stats.FMin != want.Stats.FMin {
+						t.Fatalf("step %d: cpnn FMin %g vs %g", step, got.Stats.FMin, want.Stats.FMin)
+					}
+					if got.Stats.Candidates != want.Stats.Candidates ||
+						got.Stats.Subregions != want.Stats.Subregions {
+						t.Fatalf("step %d: cpnn shape (%d,%d) vs (%d,%d)", step,
+							got.Stats.Candidates, got.Stats.Subregions,
+							want.Stats.Candidates, want.Stats.Subregions)
+					}
+					if len(got.Candidates) != len(want.Candidates) {
+						t.Fatalf("step %d: cpnn %d candidates vs %d", step, len(got.Candidates), len(want.Candidates))
+					}
+					for i := range got.Candidates {
+						if got.Candidates[i] != want.Candidates[i] {
+							t.Fatalf("step %d: cpnn candidate %d: %+v vs %+v (patched=%v reused=%d)",
+								step, i, got.Candidates[i], want.Candidates[i], inc.Patched, inc.Reused)
+						}
+					}
+					if len(got.Answers) != len(want.Answers) {
+						t.Fatalf("step %d: cpnn %d answers vs %d", step, len(got.Answers), len(want.Answers))
+					}
+				}
+				prevC = freshC
+
+				// PNN
+				wantP, wantPSt, err := eng.PNN(qP, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotP, gotPSt, incP, err := eng.PNNIncremental(qP, Options{}, stP, ids, changed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				freshP := canonPNN(wantP, ids)
+				if incP.Skipped {
+					aggMu.Lock()
+					skips++
+					aggMu.Unlock()
+					if !sameCanon(freshP, prevP) {
+						t.Fatalf("step %d: pnn skipped but fresh answer changed", step)
+					}
+				} else {
+					if gotPSt.FMin != wantPSt.FMin {
+						t.Fatalf("step %d: pnn FMin %g vs %g", step, gotPSt.FMin, wantPSt.FMin)
+					}
+					if len(gotP) != len(wantP) {
+						t.Fatalf("step %d: pnn %d probs vs %d", step, len(gotP), len(wantP))
+					}
+					for i := range gotP {
+						if gotP[i] != wantP[i] {
+							t.Fatalf("step %d: pnn entry %d: %+v vs %+v", step, i, gotP[i], wantP[i])
+						}
+					}
+				}
+				prevP = freshP
+
+				// KNN (stable-ID sampling streams on both sides)
+				wantK, wantKSt, err := eng.CKNN(qK, c, KNNOptions{
+					K: knnOpt.K, Samples: knnOpt.Samples, Seed: knnOpt.Seed, IDs: ids,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotK, gotKSt, incK, err := eng.KNNIncremental(qK, c, knnOpt, stK, ids, changed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				freshK := canonKNN(wantK, ids)
+				if incK.Skipped {
+					aggMu.Lock()
+					skips++
+					aggMu.Unlock()
+					if !sameCanon(freshK, prevK) {
+						t.Fatalf("step %d: knn skipped but fresh answer changed", step)
+					}
+				} else {
+					if gotKSt.FMin != wantKSt.FMin {
+						t.Fatalf("step %d: knn f_k %g vs %g", step, gotKSt.FMin, wantKSt.FMin)
+					}
+					if len(gotK) != len(wantK) {
+						t.Fatalf("step %d: knn %d answers vs %d", step, len(gotK), len(wantK))
+					}
+					for i := range gotK {
+						if gotK[i] != wantK[i] {
+							t.Fatalf("step %d: knn answer %d: %+v vs %+v", step, i, gotK[i], wantK[i])
+						}
+					}
+				}
+				prevK = freshK
+
+				if stC.MemBytes() < 0 || stP.MemBytes() < 0 || stK.MemBytes() < 0 {
+					t.Fatalf("step %d: negative state accounting", step)
+				}
+			}
+		})
+	}
+	t.Cleanup(func() {
+		// The suite must actually exercise the incremental machinery, not
+		// just fall through to full derivations.
+		if agg.Reused == 0 {
+			t.Error("no fold was ever reused across 50 seeds")
+		}
+		if !agg.Patched {
+			t.Error("the single-candidate patch path never ran across 50 seeds")
+		}
+		if skips == 0 {
+			t.Error("the early exit never fired across 50 seeds")
+		}
+	})
+}
+
+// TestIncrementalChangedNil: a nil changed set must force a full
+// re-derivation (the state can't know what it missed), not silently reuse.
+func TestIncrementalChangedNil(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := newMutWorld(rng, 20)
+	eng, ids := w.view(t)
+	st := NewEvalState()
+	c := verify.Constraint{P: 0.3, Delta: 0.01}
+	if _, inc, err := eng.CPNNIncremental(50, c, Options{}, st, ids, nil); err != nil {
+		t.Fatal(err)
+	} else if inc.Reused != 0 || inc.Skipped {
+		t.Fatalf("first evaluation reused/skipped: %+v", inc)
+	}
+	if !st.Valid() {
+		t.Fatal("state not valid after evaluation")
+	}
+	// Mutate an object behind the state's back, then evaluate with nil
+	// changed: everything must be re-derived and the answer must match a
+	// fresh evaluation.
+	id := w.slots[0]
+	w.objs[id] = pdf.MustUniform(48, 52)
+	eng2, ids2 := w.view(t)
+	got, inc, err := eng2.CPNNIncremental(50, c, Options{}, st, ids2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Reused != 0 || inc.Skipped {
+		t.Fatalf("nil changed must disable reuse: %+v", inc)
+	}
+	want, err := eng2.CPNN(50, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Candidates) != len(want.Candidates) {
+		t.Fatalf("%d candidates vs %d", len(got.Candidates), len(want.Candidates))
+	}
+	for i := range got.Candidates {
+		if got.Candidates[i] != want.Candidates[i] {
+			t.Fatalf("candidate %d: %+v vs %+v", i, got.Candidates[i], want.Candidates[i])
+		}
+	}
+}
+
+// TestIncrementalStateErrors: malformed calls are rejected before touching
+// the state.
+func TestIncrementalStateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := newMutWorld(rng, 5)
+	eng, ids := w.view(t)
+	c := verify.Constraint{P: 0.3}
+	if _, _, err := eng.CPNNIncremental(1, c, Options{}, nil, ids, nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+	if _, _, err := eng.CPNNIncremental(1, c, Options{}, NewEvalState(), ids[:2], nil); err == nil {
+		t.Fatal("short ids accepted")
+	}
+	if _, _, _, err := eng.KNNIncremental(1, c, KNNOptions{K: 0}, NewEvalState(), ids, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -62,10 +62,14 @@ func (r *ReplayReport) Records() []BenchRecord {
 
 // Records converts a monitoring report to bench records.
 func (r *MonitorReport) Records() []BenchRecord {
+	suffix := ""
+	if r.Baseline {
+		suffix = "/scratch"
+	}
 	out := make([]BenchRecord, 0, len(r.Rows))
 	for _, row := range r.Rows {
 		out = append(out, BenchRecord{
-			Name:        fmt.Sprintf("monitor/batch=%d", row.BatchSize),
+			Name:        fmt.Sprintf("monitor/batch=%d%s", row.BatchSize, suffix),
 			OpsPerSec:   row.OpsPerSec,
 			P50Ms:       ms(row.P50),
 			P95Ms:       ms(row.P95),
@@ -74,6 +78,9 @@ func (r *MonitorReport) Records() []BenchRecord {
 			Extra: map[string]float64{
 				"reeval_fraction": row.ReevalFraction,
 				"standing":        float64(r.Queries),
+				"early_exits":     float64(row.EarlyExits),
+				"folds_reused":    float64(row.FoldsReused),
+				"folds_derived":   float64(row.FoldsDerived),
 			},
 		})
 	}

@@ -27,10 +27,17 @@ type MonitorConfig struct {
 	Queries int
 	// Commits is the number of update commits per batch size; 0 means 100.
 	Commits int
-	// BatchSizes lists ops-per-commit sizes; empty means 1, 4, 16, 64.
+	// BatchSizes lists ops-per-commit sizes; empty means 1, 4, 16, 64, 256.
 	BatchSizes []int
-	// Seed makes the workload deterministic.
+	// Seed makes the workload deterministic: the dataset, the query
+	// population and each batch size's update stream are all derived from it,
+	// each from its own sub-seed, so one row's workload never depends on
+	// which other sizes ran before it.
 	Seed int64
+	// Baseline disables the monitor's incremental evaluation path (every
+	// re-evaluation runs from scratch) — the comparison the incremental rows
+	// are measured against.
+	Baseline bool
 	// Dir is the store directory; empty means a temp dir removed afterwards.
 	Dir string
 }
@@ -53,11 +60,17 @@ type MonitorRow struct {
 	P50, P95, P99 time.Duration
 	// AllocsPerCommit is the allocation count per commit, pruning included.
 	AllocsPerCommit float64
+	// EarlyExits counts re-evaluations the incremental path resolved without
+	// running the verifier; FoldsReused and FoldsDerived count candidate
+	// distance pdfs served from per-query state vs. recomputed. All zero in
+	// baseline mode.
+	EarlyExits, FoldsReused, FoldsDerived uint64
 }
 
 // MonitorReport is the outcome of the monitoring experiment.
 type MonitorReport struct {
 	Objects, Queries, Commits int
+	Baseline                  bool
 	Rows                      []MonitorRow
 }
 
@@ -74,7 +87,7 @@ func RunMonitor(cfg MonitorConfig) (*MonitorReport, error) {
 	}
 	sizes := cfg.BatchSizes
 	if len(sizes) == 0 {
-		sizes = []int{1, 4, 16, 64}
+		sizes = []int{1, 4, 16, 64, 256}
 	}
 	for _, b := range sizes {
 		if b < 1 {
@@ -98,14 +111,15 @@ func RunMonitor(cfg MonitorConfig) (*MonitorReport, error) {
 	defer s.Close()
 
 	const domain = 10000.0
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	iv := func() (float64, float64) {
+	// Every phase draws from its own sub-seeded stream (see MonitorConfig.Seed).
+	iv := func(rng *rand.Rand) (float64, float64) {
 		lo := rng.Float64() * domain
 		return lo, lo + 1 + rng.Float64()*24 // mean length ~13, like Long Beach
 	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	ops := make([]store.Op, cfg.Objects)
 	for i := range ops {
-		lo, hi := iv()
+		lo, hi := iv(rng)
 		ops[i] = store.InsertObject(pdf.MustUniform(lo, hi))
 	}
 	res, err := s.Apply(ops)
@@ -114,22 +128,27 @@ func RunMonitor(cfg MonitorConfig) (*MonitorReport, error) {
 	}
 	ids := res.IDs
 
-	m, err := monitor.New(monitor.Config{Store: s})
+	m, err := monitor.New(monitor.Config{Store: s, DisableIncremental: cfg.Baseline})
 	if err != nil {
 		return nil, err
 	}
 	defer m.Close()
+	qrng := rand.New(rand.NewSource(cfg.Seed + 1))
 	for i := 0; i < cfg.Queries; i++ {
 		if _, err := m.Register(monitor.Spec{
-			Kind: monitor.KindCPNN, Q: rng.Float64() * domain,
+			Kind: monitor.KindCPNN, Q: qrng.Float64() * domain,
 			Constraint: verify.Constraint{P: 0.3, Delta: 0.01},
 		}); err != nil {
 			return nil, err
 		}
 	}
 
-	report := &MonitorReport{Objects: cfg.Objects, Queries: cfg.Queries, Commits: cfg.Commits}
+	report := &MonitorReport{
+		Objects: cfg.Objects, Queries: cfg.Queries, Commits: cfg.Commits,
+		Baseline: cfg.Baseline,
+	}
 	for _, size := range sizes {
+		srng := rand.New(rand.NewSource(cfg.Seed + 2 + int64(size)))
 		before := m.Stats()
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
@@ -138,8 +157,8 @@ func RunMonitor(cfg MonitorConfig) (*MonitorReport, error) {
 		for c := 0; c < cfg.Commits; c++ {
 			batch := make([]store.Op, size)
 			for i := range batch {
-				lo, hi := iv()
-				batch[i] = store.UpdateObject(ids[rng.Intn(len(ids))], pdf.MustUniform(lo, hi))
+				lo, hi := iv(srng)
+				batch[i] = store.UpdateObject(ids[srng.Intn(len(ids))], pdf.MustUniform(lo, hi))
 			}
 			cStart := time.Now()
 			if _, err := s.Apply(batch); err != nil {
@@ -165,6 +184,9 @@ func RunMonitor(cfg MonitorConfig) (*MonitorReport, error) {
 			P95:             msToDur(lat.Percentile(95)),
 			P99:             msToDur(lat.Percentile(99)),
 			AllocsPerCommit: float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.Commits),
+			EarlyExits:      after.EarlyExits - before.EarlyExits,
+			FoldsReused:     after.IncrementalReused - before.IncrementalReused,
+			FoldsDerived:    after.IncrementalDerived - before.IncrementalDerived,
 		}
 		if naive > 0 {
 			row.ReevalFraction = float64(actual) / float64(naive)
@@ -176,15 +198,24 @@ func RunMonitor(cfg MonitorConfig) (*MonitorReport, error) {
 
 // Print renders the monitoring report as an aligned table.
 func (r *MonitorReport) Print(w io.Writer) {
-	fmt.Fprintf(w, "# Continuous monitoring: %d objects, %d standing C-PNN queries, %d update commits per size\n",
-		r.Objects, r.Queries, r.Commits)
-	fmt.Fprintf(w, "%10s %10s %10s %12s %12s %12s %12s %14s\n",
-		"batch", "ops/s", "reeval%", "reevals", "naive", "p50", "p95", "allocs/commit")
+	mode := "incremental"
+	if r.Baseline {
+		mode = "from-scratch baseline"
+	}
+	fmt.Fprintf(w, "# Continuous monitoring (%s): %d objects, %d standing C-PNN queries, %d update commits per size\n",
+		mode, r.Objects, r.Queries, r.Commits)
+	fmt.Fprintf(w, "%10s %10s %10s %12s %12s %12s %12s %14s %10s %10s\n",
+		"batch", "ops/s", "reeval%", "reevals", "naive", "p50", "p95", "allocs/commit",
+		"earlyexit", "reuse%")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%10d %10.0f %9.2f%% %12d %12d %12s %12s %14.0f\n",
+		reuse := 0.0
+		if t := row.FoldsReused + row.FoldsDerived; t > 0 {
+			reuse = 100 * float64(row.FoldsReused) / float64(t)
+		}
+		fmt.Fprintf(w, "%10d %10.0f %9.2f%% %12d %12d %12s %12s %14.0f %10d %9.1f%%\n",
 			row.BatchSize, row.OpsPerSec, 100*row.ReevalFraction,
 			row.ActualReevals, row.NaiveReevals,
 			row.P50.Round(time.Microsecond), row.P95.Round(time.Microsecond),
-			row.AllocsPerCommit)
+			row.AllocsPerCommit, row.EarlyExits, reuse)
 	}
 }

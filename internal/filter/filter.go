@@ -11,6 +11,7 @@ package filter
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -67,6 +68,10 @@ func (ix *Index) Candidates(q float64) Result {
 		}
 		return true
 	})
+	// Canonical ascending order: tree traversal order depends on insertion
+	// history, and downstream consumers (answer assembly, incremental replay)
+	// require the candidate order to be a function of the set alone.
+	sort.Ints(ids)
 	return Result{IDs: ids, FMin: fMin}
 }
 

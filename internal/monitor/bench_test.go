@@ -17,6 +17,60 @@ import (
 // The standing-query count is the axis: with influence pruning the cost
 // should stay nearly flat as queries grow, where naive re-evaluate-all is
 // linear (see internal/exp.MonitorExperiment for the recorded comparison).
+// BenchmarkMonitorCommitBatch measures one multi-op commit through
+// quiescence — the batch axis of the continuous-monitoring experiment, where
+// each commit dirties many standing queries at once and the incremental
+// evaluation path earns its keep.
+func BenchmarkMonitorCommitBatch(b *testing.B) {
+	for _, size := range []int{16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			s, err := store.Open(b.TempDir(), store.Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			rng := rand.New(rand.NewSource(1))
+			const domain = 10000.0
+			var ops []store.Op
+			for i := 0; i < 10000; i++ {
+				lo := rng.Float64() * domain
+				ops = append(ops, store.InsertObject(pdf.MustUniform(lo, lo+1+rng.Float64()*24)))
+			}
+			res, err := s.Apply(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := New(Config{Store: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			for i := 0; i < 200; i++ {
+				if _, err := m.Register(Spec{Kind: KindCPNN, Q: rng.Float64() * domain,
+					Constraint: verify.Constraint{P: 0.3, Delta: 0.01}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ids := res.IDs
+			batch := make([]store.Op, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					lo := rng.Float64() * domain
+					batch[j] = store.UpdateObject(ids[rng.Intn(len(ids))],
+						pdf.MustUniform(lo, lo+1+rng.Float64()*24))
+				}
+				if _, err := s.Apply(batch); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Sync(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkMonitorCommit(b *testing.B) {
 	for _, nq := range []int{16, 256} {
 		b.Run(fmt.Sprintf("queries=%d", nq), func(b *testing.B) {

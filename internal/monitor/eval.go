@@ -140,17 +140,7 @@ func Evaluate(view *store.View, eng *core.Engine, sc *core.Scratch, spec Spec) (
 		if err != nil {
 			return nil, 0, err
 		}
-		out := make([]answerJSON, 0, len(res.Answers))
-		for _, a := range res.Answers {
-			out = append(out, answerJSON{
-				ID: stableID(view, a.ID), L: round9(a.Bounds.L), U: round9(a.Bounds.U),
-				Status: a.Status.String(),
-			})
-		}
-		sortAnswers(out)
-		body, err = json.Marshal(struct {
-			Answers []answerJSON `json:"answers"`
-		}{out})
+		body, err = marshalCPNN(view, res.Answers)
 		return body, boundedRadius(n > 0, res.Stats.FMin), err
 
 	case KindPNN:
@@ -158,14 +148,7 @@ func Evaluate(view *store.View, eng *core.Engine, sc *core.Scratch, spec Spec) (
 		if err != nil {
 			return nil, 0, err
 		}
-		out := make([]probJSON, 0, len(probs))
-		for _, p := range probs {
-			out = append(out, probJSON{ID: stableID(view, p.ID), P: round9(p.P)})
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		body, err = json.Marshal(struct {
-			Probabilities []probJSON `json:"probabilities"`
-		}{out})
+		body, err = marshalPNN(view, probs)
 		return body, boundedRadius(n > 0, st.FMin), err
 
 	case KindKNN:
@@ -175,20 +158,7 @@ func Evaluate(view *store.View, eng *core.Engine, sc *core.Scratch, spec Spec) (
 		if err != nil {
 			return nil, 0, err
 		}
-		out := make([]answerJSON, 0, len(answers))
-		for _, a := range answers {
-			if a.Status != verify.Satisfy {
-				continue
-			}
-			out = append(out, answerJSON{
-				ID: stableID(view, a.ID), L: round9(a.Bounds.L), U: round9(a.Bounds.U),
-				Status: a.Status.String(),
-			})
-		}
-		sortAnswers(out)
-		body, err = json.Marshal(struct {
-			Answers []answerJSON `json:"answers"`
-		}{out})
+		body, err = marshalKNN(view, answers)
 		// With fewer than K objects, any insert anywhere joins the k-NN set:
 		// the critical distance f_k only prunes when at least K objects exist.
 		return body, boundedRadius(n >= spec.K && n > 0, st.FMin), err
@@ -196,6 +166,107 @@ func Evaluate(view *store.View, eng *core.Engine, sc *core.Scratch, spec Spec) (
 	default:
 		return nil, 0, fmt.Errorf("monitor: unknown query kind %d", spec.Kind)
 	}
+}
+
+// EvaluateIncremental is Evaluate over a persistent per-query evaluation
+// state: unchanged candidates keep their cached distance pdfs, single
+// entries/departures patch the cached subregion table in place, and when the
+// triggering changes provably cannot alter the answer the verifier is
+// skipped entirely (inc.Skipped: body is nil and the previous answer stands,
+// radius is unchanged). changed maps the stable IDs modified since the
+// state's last evaluation to dense-slot hints (see core.SlotUnknown and
+// core.SlotDeleted); full forces a complete re-derivation (feed gaps,
+// truncations, raced influence-rect growth — any time the changed set is not
+// exhaustive). Bodies are byte-identical to Evaluate on the same view.
+func EvaluateIncremental(view *store.View, eng *core.Engine, st *core.EvalState, spec Spec, changed map[uint64]int, full bool) (body []byte, radius float64, inc core.IncrementalStats, err error) {
+	if eng == nil {
+		eng, err = core.NewEngineWithIndex(view.Dataset, view.Index)
+		if err != nil {
+			return nil, 0, inc, err
+		}
+	}
+	if full {
+		changed = nil // CPNNIncremental & co. treat nil as "everything changed"
+	}
+	ids := knnIDs(view)
+	n := view.Dataset.Len()
+	switch spec.Kind {
+	case KindCPNN:
+		res, inc, err := eng.CPNNIncremental(spec.Q, spec.Constraint, core.Options{Strategy: spec.Strategy}, st, ids, changed)
+		if err != nil || inc.Skipped {
+			return nil, 0, inc, err
+		}
+		body, err = marshalCPNN(view, res.Answers)
+		return body, boundedRadius(n > 0, res.Stats.FMin), inc, err
+
+	case KindPNN:
+		probs, pst, inc, err := eng.PNNIncremental(spec.Q, core.Options{}, st, ids, changed)
+		if err != nil || inc.Skipped {
+			return nil, 0, inc, err
+		}
+		body, err = marshalPNN(view, probs)
+		return body, boundedRadius(n > 0, pst.FMin), inc, err
+
+	case KindKNN:
+		answers, kst, inc, err := eng.KNNIncremental(spec.Q, spec.Constraint, core.KNNOptions{
+			K: spec.K, Samples: spec.Samples, Seed: spec.Seed,
+		}, st, ids, changed)
+		if err != nil || inc.Skipped {
+			return nil, 0, inc, err
+		}
+		body, err = marshalKNN(view, answers)
+		return body, boundedRadius(n >= spec.K && n > 0, kst.FMin), inc, err
+
+	default:
+		return nil, 0, inc, fmt.Errorf("monitor: unknown query kind %d", spec.Kind)
+	}
+}
+
+// marshalCPNN renders the canonical CPNN answer body: satisfying objects in
+// stable-ID terms, bounds quantized (see round9), sorted by ID.
+func marshalCPNN(view *store.View, answers []core.Answer) ([]byte, error) {
+	out := make([]answerJSON, 0, len(answers))
+	for _, a := range answers {
+		out = append(out, answerJSON{
+			ID: stableID(view, a.ID), L: round9(a.Bounds.L), U: round9(a.Bounds.U),
+			Status: a.Status.String(),
+		})
+	}
+	sortAnswers(out)
+	return json.Marshal(struct {
+		Answers []answerJSON `json:"answers"`
+	}{out})
+}
+
+// marshalPNN renders the canonical PNN answer body.
+func marshalPNN(view *store.View, probs []core.Probability) ([]byte, error) {
+	out := make([]probJSON, 0, len(probs))
+	for _, p := range probs {
+		out = append(out, probJSON{ID: stableID(view, p.ID), P: round9(p.P)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return json.Marshal(struct {
+		Probabilities []probJSON `json:"probabilities"`
+	}{out})
+}
+
+// marshalKNN renders the canonical k-NN answer body (satisfying objects
+// only).
+func marshalKNN(view *store.View, answers []core.KNNAnswer) ([]byte, error) {
+	out := make([]answerJSON, 0, len(answers))
+	for _, a := range answers {
+		if a.Status != verify.Satisfy {
+			continue
+		}
+		out = append(out, answerJSON{
+			ID: stableID(view, a.ID), L: round9(a.Bounds.L), U: round9(a.Bounds.U),
+			Status: a.Status.String(),
+		})
+	}
+	sortAnswers(out)
+	return json.Marshal(struct {
+		Answers []answerJSON `json:"answers"`
+	}{out})
 }
 
 // stableID translates a dense engine ID through the view's stable-ID map.

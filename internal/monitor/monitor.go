@@ -49,6 +49,11 @@ var ErrUnknownMonitor = errors.New("monitor: unknown monitor id")
 // DefaultMaxMonitors caps registered standing queries.
 const DefaultMaxMonitors = 65536
 
+// DefaultMaxStateBytes caps the memory retained by per-query evaluation
+// states (cached distance pdfs and subregion tables) when
+// Config.MaxStateBytes is zero.
+const DefaultMaxStateBytes = 64 << 20
+
 // Config tunes a Monitor. Store is required; every other zero value selects
 // a sensible default.
 type Config struct {
@@ -63,6 +68,16 @@ type Config struct {
 	// MaxMonitors caps registered standing queries; 0 means
 	// DefaultMaxMonitors.
 	MaxMonitors int
+	// MaxStateBytes caps the memory retained across all per-query evaluation
+	// states; least-recently-evaluated states are dropped when the cap is
+	// exceeded (their queries transparently fall back to a full
+	// re-derivation on their next triggering commit). 0 means
+	// DefaultMaxStateBytes; negative disables the cap.
+	MaxStateBytes int64
+	// DisableIncremental forces every re-evaluation down the from-scratch
+	// path and retains no per-query state — the baseline the benchmark's
+	// incremental-vs-scratch comparison runs against.
+	DisableIncremental bool
 }
 
 // standing is one registered query.
@@ -76,6 +91,22 @@ type standing struct {
 
 	evaluating bool // a worker is evaluating this query right now
 	redo       bool // dirtied again while evaluating; requeue on completion
+
+	// pending accumulates the stable IDs changed by the commits that dirtied
+	// this query since its last evaluation; full marks the set as
+	// non-exhaustive (feed gap, truncation, raced influence-rect growth),
+	// forcing the next evaluation to re-derive everything. Both are guarded
+	// by the monitor mutex; an evaluating worker owns a snapshot.
+	pending map[uint64]int
+	full    bool
+
+	// state is the persistent incremental-evaluation state (nil until the
+	// first worker evaluation, and while evicted). The owning worker touches
+	// it outside the lock during an evaluation; everyone else only under the
+	// lock and only when evaluating is false.
+	state      *core.EvalState
+	stateBytes int64  // last accounted MemBytes share
+	lastEval   uint64 // eviction clock (monitor.evalSeq at last evaluation)
 }
 
 // State is a read-only snapshot of one standing query.
@@ -115,6 +146,25 @@ type Stats struct {
 	// value means some standing answers may be stale until their next
 	// triggering commit.
 	Errors uint64
+	// EarlyExits counts re-evaluations resolved by the incremental early
+	// exit: the triggering changes provably could not alter the answer, so
+	// no fold was derived and no verifier ran.
+	EarlyExits uint64
+	// TwoDFallbacks counts 2-D object changes the spatial join skipped.
+	// Standing queries are 1-D (their evaluation never reads the view's
+	// disks), so the skip is sound — the counter exists so the coverage gap
+	// stays visible if 2-D standing queries are ever added.
+	TwoDFallbacks uint64
+	// IncrementalReused counts candidate folds served from per-query states;
+	// IncrementalDerived counts folds actually recomputed. Their ratio is
+	// the monitor-side derivation saving.
+	IncrementalReused, IncrementalDerived uint64
+	// StateBytes is the memory currently retained by per-query evaluation
+	// states, StateQueries the number of queries holding one, and
+	// StateEvictions the states dropped to respect Config.MaxStateBytes.
+	StateBytes     int64
+	StateQueries   int
+	StateEvictions uint64
 }
 
 // Monitor maintains standing queries over a store's change feed. Create one
@@ -139,10 +189,14 @@ type Monitor struct {
 
 	inflight int // workers currently evaluating
 
+	evalSeq    uint64 // eviction clock, bumped per completed evaluation
+	stateBytes int64  // total accounted per-query state memory
+
 	wg sync.WaitGroup
 
 	// counters, guarded by mu (the hot paths already hold it)
 	nDeltas, nGaps, nAffected, nPruned, nReEvals, nPushes, nDropped, nErrors uint64
+	nEarlyExits, nTwoDFallbacks, nStateEvictions, nIncReused, nIncDerived    uint64
 }
 
 // New builds and starts a monitor over the store's change feed.
@@ -158,6 +212,9 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	if cfg.MaxMonitors == 0 {
 		cfg.MaxMonitors = DefaultMaxMonitors
+	}
+	if cfg.MaxStateBytes == 0 {
+		cfg.MaxStateBytes = DefaultMaxStateBytes
 	}
 	feed, err := cfg.Store.Watch(cfg.FeedBuffer)
 	if err != nil {
@@ -274,6 +331,8 @@ func (m *Monitor) Unregister(id uint64) bool {
 	}
 	delete(m.queries, id)
 	delete(m.dirty, id)
+	m.stateBytes -= q.stateBytes
+	q.stateBytes = 0
 	m.qix.Delete(q.rect, func(v uint64) bool { return v == id })
 	m.cond.Broadcast()
 	return true
@@ -310,18 +369,31 @@ func sortStates(out []*State) {
 func (m *Monitor) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	stateQueries := 0
+	for _, q := range m.queries {
+		if q.state != nil {
+			stateQueries++
+		}
+	}
 	return Stats{
-		Active:      len(m.queries),
-		Subscribers: len(m.subs),
-		Version:     m.feedVer,
-		Deltas:      m.nDeltas,
-		Gaps:        m.nGaps,
-		Affected:    m.nAffected,
-		Pruned:      m.nPruned,
-		ReEvals:     m.nReEvals,
-		Pushes:      m.nPushes,
-		Dropped:     m.nDropped,
-		Errors:      m.nErrors,
+		Active:             len(m.queries),
+		Subscribers:        len(m.subs),
+		Version:            m.feedVer,
+		Deltas:             m.nDeltas,
+		Gaps:               m.nGaps,
+		Affected:           m.nAffected,
+		Pruned:             m.nPruned,
+		ReEvals:            m.nReEvals,
+		Pushes:             m.nPushes,
+		Dropped:            m.nDropped,
+		Errors:             m.nErrors,
+		EarlyExits:         m.nEarlyExits,
+		TwoDFallbacks:      m.nTwoDFallbacks,
+		IncrementalReused:  m.nIncReused,
+		IncrementalDerived: m.nIncDerived,
+		StateBytes:         m.stateBytes,
+		StateQueries:       stateQueries,
+		StateEvictions:     m.nStateEvictions,
 	}
 }
 
@@ -403,27 +475,46 @@ func (m *Monitor) feedLoop() {
 			if d.Gap {
 				m.nGaps++
 			}
-			for id := range m.queries {
+			// The changed-ID set is unknowable (gap) or "everything"
+			// (truncation): every query re-derives from scratch.
+			for id, q := range m.queries {
 				m.dirty[id] = struct{}{}
+				q.full = true
 			}
 			affected = len(m.queries)
 		} else {
 			hit := map[uint64]struct{}{}
 			for _, ch := range d.Changes {
 				if ch.TwoD {
-					continue // standing queries are 1-D; disk churn can't touch them
+					// Standing queries are 1-D — evaluation never reads the
+					// view's disks — so disk churn provably cannot touch
+					// them. Counted so the skip stays visible (see
+					// Stats.TwoDFallbacks) if 2-D standing queries land.
+					m.nTwoDFallbacks++
+					continue
+				}
+				hint := core.SlotUnknown
+				switch {
+				case ch.Kind == store.ChangeDelete:
+					hint = core.SlotDeleted
+				case ch.Slot >= 0:
+					hint = ch.Slot
+				}
+				collect := func(_ geom.Rect, id uint64) bool {
+					hit[id] = struct{}{}
+					if q := m.queries[id]; q != nil {
+						if q.pending == nil {
+							q.pending = map[uint64]int{}
+						}
+						q.pending[ch.ID] = hint
+					}
+					return true
 				}
 				if ch.Kind != store.ChangeInsert {
-					m.qix.Search(ch.OldRect, func(_ geom.Rect, id uint64) bool {
-						hit[id] = struct{}{}
-						return true
-					})
+					m.qix.Search(ch.OldRect, collect)
 				}
 				if ch.Kind != store.ChangeDelete {
-					m.qix.Search(ch.NewRect, func(_ geom.Rect, id uint64) bool {
-						hit[id] = struct{}{}
-						return true
-					})
+					m.qix.Search(ch.NewRect, collect)
 				}
 			}
 			for id := range hit {
@@ -471,17 +562,55 @@ func (m *Monitor) worker() {
 		q.evaluating = true
 		m.inflight++
 		view, eng, spec := m.cur, m.curEng, q.spec
+		// Take ownership of the changed-ID snapshot; changes landing during
+		// the evaluation start a fresh set (and set redo).
+		pending, full := q.pending, q.full
+		q.pending, q.full = nil, false
+		incremental := !m.cfg.DisableIncremental
+		state := q.state
+		if incremental && state == nil {
+			state = core.NewEvalState()
+			q.state = state
+		}
 		m.mu.Unlock()
 
-		body, radius, err := Evaluate(view, eng, sc, spec)
+		var body []byte
+		var radius float64
+		var inc core.IncrementalStats
+		var err error
+		if incremental {
+			body, radius, inc, err = EvaluateIncremental(view, eng, state, spec, pending, full)
+		} else {
+			body, radius, err = Evaluate(view, eng, sc, spec)
+		}
 
 		m.mu.Lock()
 		m.inflight--
 		m.nReEvals++
+		m.nIncReused += uint64(inc.Reused)
+		m.nIncDerived += uint64(inc.Derived)
 		if err != nil {
 			m.nErrors++
+			if state != nil {
+				state.Invalidate()
+			}
+			// The pending snapshot is consumed; whatever it said must be
+			// re-derived whenever the query next evaluates.
+			q.full = true
 		}
 		q.evaluating = false
+		m.evalSeq++
+		q.lastEval = m.evalSeq
+		live := false
+		if _, ok := m.queries[q.id]; ok {
+			live = true
+			if incremental {
+				nb := int64(state.MemBytes())
+				m.stateBytes += nb - q.stateBytes
+				q.stateBytes = nb
+				m.evictStatesLocked()
+			}
+		}
 		// Requeue when the query was dirtied mid-evaluation (redo) — and
 		// also when a commit raced this evaluation AND the influence rect
 		// grew: the raced commits' spatial joins ran against the
@@ -492,17 +621,23 @@ func (m *Monitor) worker() {
 		// which keeps sustained write load from degenerating into
 		// re-evaluate-per-commit and lets Sync drain.
 		rect := q.rect
-		if err == nil {
+		if err == nil && !inc.Skipped {
 			rect = influenceRect(spec.Q, radius)
 		}
 		grew := !q.rect.Contains(rect)
-		if q.redo || (m.feedVer > view.Version && grew) {
+		racedGrowth := m.feedVer > view.Version && grew
+		if q.redo || racedGrowth {
 			q.redo = false
-			if _, ok := m.queries[q.id]; ok {
+			if live {
 				m.dirty[q.id] = struct{}{}
+				if racedGrowth {
+					// The wrongly-pruned annulus changes never reached
+					// q.pending; only a full re-derivation is sound.
+					q.full = true
+				}
 			}
 		}
-		if _, ok := m.queries[q.id]; ok && err == nil && view.Version >= q.version {
+		if live && err == nil && view.Version >= q.version {
 			if rect != q.rect {
 				m.qix.Delete(q.rect, func(v uint64) bool { return v == q.id })
 				if ierr := m.qix.Insert(rect, q.id); ierr == nil {
@@ -510,7 +645,11 @@ func (m *Monitor) worker() {
 				}
 			}
 			q.version = view.Version
-			if !bytes.Equal(body, q.body) {
+			if inc.Skipped {
+				// The previous answer is provably current at this version;
+				// nothing to serialize, diff or push.
+				m.nEarlyExits++
+			} else if !bytes.Equal(body, q.body) {
 				q.body = body
 				m.nPushes++
 				m.pushLocked(Update{
@@ -520,5 +659,32 @@ func (m *Monitor) worker() {
 			}
 		}
 		m.cond.Broadcast() // wake Sync waiters and idle workers
+	}
+}
+
+// evictStatesLocked drops least-recently-evaluated per-query states until
+// the retained memory fits Config.MaxStateBytes. A state owned by an
+// evaluating worker is never touched. Called with the monitor mutex held.
+func (m *Monitor) evictStatesLocked() {
+	max := m.cfg.MaxStateBytes
+	if max < 0 {
+		return
+	}
+	for m.stateBytes > max {
+		var victim *standing
+		for _, q := range m.queries {
+			if q.state == nil || q.evaluating {
+				continue
+			}
+			if victim == nil || q.lastEval < victim.lastEval {
+				victim = q
+			}
+		}
+		if victim == nil {
+			return
+		}
+		m.stateBytes -= victim.stateBytes
+		victim.state, victim.stateBytes = nil, 0
+		m.nStateEvictions++
 	}
 }

@@ -318,6 +318,14 @@ func (h *Histogram) NumBins() int { return len(h.dens) }
 // Edges returns the bin edges. The slice is shared; callers must not mutate.
 func (h *Histogram) Edges() []float64 { return h.edges }
 
+// MemBytes returns the approximate heap footprint of the histogram's float
+// storage. Caches that retain histograms across queries (the monitor's
+// per-query evaluation state) use it for memory accounting against their
+// configured cap.
+func (h *Histogram) MemBytes() int {
+	return 8 * (len(h.edges) + len(h.dens) + len(h.cum))
+}
+
 // BinMass returns the probability mass of bin i.
 func (h *Histogram) BinMass(i int) float64 { return h.cum[i+1] - h.cum[i] }
 

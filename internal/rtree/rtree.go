@@ -11,10 +11,10 @@
 package rtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -33,6 +33,12 @@ type Tree[T any] struct {
 	size       int
 	maxEntries int
 	minEntries int
+
+	// nnPool recycles nearest-neighbor traversal queues across ScanNearest /
+	// MinMaxDist calls (both run once per filtering pass — hot enough that
+	// a fresh queue per call shows up in allocation profiles). sync.Pool is
+	// safe under the tree's concurrent-readers contract.
+	nnPool sync.Pool
 }
 
 type entry[T any] struct {
@@ -450,10 +456,11 @@ func (t *Tree[T]) ScanNearest(q geom.Point, fn func(Neighbor[T]) bool) {
 	if t.size == 0 {
 		return
 	}
-	pq := &nnQueue[T]{}
-	heap.Push(pq, nnEntry[T]{dist: 0, node: t.root})
-	for pq.Len() > 0 {
-		head := heap.Pop(pq).(nnEntry[T])
+	pq := t.getQueue()
+	defer t.putQueue(pq)
+	pq.push(nnEntry[T]{dist: 0, node: t.root})
+	for len(*pq) > 0 {
+		head := pq.pop()
 		if head.node != nil {
 			for i := range head.node.entries {
 				e := &head.node.entries[i]
@@ -463,7 +470,7 @@ func (t *Tree[T]) ScanNearest(q geom.Point, fn func(Neighbor[T]) bool) {
 				} else {
 					item.node = e.child
 				}
-				heap.Push(pq, item)
+				pq.push(item)
 			}
 			continue
 		}
@@ -483,10 +490,11 @@ func (t *Tree[T]) MinMaxDist(q geom.Point) float64 {
 	if t.size == 0 {
 		return best
 	}
-	pq := &nnQueue[T]{}
-	heap.Push(pq, nnEntry[T]{dist: 0, node: t.root})
-	for pq.Len() > 0 {
-		head := heap.Pop(pq).(nnEntry[T])
+	pq := t.getQueue()
+	defer t.putQueue(pq)
+	pq.push(nnEntry[T]{dist: 0, node: t.root})
+	for len(*pq) > 0 {
+		head := pq.pop()
 		if head.dist > best {
 			break // everything remaining starts farther than the bound
 		}
@@ -508,7 +516,7 @@ func (t *Tree[T]) MinMaxDist(q geom.Point) float64 {
 				best = mm
 			}
 			if md := e.rect.MinDist(q); md <= best {
-				heap.Push(pq, nnEntry[T]{dist: md, node: e.child})
+				pq.push(nnEntry[T]{dist: md, node: e.child})
 			}
 		}
 	}
@@ -521,18 +529,71 @@ type nnEntry[T any] struct {
 	leafEntry *entry[T]
 }
 
+// getQueue hands out an empty traversal queue, reusing a pooled backing
+// array when one is available.
+func (t *Tree[T]) getQueue() *nnQueue[T] {
+	if q, ok := t.nnPool.Get().(*nnQueue[T]); ok {
+		return q
+	}
+	q := make(nnQueue[T], 0, 2*t.maxEntries)
+	return &q
+}
+
+// putQueue clears the queue's pointers and returns it to the pool.
+func (t *Tree[T]) putQueue(q *nnQueue[T]) {
+	h := *q
+	for i := range h {
+		h[i] = nnEntry[T]{}
+	}
+	*q = h[:0]
+	t.nnPool.Put(q)
+}
+
+// nnQueue is a typed binary min-heap on dist. container/heap would box every
+// pushed and popped entry in an interface — at one MinMaxDist traversal per
+// filtering pass that boxing dominated the monitor's allocation profile, so
+// the sift operations are hand-rolled.
 type nnQueue[T any] []nnEntry[T]
 
-func (q nnQueue[T]) Len() int           { return len(q) }
-func (q nnQueue[T]) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q nnQueue[T]) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *nnQueue[T]) Push(x any)        { *q = append(*q, x.(nnEntry[T])) }
-func (q *nnQueue[T]) Pop() any {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
+func (q *nnQueue[T]) push(e nnEntry[T]) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].dist <= h[i].dist {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *nnQueue[T]) pop() nnEntry[T] {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nnEntry[T]{} // drop the node/entry pointers for the GC
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].dist < h[l].dist {
+			m = r
+		}
+		if h[i].dist <= h[m].dist {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	*q = h
+	return top
 }
 
 // Input is a (rectangle, item) pair for bulk loading.

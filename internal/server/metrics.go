@@ -126,6 +126,9 @@ func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats, 
 	fmt.Fprintf(w, "%sstore_wal_bytes %d\n", p, st.WALBytes)
 	fmt.Fprintf(w, "# TYPE %sstore_wal_appended_bytes_total counter\n", p)
 	fmt.Fprintf(w, "%sstore_wal_appended_bytes_total %d\n", p, st.WALAppendedBytes)
+	fmt.Fprintf(w, "# TYPE %sstore_wal_records gauge\n", p)
+	fmt.Fprintf(w, "# HELP %sstore_wal_records WAL records written since the last checkpoint.\n", p)
+	fmt.Fprintf(w, "%sstore_wal_records %d\n", p, st.WALRecords)
 	fmt.Fprintf(w, "# TYPE %sstore_checkpoints_total counter\n", p)
 	fmt.Fprintf(w, "%sstore_checkpoints_total %d\n", p, st.Checkpoints)
 	fmt.Fprintf(w, "# TYPE %sstore_checkpoint_seconds_total counter\n", p)
@@ -170,4 +173,21 @@ func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats, 
 	fmt.Fprintf(w, "%smonitor_dropped_total %d\n", p, ms.Dropped)
 	fmt.Fprintf(w, "# TYPE %smonitor_errors_total counter\n", p)
 	fmt.Fprintf(w, "%smonitor_errors_total %d\n", p, ms.Errors)
+	fmt.Fprintf(w, "# TYPE %smonitor_early_exit_total counter\n", p)
+	fmt.Fprintf(w, "# HELP %smonitor_early_exit_total Re-evaluations resolved without running the verifier (changes provably could not alter the answer).\n", p)
+	fmt.Fprintf(w, "%smonitor_early_exit_total %d\n", p, ms.EarlyExits)
+	fmt.Fprintf(w, "# TYPE %smonitor_2d_fallback_total counter\n", p)
+	fmt.Fprintf(w, "# HELP %smonitor_2d_fallback_total 2-D object changes skipped by the spatial join (standing queries are 1-D).\n", p)
+	fmt.Fprintf(w, "%smonitor_2d_fallback_total %d\n", p, ms.TwoDFallbacks)
+	fmt.Fprintf(w, "# TYPE %smonitor_folds_reused_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_folds_reused_total %d\n", p, ms.IncrementalReused)
+	fmt.Fprintf(w, "# TYPE %smonitor_folds_derived_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_folds_derived_total %d\n", p, ms.IncrementalDerived)
+	fmt.Fprintf(w, "# TYPE %smonitor_state_bytes gauge\n", p)
+	fmt.Fprintf(w, "# HELP %smonitor_state_bytes Memory retained by per-query incremental evaluation states.\n", p)
+	fmt.Fprintf(w, "%smonitor_state_bytes %d\n", p, ms.StateBytes)
+	fmt.Fprintf(w, "# TYPE %smonitor_state_queries gauge\n", p)
+	fmt.Fprintf(w, "%smonitor_state_queries %d\n", p, ms.StateQueries)
+	fmt.Fprintf(w, "# TYPE %smonitor_state_evictions_total counter\n", p)
+	fmt.Fprintf(w, "%smonitor_state_evictions_total %d\n", p, ms.StateEvictions)
 }

@@ -101,6 +101,10 @@ type Config struct {
 	// itself exists whenever a store is attached: /v1/monitors registers
 	// standing queries and /v1/subscribe streams their answer updates.
 	MonitorWorkers int
+	// MonitorStateBytes caps the memory the monitor retains for per-query
+	// incremental evaluation states; 0 means the monitor's default, negative
+	// disables the cap.
+	MonitorStateBytes int64
 }
 
 // storeHasData reports whether an attached store holds any durable objects
@@ -234,7 +238,10 @@ func New(cfg Config) (*Server, error) {
 	s.m.reloads.Store(0) // the initial load is not a reload
 	if cfg.Store != nil {
 		// The continuous-query subsystem rides the store's change feed.
-		mon, err := monitor.New(monitor.Config{Store: cfg.Store, Workers: cfg.MonitorWorkers})
+		mon, err := monitor.New(monitor.Config{
+			Store: cfg.Store, Workers: cfg.MonitorWorkers,
+			MaxStateBytes: cfg.MonitorStateBytes,
+		})
 		if err != nil {
 			return nil, err
 		}

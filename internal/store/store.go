@@ -96,6 +96,9 @@ type Stats struct {
 	// Checkpoints counts completed checkpoints; CheckpointNanos their total
 	// wall time.
 	Checkpoints, CheckpointNanos uint64
+	// WALRecords counts WAL records written since the last checkpoint (the
+	// batches a reopen would replay right now).
+	WALRecords uint64
 	// TornTailDropped reports whether recovery discarded a torn WAL tail.
 	TornTailDropped bool
 	// FeedSubscribers counts live change-feed subscriptions; FeedDropped
@@ -157,6 +160,7 @@ type Store struct {
 	walAppended atomic.Uint64
 	checkpoints atomic.Uint64
 	ckptNanos   atomic.Uint64
+	ckptSeq     atomic.Uint64 // WAL seq covered by the latest checkpoint
 	tornTail    bool
 
 	st *state // owned by the committer goroutine (and by Open/Close around it)
@@ -242,6 +246,9 @@ func Open(dir string, opt Options) (*Store, error) {
 		tornTail: torn,
 	}
 	s.walSize.Store(uint64(w.size))
+	if haveCkpt {
+		s.ckptSeq.Store(cs.Seq)
+	}
 	view, err := s.materialize(nil, nil, true)
 	if err != nil {
 		w.close()
@@ -272,6 +279,12 @@ func (s *Store) Stats() Stats {
 	s.watchMu.Lock()
 	subs := len(s.watchers)
 	s.watchMu.Unlock()
+	// A checkpoint racing this read can momentarily advance ckptSeq past the
+	// loaded view's Seq; clamp instead of underflowing.
+	var walRecs uint64
+	if ck := s.ckptSeq.Load(); v.Seq > ck {
+		walRecs = v.Seq - ck
+	}
 	return Stats{
 		FeedSubscribers:  subs,
 		FeedDropped:      s.watchDropped.Load(),
@@ -281,6 +294,7 @@ func (s *Store) Stats() Stats {
 		WALAppendedBytes: s.walAppended.Load(),
 		Checkpoints:      s.checkpoints.Load(),
 		CheckpointNanos:  s.ckptNanos.Load(),
+		WALRecords:       walRecs,
 		TornTailDropped:  s.tornTail,
 		Version:          v.Version,
 		Seq:              v.Seq,
@@ -650,7 +664,7 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 			if slot, ok := st.slotOf[op.ID]; ok {
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
-						ID: op.ID, Kind: ChangeUpdate,
+						ID: op.ID, Kind: ChangeUpdate, Slot: slot,
 						OldRect: geom.RectFromInterval(st.pdfs[slot].Support()),
 						NewRect: geom.RectFromInterval(op.PDF.Support()),
 					})
@@ -662,7 +676,7 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 			} else {
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
-						ID: op.ID, Kind: ChangeInsert,
+						ID: op.ID, Kind: ChangeInsert, Slot: len(st.slots),
 						NewRect: geom.RectFromInterval(op.PDF.Support()),
 					})
 				}
@@ -679,7 +693,7 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 			if slot, ok := st.dslotOf[op.ID]; ok {
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
-						ID: op.ID, Kind: ChangeUpdate, TwoD: true,
+						ID: op.ID, Kind: ChangeUpdate, TwoD: true, Slot: -1,
 						OldRect: geom.RectFromCircle(st.disks[slot]),
 						NewRect: geom.RectFromCircle(op.Disk),
 					})
@@ -688,7 +702,7 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 			} else {
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
-						ID: op.ID, Kind: ChangeInsert, TwoD: true,
+						ID: op.ID, Kind: ChangeInsert, TwoD: true, Slot: -1,
 						NewRect: geom.RectFromCircle(op.Disk),
 					})
 				}
@@ -700,7 +714,7 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 			if slot, ok := st.slotOf[op.ID]; ok {
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
-						ID: op.ID, Kind: ChangeDelete,
+						ID: op.ID, Kind: ChangeDelete, Slot: -1,
 						OldRect: geom.RectFromInterval(st.pdfs[slot].Support()),
 					})
 				}
@@ -720,7 +734,7 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 			} else if slot, ok := st.dslotOf[op.ID]; ok {
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
-						ID: op.ID, Kind: ChangeDelete, TwoD: true,
+						ID: op.ID, Kind: ChangeDelete, TwoD: true, Slot: -1,
 						OldRect: geom.RectFromCircle(st.disks[slot]),
 					})
 				}
@@ -798,6 +812,7 @@ func (s *Store) checkpointLocked() error {
 		return err
 	}
 	s.walSize.Store(0)
+	s.ckptSeq.Store(st.seq)
 	s.checkpoints.Add(1)
 	s.ckptNanos.Add(uint64(time.Since(start).Nanoseconds()))
 	return nil

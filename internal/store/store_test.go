@@ -229,14 +229,23 @@ func TestCheckpointThenReopen(t *testing.T) {
 		InsertObject(pdf.MustUniform(0, 10)),
 		InsertObject(pdf.MustUniform(20, 30)),
 	).IDs
+	if got := s.Stats().WALRecords; got != 1 {
+		t.Fatalf("WALRecords = %d before checkpoint, want 1", got)
+	}
 	if err := s.Checkpoint(); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
 	if got := s.Stats().WALBytes; got != 0 {
 		t.Fatalf("WAL not reset after checkpoint: %d bytes", got)
 	}
+	if got := s.Stats().WALRecords; got != 0 {
+		t.Fatalf("WALRecords = %d after checkpoint, want 0", got)
+	}
 	// Post-checkpoint mutations land in the (fresh) WAL.
 	mustApply(t, s, Delete(ids[0]))
+	if got := s.Stats().WALRecords; got != 1 {
+		t.Fatalf("WALRecords = %d after post-checkpoint batch, want 1", got)
+	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -253,6 +262,11 @@ func TestCheckpointThenReopen(t *testing.T) {
 	}
 	if v.IDs[0] != ids[1] {
 		t.Fatalf("survivor id = %d, want %d", v.IDs[0], ids[1])
+	}
+	// The reopened store recovers the checkpoint's seq, so the replayed WAL
+	// tail is counted from there.
+	if got := re.Stats().WALRecords; got != 1 {
+		t.Fatalf("WALRecords = %d after reopen, want 1", got)
 	}
 }
 

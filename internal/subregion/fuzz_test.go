@@ -43,6 +43,115 @@ func candsFromFuzz(vals []float64) []Candidate {
 	return kept
 }
 
+// tablesEqual reports whether two tables coincide bit for bit in shape,
+// candidate order and every matrix entry.
+func tablesEqual(a, b *Table) bool {
+	if a.NumCandidates() != b.NumCandidates() || a.NumSubregions() != b.NumSubregions() {
+		return false
+	}
+	m := a.NumSubregions()
+	for i := 0; i < a.NumCandidates(); i++ {
+		if a.IDs()[i] != b.IDs()[i] {
+			return false
+		}
+		for j := 0; j <= m; j++ {
+			if a.D(i, j) != b.D(i, j) || a.Excl(i, j) != b.Excl(i, j) {
+				return false
+			}
+		}
+		for j := 0; j < m; j++ {
+			if a.S(i, j) != b.S(i, j) {
+				return false
+			}
+		}
+	}
+	for j := 0; j <= m; j++ {
+		if a.Endpoints()[j] != b.Endpoints()[j] || a.Y(j) != b.Y(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzIncrementalPatch: patching a single candidate into (or out of) a live
+// table must be exactly equivalent to rebuilding from the edited candidate
+// set — the invariant the monitor's incremental re-verification path rests
+// on. The last fuzz float repositions one candidate's region; we upsert its
+// re-derived fold via Patch and compare against a from-scratch Build, then
+// evict it and compare again.
+func FuzzIncrementalPatch(f *testing.F) {
+	f.Add(-1.0, 2.0, 0.5, 1.0, -3.0, 4.0, 1.5)
+	f.Add(0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.25)
+	f.Add(-0.5, 1e-6, 0.5, 2.0, 1.0, 0.25, -2.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, move float64) {
+		cands := candsFromFuzz([]float64{a, b, c, d, e, g})
+		if len(cands) < 2 {
+			return
+		}
+		if math.IsNaN(move) || math.IsInf(move, 0) || math.Abs(move) > 1e9 {
+			return
+		}
+		tb, err := Build(cands)
+		if err != nil {
+			return
+		}
+
+		// Re-derive candidate 0's fold as if its object moved by `move`,
+		// keeping the near-point prune satisfied (skip otherwise — the real
+		// pipeline re-filters before patching).
+		moved := cands[0].Dist.Support()
+		u, err := pdf.NewUniform(moved.Lo+move, moved.Hi+move)
+		if err != nil {
+			return
+		}
+		nd, err := dist.FromPDF(u, 0)
+		if err != nil {
+			return
+		}
+		edited := append([]Candidate(nil), cands...)
+		edited[0] = Candidate{ID: cands[0].ID, Dist: nd}
+		fMin := math.Inf(1)
+		for _, cd := range edited {
+			fMin = math.Min(fMin, cd.Dist.Support().Hi)
+		}
+		for _, cd := range edited {
+			if cd.Dist.Support().Lo > fMin {
+				return // edit would violate the filter invariant; not a patchable state
+			}
+		}
+
+		if err := tb.Patch(&edited[0], -1); err != nil {
+			t.Fatalf("Patch upsert failed: %v", err)
+		}
+		fresh, err := Build(edited)
+		if err != nil {
+			t.Fatalf("Build on edited set failed where Patch succeeded: %v", err)
+		}
+		if !tablesEqual(tb, fresh) {
+			t.Fatal("patched table differs from rebuilt table after upsert")
+		}
+
+		// Evict the same candidate; the survivors were already mutually
+		// filter-consistent (removing a candidate can only raise f_min, and
+		// every survivor's near point was <= the old f_min... not necessarily
+		// <= the new one, so skip sets Rebuild rejects).
+		rest := edited[1:]
+		if err := tb.Patch(nil, edited[0].ID); err != nil {
+			if _, berr := Build(rest); berr == nil {
+				t.Fatalf("Patch evict failed where Build succeeded: %v", err)
+			}
+			return
+		}
+		fresh, err = Build(rest)
+		if err != nil {
+			t.Fatalf("Build on evicted set failed where Patch succeeded: %v", err)
+		}
+		if !tablesEqual(tb, fresh) {
+			t.Fatal("patched table differs from rebuilt table after evict")
+		}
+	})
+}
+
 // FuzzBuild: the subregion decomposition must never panic on any filtered
 // candidate set, every table it builds must satisfy the paper's structural
 // invariants, and a Rebuild into a dirty table must reproduce a fresh Build

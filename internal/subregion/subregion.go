@@ -54,10 +54,21 @@ type Table struct {
 	y    []float64 // M+1 full products Π_k (1−D_k(e_j))
 	c    []int     // M per-subregion counts of candidates with s_ij > 0
 
-	// Scratch reused across Rebuild calls; never escapes the table.
+	// Scratch reused across Rebuild/Patch calls; never escapes the table.
 	order    []int
 	pts      []float64
 	pre, suf []float64
+	patchBuf []Candidate
+}
+
+// MemBytes returns the approximate heap footprint of the table's matrices
+// and scratch. Long-lived caches that retain tables across evaluations (the
+// monitor's per-query state) use it for accounting against their memory cap.
+func (t *Table) MemBytes() int {
+	words := cap(t.ends) + cap(t.s) + cap(t.d) + cap(t.excl) + cap(t.y) +
+		cap(t.pts) + cap(t.pre) + cap(t.suf) +
+		cap(t.ids) + cap(t.dists) + cap(t.order) + cap(t.c)
+	return 8*words + 24*cap(t.patchBuf)
 }
 
 // ErrNoCandidates is returned when a table is built from an empty candidate
@@ -92,8 +103,18 @@ func (t *Table) Rebuild(cands []Candidate) error {
 	for i := range t.order {
 		t.order[i] = i
 	}
+	// Near-point ties break by candidate ID so the table — and every
+	// float product computed over it, bit for bit — is a pure function of
+	// the candidate *set*, independent of input order. The incremental
+	// re-verification path (core.CPNNIncremental, Table.Patch) relies on
+	// this: patched and rebuilt-from-scratch tables must coincide exactly.
 	sort.Slice(t.order, func(a, b int) bool {
-		return cands[t.order[a]].Dist.Support().Lo < cands[t.order[b]].Dist.Support().Lo
+		la := cands[t.order[a]].Dist.Support().Lo
+		lb := cands[t.order[b]].Dist.Support().Lo
+		if la != lb {
+			return la < lb
+		}
+		return cands[t.order[a]].ID < cands[t.order[b]].ID
 	})
 	t.fMin = math.Inf(1)
 	t.fMax = math.Inf(-1)
@@ -234,6 +255,39 @@ func marchCDF(dh *pdf.Histogram, ends []float64, out []float64) {
 			out[j] = cum + dh.BinDensity(bin)*(e-edges[bin])
 		}
 	}
+}
+
+// Patch applies a single-candidate edit to the table's candidate set and
+// rebuilds it in place, reusing all matrix storage: a non-nil upsert replaces
+// the candidate with the same ID (or inserts it), and evict removes the
+// candidate with that ID (pass a negative evict for none). It is the
+// incremental re-verification path's table maintenance primitive — a commit
+// that re-derived k folds patches them in one at a time instead of
+// reassembling the candidate slice — and is exactly equivalent to Rebuild on
+// the edited candidate set (FuzzIncrementalPatch pins this). Evicting the
+// last candidate returns ErrNoCandidates and leaves the table unchanged.
+func (t *Table) Patch(upsert *Candidate, evict int) error {
+	cands := t.patchBuf[:0]
+	replaced := false
+	for i, id := range t.ids {
+		if evict >= 0 && id == evict {
+			continue
+		}
+		if upsert != nil && id == upsert.ID {
+			cands = append(cands, *upsert)
+			replaced = true
+			continue
+		}
+		cands = append(cands, Candidate{ID: id, Dist: t.dists[i]})
+	}
+	if upsert != nil && !replaced {
+		cands = append(cands, *upsert)
+	}
+	t.patchBuf = cands[:0] // keep the grown capacity across patches
+	if len(cands) == 0 {
+		return ErrNoCandidates
+	}
+	return t.Rebuild(cands)
 }
 
 // NumCandidates returns |C|, the candidate-set size.
