@@ -13,8 +13,10 @@
 //	cpnn-bench -replay q.txt -data lb.txt -batch-sizes 1,8,64,512
 //	cpnn-bench -monitor -batch-sizes 1,4,16,64 # standing-query monitoring
 //	cpnn-bench -monitor -json BENCH_monitor.json
+//	cpnn-bench -replica -batch-sizes 1,16,256  # WAL-shipped replication lag
+//	cpnn-bench -replica -json BENCH_replica.json
 //
-// -json additionally writes the replay/monitor series as machine-readable
+// -json additionally writes the replay/monitor/replica series as machine-readable
 // records (name, ops/s, p50/p95/p99 latency, allocs per op) — the format of
 // the repo's BENCH_*.json trajectory files.
 //
@@ -51,6 +53,10 @@ func main() {
 		p          = flag.Float64("p", 0.3, "replay threshold P")
 		delta      = flag.Float64("delta", 0.01, "replay tolerance Delta")
 
+		repl        = flag.Bool("replica", false, "run the WAL-shipped replication experiment instead of a figure")
+		replObjects = flag.Int("replica-objects", 5000, "replication experiment dataset size (catch-up phase)")
+		replCommits = flag.Int("replica-commits", 50, "replication experiment update commits per batch size")
+
 		mon         = flag.Bool("monitor", false, "run the continuous-monitoring experiment instead of a figure")
 		monObjects  = flag.Int("monitor-objects", 10000, "monitoring experiment dataset size")
 		monQueries  = flag.Int("monitor-queries", 200, "monitoring experiment standing-query count")
@@ -62,8 +68,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if *replay != "" && *mon {
-		fatal(fmt.Errorf("-replay and -monitor are mutually exclusive"))
+	modes := 0
+	for _, on := range []bool{*replay != "", *mon, *repl} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatal(fmt.Errorf("-replay, -monitor and -replica are mutually exclusive"))
 	}
 	if *replay != "" {
 		if err := runReplay(*replay, *dataPath, *batchSizes, *workers, *n, *seed,
@@ -79,11 +91,17 @@ func main() {
 		}
 		return
 	}
+	if *repl {
+		if err := runReplica(*batchSizes, *replObjects, *replCommits, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *noCliff {
 		fatal(fmt.Errorf("-assert-no-cliff applies to -monitor mode"))
 	}
 	if *jsonOut != "" {
-		fatal(fmt.Errorf("-json applies to -replay and -monitor modes"))
+		fatal(fmt.Errorf("-json applies to -replay, -monitor and -replica modes"))
 	}
 
 	cfg := exp.Config{
@@ -158,6 +176,30 @@ func runMonitor(sizesCSV string, objects, queries, commits int, seed int64, base
 	}
 	if noCliff {
 		return assertNoCliff(report)
+	}
+	return nil
+}
+
+// runReplica runs the WAL-shipped replication experiment (catch-up
+// throughput and steady-state replication lag per commit batch size) and
+// prints (and optionally records) its table.
+func runReplica(sizesCSV string, objects, commits int, seed int64, jsonOut string) error {
+	sizes, err := parseSizes(sizesCSV, []int{1, 4, 16, 64, 256})
+	if err != nil {
+		return err
+	}
+	report, err := exp.RunReplica(exp.ReplicaConfig{
+		Objects:    objects,
+		Commits:    commits,
+		BatchSizes: sizes,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	report.Print(os.Stdout)
+	if jsonOut != "" {
+		return exp.WriteBenchJSON(jsonOut, report.Records())
 	}
 	return nil
 }

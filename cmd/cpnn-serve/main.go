@@ -4,11 +4,21 @@
 // -data-dir, a durable store: object-level updates through a write-ahead
 // log, checkpoints, and crash recovery on boot.
 //
+// Replication: a primary with -replicate-addr streams its WAL to followers;
+// a process started with -follow (plus its own -data-dir) replays that
+// stream into a local read-only store and serves queries, monitors and SSE
+// off the replayed views — answering 503 until its first catch-up and
+// redirecting writes to the primary's -advertise-http address.
+//
 // Examples:
 //
 //	cpnn-serve -gen -addr :8080                 # serve the Long-Beach-like dataset
 //	cpnn-serve -data intervals.txt -quantum 1   # serve a file, snap queries to 1 unit
 //	cpnn-serve -gen -data-dir /var/lib/cpnn     # durable: updates survive restarts
+//
+//	# primary + read replica
+//	cpnn-serve -gen -data-dir /var/lib/cpnn -replicate-addr :7071 -advertise-http http://10.0.0.1:8080
+//	cpnn-serve -addr :8081 -data-dir /var/lib/cpnn-replica -follow 10.0.0.1:7071
 //
 //	curl 'localhost:8080/v1/cpnn?q=5000&p=0.3&delta=0.01'
 //	curl 'localhost:8080/v1/pnn?q=5000'
@@ -37,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/uncertain"
@@ -52,6 +63,20 @@ func main() {
 	}
 }
 
+// serveOpts collects the data-source and replication flags that decide how
+// the server is assembled.
+type serveOpts struct {
+	dataPath string
+	gen      bool
+	seed     int64
+	dataDir  string
+	noSync   bool
+
+	follow        string // replica mode: primary's replication address
+	replicateAddr string // primary mode: replication listen address
+	advertiseHTTP string // write-redirect target sent to followers
+}
+
 // run is the whole program behind main, factored out so tests can drive the
 // graceful-shutdown path with a cancelable context. ready, when non-nil,
 // receives the bound address once the listener is up.
@@ -64,6 +89,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		seed         = fs.Int64("seed", 1, "generator seed for -gen")
 		dataDir      = fs.String("data-dir", "", "durable store directory (enables /v1/objects, WAL, crash recovery)")
 		noSync       = fs.Bool("no-fsync", false, "skip the per-commit fsync (faster, loses recent batches on crash)")
+		replAddr     = fs.String("replicate-addr", "", "replication listen address: stream the WAL to followers (requires -data-dir)")
+		follow       = fs.String("follow", "", "run as a read replica of this primary replication address (requires -data-dir)")
+		advertise    = fs.String("advertise-http", "", "HTTP URL advertised to followers as the write-redirect target (with -replicate-addr)")
 		quantum      = fs.Float64("quantum", 0, "cache query-point quantization granularity (0 = exact keys)")
 		cacheSize    = fs.Int("cache", server.DefaultCacheEntries, "result-cache capacity in entries (negative disables)")
 		cacheShards  = fs.Int("cache-shards", server.DefaultCacheShards, "result-cache shard count")
@@ -77,7 +105,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 
-	srv, source, err := buildServer(*dataPath, *gen, *seed, *dataDir, *noSync, server.Config{
+	srv, fol, repl, source, err := buildServer(serveOpts{
+		dataPath: *dataPath, gen: *gen, seed: *seed,
+		dataDir: *dataDir, noSync: *noSync,
+		follow: *follow, replicateAddr: *replAddr, advertiseHTTP: *advertise,
+	}, server.Config{
 		Quantum:           *quantum,
 		CacheEntries:      *cacheSize,
 		CacheShards:       *cacheShards,
@@ -89,8 +121,27 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("cpnn-serve: serving %d objects (%s, version %d) on %s",
-		srv.Snapshot().Objects, source, srv.Snapshot().Version, *addr)
+	// Replication teardown order matters: the follower stops applying before
+	// the replication listener stops streaming, and both before the server
+	// checkpoints and closes the store.
+	closeAll := func() error {
+		if fol != nil {
+			fol.Close()
+		}
+		if repl != nil {
+			repl.Close()
+		}
+		return srv.Close()
+	}
+	if fol != nil {
+		log.Printf("cpnn-serve: replica of %s, serving on %s (reads 503 until caught up)", fol.Source(), *addr)
+	} else {
+		log.Printf("cpnn-serve: serving %d objects (%s, version %d) on %s",
+			srv.Snapshot().Objects, source, srv.Snapshot().Version, *addr)
+	}
+	if repl != nil {
+		log.Printf("cpnn-serve: replicating the WAL on %s", repl.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -99,7 +150,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	errCh := make(chan error, 1)
 	ln, err := listen(*addr)
 	if err != nil {
-		srv.Close()
+		closeAll()
 		return err
 	}
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -109,7 +160,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	select {
 	case err := <-errCh:
-		srv.Close()
+		closeAll()
 		return err
 	case <-ctx.Done():
 	}
@@ -123,55 +174,108 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("cpnn-serve: shutdown: %v", err)
 	}
-	if err := srv.Close(); err != nil && !errors.Is(err, store.ErrClosed) {
+	if err := closeAll(); err != nil && !errors.Is(err, store.ErrClosed) {
 		return fmt.Errorf("closing store: %w", err)
 	}
 	log.Printf("cpnn-serve: stopped cleanly")
 	return nil
 }
 
-// buildServer validates flags, loads or recovers the dataset and assembles
-// the server. All user input is checked before any engine is built.
-func buildServer(dataPath string, gen bool, seed int64, dataDir string, noSync bool, cfg server.Config) (*server.Server, string, error) {
-	var st *store.Store
-	if dataDir != "" {
-		var err error
-		st, err = store.Open(dataDir, store.Options{NoSync: noSync})
-		if err != nil {
-			return nil, "", err
+// buildServer validates flags, loads or recovers the dataset, attaches
+// replication, and assembles the server. All user input is checked before
+// any engine is built. The returned follower and replication listener are
+// nil unless -follow / -replicate-addr asked for them.
+func buildServer(o serveOpts, cfg server.Config) (*server.Server, *replica.Follower, *replica.Server, string, error) {
+	var (
+		st   *store.Store
+		fol  *replica.Follower
+		repl *replica.Server
+	)
+	fail := func(err error) (*server.Server, *replica.Follower, *replica.Server, string, error) {
+		if fol != nil {
+			fol.Close()
 		}
-		cfg.Store = st
-	}
-	fail := func(err error) (*server.Server, string, error) {
+		if repl != nil {
+			repl.Close()
+		}
 		if st != nil {
 			st.Close()
 		}
-		return nil, "", err
+		return nil, nil, nil, "", err
+	}
+
+	if o.follow != "" {
+		// Replica mode: the dataset comes from the primary, never from flags.
+		if o.dataDir == "" {
+			return fail(fmt.Errorf("-follow requires -data-dir (the replica keeps its own durable copy)"))
+		}
+		if o.gen || o.dataPath != "" {
+			return fail(fmt.Errorf("-follow is mutually exclusive with -gen/-data: the dataset is replicated from the primary"))
+		}
+		var err error
+		st, err = store.OpenFollower(o.dataDir, store.Options{NoSync: o.noSync})
+		if err != nil {
+			return fail(err)
+		}
+		fol, err = replica.StartFollower(replica.FollowerConfig{
+			Store: st, Primary: o.follow, Dir: o.dataDir,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Replica = fol
+	} else if o.dataDir != "" {
+		var err error
+		st, err = store.Open(o.dataDir, store.Options{NoSync: o.noSync})
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Store = st
+	}
+
+	if o.replicateAddr != "" {
+		// A follower can itself replicate onward (chained replicas): its
+		// replayed commits land in its own WAL and log feed like any others.
+		if st == nil {
+			return fail(fmt.Errorf("-replicate-addr requires -data-dir (the WAL is what gets shipped)"))
+		}
+		var err error
+		repl, err = replica.StartServer(replica.ServerConfig{
+			Store: st, Addr: o.replicateAddr, AdvertiseHTTP: o.advertiseHTTP,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Replication = repl
 	}
 
 	source := ""
-	if st != nil && (st.View().Dataset.Len() > 0 || len(st.View().Disks) > 0) {
+	switch {
+	case fol != nil:
+		// server.New labels replica snapshots itself.
+	case st != nil && (st.View().Dataset.Len() > 0 || len(st.View().Disks) > 0):
 		// The durable contents win (disks-only stores count: seeding would
 		// truncate them); -gen/-data would have been only the seed.
-		if gen || dataPath != "" {
+		if o.gen || o.dataPath != "" {
 			log.Printf("cpnn-serve: store %s already holds %d objects and %d disks; ignoring -gen/-data",
-				dataDir, st.View().Dataset.Len(), len(st.View().Disks))
+				o.dataDir, st.View().Dataset.Len(), len(st.View().Disks))
 		}
-		source = fmt.Sprintf("store:%s", dataDir)
-	} else {
-		ds, src, err := loadDataset(dataPath, gen, seed)
+		source = fmt.Sprintf("store:%s", o.dataDir)
+		cfg.Source = source
+	default:
+		ds, src, err := loadDataset(o.dataPath, o.gen, o.seed)
 		if err != nil {
 			return fail(err)
 		}
 		cfg.Dataset = ds
 		source = src
+		cfg.Source = source
 	}
-	cfg.Source = source
 	srv, err := server.New(cfg)
 	if err != nil {
 		return fail(err)
 	}
-	return srv, source, nil
+	return srv, fol, repl, source, nil
 }
 
 func loadDataset(path string, gen bool, seed int64) (*uncertain.Dataset, string, error) {

@@ -26,7 +26,7 @@ func writeDataset(t *testing.T, lines string) string {
 
 func TestBuildServerFromFile(t *testing.T) {
 	path := writeDataset(t, "1 2\n5 9\nhist 10 11 12 | 1 3\n")
-	srv, source, err := buildServer(path, false, 1, "", false, server.Config{})
+	srv, _, _, source, err := buildServer(serveOpts{dataPath: path, seed: 1}, server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,22 +44,31 @@ func TestBuildServerFromFile(t *testing.T) {
 }
 
 func TestBuildServerRejectsBadInput(t *testing.T) {
-	if _, _, err := buildServer("", false, 1, "", false, server.Config{}); err == nil {
+	if _, _, _, _, err := buildServer(serveOpts{seed: 1}, server.Config{}); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, _, err := buildServer("/nonexistent/ds", false, 1, "", false, server.Config{}); err == nil {
+	if _, _, _, _, err := buildServer(serveOpts{dataPath: "/nonexistent/ds", seed: 1}, server.Config{}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, _, err := buildServer("x", true, 1, "", false, server.Config{}); err == nil {
+	if _, _, _, _, err := buildServer(serveOpts{dataPath: "x", gen: true, seed: 1}, server.Config{}); err == nil {
 		t.Error("-gen with -data accepted")
 	}
 	bad := writeDataset(t, "9 2\n")
-	if _, _, err := buildServer(bad, false, 1, "", false, server.Config{}); err == nil {
+	if _, _, _, _, err := buildServer(serveOpts{dataPath: bad, seed: 1}, server.Config{}); err == nil {
 		t.Error("inverted interval accepted")
 	}
 	good := writeDataset(t, "1 2\n")
-	if _, _, err := buildServer(good, false, 1, "", false, server.Config{Quantum: -2}); err == nil {
+	if _, _, _, _, err := buildServer(serveOpts{dataPath: good, seed: 1}, server.Config{Quantum: -2}); err == nil {
 		t.Error("negative quantum accepted")
+	}
+	if _, _, _, _, err := buildServer(serveOpts{follow: "127.0.0.1:1"}, server.Config{}); err == nil {
+		t.Error("-follow without -data-dir accepted")
+	}
+	if _, _, _, _, err := buildServer(serveOpts{dataPath: good, replicateAddr: "127.0.0.1:0"}, server.Config{}); err == nil {
+		t.Error("-replicate-addr without -data-dir accepted")
+	}
+	if _, _, _, _, err := buildServer(serveOpts{dataDir: t.TempDir(), follow: "127.0.0.1:1", gen: true}, server.Config{}); err == nil {
+		t.Error("-follow with -gen accepted")
 	}
 }
 
@@ -69,7 +78,7 @@ func TestBuildServerSeedsAndRecoversDataDir(t *testing.T) {
 	path := writeDataset(t, "1 2\n5 9\n")
 	dir := t.TempDir()
 
-	srv, _, err := buildServer(path, false, 1, dir, true, server.Config{})
+	srv, _, _, _, err := buildServer(serveOpts{dataPath: path, seed: 1, dataDir: dir, noSync: true}, server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +91,7 @@ func TestBuildServerSeedsAndRecoversDataDir(t *testing.T) {
 
 	// Reopen with a DIFFERENT -data file: the store contents must win.
 	other := writeDataset(t, "100 101\n200 201\n300 301\n")
-	srv, source, err := buildServer(other, false, 1, dir, true, server.Config{})
+	srv, _, _, source, err := buildServer(serveOpts{dataPath: other, seed: 1, dataDir: dir, noSync: true}, server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,5 +184,169 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-not-a-flag"}, nil); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestPrimaryReplicaEndToEnd boots a primary with -replicate-addr and a
+// replica with -follow through the real run() loop, writes through the
+// primary's HTTP API, and expects the replica to converge, serve reads,
+// redirect writes, and shut both processes down cleanly.
+func TestPrimaryReplicaEndToEnd(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	dsPath := writeDataset(t, "1 2\n5 9\n")
+
+	pctx, pcancel := context.WithCancel(context.Background())
+	defer pcancel()
+	pready := make(chan string, 1)
+	pdone := make(chan error, 1)
+	go func() {
+		pdone <- run(pctx, []string{
+			"-addr", "127.0.0.1:0", "-data", dsPath, "-data-dir", pdir, "-no-fsync",
+			"-replicate-addr", "127.0.0.1:0",
+		}, pready)
+	}()
+	var paddr string
+	select {
+	case paddr = <-pready:
+	case err := <-pdone:
+		t.Fatalf("primary exited early: %v", err)
+	}
+
+	// The replication port was dynamic; read it off the primary's /healthz.
+	var replAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for replAddr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("primary never reported its replication address")
+		}
+		resp, err := http.Get("http://" + paddr + "/healthz")
+		if err == nil {
+			var hz struct {
+				ReplicationServer struct {
+					Addr string `json:"addr"`
+				} `json:"replication_server"`
+			}
+			json.NewDecoder(resp.Body).Decode(&hz)
+			resp.Body.Close()
+			replAddr = hz.ReplicationServer.Addr
+		}
+	}
+
+	rctx, rcancel := context.WithCancel(context.Background())
+	defer rcancel()
+	rready := make(chan string, 1)
+	rdone := make(chan error, 1)
+	go func() {
+		rdone <- run(rctx, []string{
+			"-addr", "127.0.0.1:0", "-data-dir", rdir, "-no-fsync",
+			"-follow", replAddr,
+		}, rready)
+	}()
+	var raddr string
+	select {
+	case raddr = <-rready:
+	case err := <-rdone:
+		t.Fatalf("replica exited early: %v", err)
+	}
+
+	// Wait for the replica to report healthy (caught up).
+	waitHealthy := func(addr string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				ok := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if ok {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never became healthy", addr)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	waitHealthy(raddr)
+
+	// Write through the primary; the replica must serve it.
+	resp, err := http.Post("http://"+paddr+"/v1/objects", "application/json",
+		strings.NewReader(`{"objects":[{"uniform":{"lo":50,"hi":60}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("primary write: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + raddr + "/v1/cpnn?q=55&p=0.3&delta=0.01")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Version uint64 `json:"version"`
+			Answers []struct {
+				ID int     `json:"id"`
+				L  float64 `json:"l"` // lower qualification-probability bound
+			} `json:"answers"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		// The inserted [50,60] contains q=55 and gets stable ID 3 (after the
+		// two seed objects); it must qualify with near-certain probability.
+		if resp.StatusCode == http.StatusOK && len(body.Answers) == 1 &&
+			body.Answers[0].ID == 3 && body.Answers[0].L > 0.9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never served the replicated object (status %d, %+v)", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Writes on the replica bounce: no -advertise-http was set, so 403.
+	resp, err = http.Post("http://"+raddr+"/v1/objects", "application/json",
+		strings.NewReader(`{"objects":[{"uniform":{"lo":1,"hi":2}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica write: %d, want 403", resp.StatusCode)
+	}
+
+	// Clean shutdowns, replica first.
+	rcancel()
+	select {
+	case err := <-rdone:
+		if err != nil {
+			t.Fatalf("replica run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("replica did not exit")
+	}
+	pcancel()
+	select {
+	case err := <-pdone:
+		if err != nil {
+			t.Fatalf("primary run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("primary did not exit")
+	}
+
+	// Both dirs recover independently with the same contents.
+	for _, dir := range []string{pdir, rdir} {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if n := st.Stats().Objects1D; n != 3 {
+			t.Fatalf("%s recovered %d objects, want 3", dir, n)
+		}
+		st.Close()
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/verify"
 )
@@ -99,6 +100,28 @@ func inspect(out io.Writer, dir string, s *store.Store) error {
 		fmt.Fprintf(out, "checkpoint age: %.0f seconds\n", time.Since(info.ModTime()).Seconds())
 	} else {
 		fmt.Fprintf(out, "checkpoint:   none\n")
+	}
+	// A replica.json marks the dir as a replication follower's: report where
+	// the data came from and the stream state as of the last update.
+	rs, ok, err := replica.ReadState(dir)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Fprintf(out, "role:         %s (replicated from %s)\n", rs.Role, rs.Source)
+		if rs.PrimaryHTTP != "" {
+			fmt.Fprintf(out, "primary http: %s\n", rs.PrimaryHTTP)
+		}
+		caught := "still syncing"
+		if rs.CaughtUp {
+			caught = "caught up"
+		}
+		fmt.Fprintf(out, "replication:  %s; applied seq %d (version %d)\n", caught, rs.AppliedSeq, rs.AppliedVersion)
+		fmt.Fprintf(out, "replication:  %d reconnects, %d snapshot bootstraps; state written %.0f seconds ago\n",
+			rs.Reconnects, rs.SnapshotBootstraps, time.Since(time.Unix(rs.UpdatedUnix, 0)).Seconds())
+		if rs.AppliedSeq != st.Seq {
+			fmt.Fprintf(out, "replication:  note: store is at seq %d (the state file trails live commits)\n", st.Seq)
+		}
 	}
 	return nil
 }

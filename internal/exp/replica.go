@@ -1,0 +1,260 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/pdf"
+	"repro/internal/replica"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// ReplicaConfig drives the replication experiment: a primary whose WAL is
+// shipped to a follower over a loopback TCP stream, measured two ways per
+// commit batch size — bulk catch-up throughput (a fresh follower replaying
+// the primary's whole history) and steady-state replication latency (commit
+// on the primary → the change being servable from the follower's view).
+type ReplicaConfig struct {
+	// Objects is the primary's dataset size replayed during catch-up; 0
+	// means 5000.
+	Objects int
+	// Commits is the number of steady-state update commits measured per
+	// batch size; 0 means 50.
+	Commits int
+	// BatchSizes lists ops-per-commit sizes; empty means 1, 4, 16, 64, 256.
+	// The size shapes both phases: history is written (and therefore
+	// shipped) in records of this many ops, and each steady-state commit
+	// carries this many updates.
+	BatchSizes []int
+	// Seed makes the workload deterministic (sub-seeded per batch size).
+	Seed int64
+	// Dir is the working directory; empty means a temp dir removed
+	// afterwards. Each batch size gets fresh primary/follower subdirs.
+	Dir string
+}
+
+// ReplicaRow is the measured outcome of one batch size.
+type ReplicaRow struct {
+	// BatchSize is the ops per commit (and so per shipped WAL record).
+	BatchSize int
+	// CatchUpOpsPerSec is bulk replay throughput: objects transferred and
+	// durably applied per second while a fresh follower drains the
+	// primary's history.
+	CatchUpOpsPerSec float64
+	// CatchUpTime is the wall time of that first full catch-up.
+	CatchUpTime time.Duration
+	// SteadyOpsPerSec is update throughput through replication: ops per
+	// second with every commit waited on until the follower serves it.
+	SteadyOpsPerSec float64
+	// P50, P95 and P99 are steady-state replication latencies: primary
+	// Apply returning → the committed version published in the follower's
+	// MVCC view (network, replay, fsync and view install included).
+	P50, P95, P99 time.Duration
+	// RecordsShipped and BytesShipped are the primary server's totals for
+	// this batch size's whole run.
+	RecordsShipped, BytesShipped uint64
+	// Reconnects and SnapshotBootstraps must be zero on a healthy loopback
+	// run; non-zero values mean the numbers include recovery work.
+	Reconnects, SnapshotBootstraps uint64
+}
+
+// ReplicaReport is the outcome of the replication experiment.
+type ReplicaReport struct {
+	Objects, Commits int
+	Rows             []ReplicaRow
+}
+
+// RunReplica runs the replication experiment.
+func RunReplica(cfg ReplicaConfig) (*ReplicaReport, error) {
+	if cfg.Objects == 0 {
+		cfg.Objects = 5000
+	}
+	if cfg.Commits == 0 {
+		cfg.Commits = 50
+	}
+	sizes := cfg.BatchSizes
+	if len(sizes) == 0 {
+		sizes = []int{1, 4, 16, 64, 256}
+	}
+	for _, b := range sizes {
+		if b < 1 {
+			return nil, fmt.Errorf("exp: batch size %d < 1", b)
+		}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "cpnn-replica-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	report := &ReplicaReport{Objects: cfg.Objects, Commits: cfg.Commits}
+	for _, size := range sizes {
+		row, err := runReplicaSize(dir, size, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: batch=%d: %w", size, err)
+		}
+		report.Rows = append(report.Rows, *row)
+	}
+	return report, nil
+}
+
+func runReplicaSize(dir string, size int, cfg ReplicaConfig) (*ReplicaRow, error) {
+	pdir := fmt.Sprintf("%s/primary-%d", dir, size)
+	fdir := fmt.Sprintf("%s/follower-%d", dir, size)
+	p, err := store.Open(pdir, store.Options{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	const domain = 10000.0
+	iv := func(rng *rand.Rand) (float64, float64) {
+		lo := rng.Float64() * domain
+		return lo, lo + 1 + rng.Float64()*24
+	}
+
+	// History: the full dataset committed in size-sized batches, so the
+	// shipped log has the record granularity under test.
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(size)))
+	var ids []uint64
+	for off := 0; off < cfg.Objects; off += size {
+		n := min(size, cfg.Objects-off)
+		batch := make([]store.Op, n)
+		for i := range batch {
+			lo, hi := iv(rng)
+			batch[i] = store.InsertObject(pdf.MustUniform(lo, hi))
+		}
+		res, err := p.Apply(batch)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, res.IDs...)
+	}
+
+	srv, err := replica.StartServer(replica.ServerConfig{Store: p, Addr: "127.0.0.1:0"})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	f, err := store.OpenFollower(fdir, store.Options{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Catch-up phase: attach and drain the whole history.
+	catchStart := time.Now()
+	fol, err := replica.StartFollower(replica.FollowerConfig{Store: f, Primary: srv.Addr()})
+	if err != nil {
+		return nil, err
+	}
+	defer fol.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	err = fol.WaitCaughtUp(ctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	catchUp := time.Since(catchStart)
+
+	// Steady state: commit updates on the primary and time each one until
+	// the follower's served view carries it. The watch feed timestamps the
+	// arrival; a large buffer keeps the feed from gapping mid-measurement.
+	feed, err := f.Watch(cfg.Commits + 16)
+	if err != nil {
+		return nil, err
+	}
+	defer feed.Close()
+
+	var lat stats.Sample
+	steadyStart := time.Now()
+	for c := 0; c < cfg.Commits; c++ {
+		batch := make([]store.Op, size)
+		for i := range batch {
+			lo, hi := iv(rng)
+			batch[i] = store.UpdateObject(ids[rng.Intn(len(ids))], pdf.MustUniform(lo, hi))
+		}
+		res, err := p.Apply(batch)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		for {
+			ev, ok := <-feed.C()
+			if !ok {
+				return nil, fmt.Errorf("follower feed closed mid-run")
+			}
+			if ev.View != nil && ev.View.Seq >= res.Seq {
+				lat.AddDuration(time.Since(t0))
+				break
+			}
+		}
+	}
+	steady := time.Since(steadyStart)
+
+	fst := fol.Stats()
+	sst := srv.Stats()
+	return &ReplicaRow{
+		BatchSize:          size,
+		CatchUpOpsPerSec:   float64(cfg.Objects) / catchUp.Seconds(),
+		CatchUpTime:        catchUp,
+		SteadyOpsPerSec:    float64(size*cfg.Commits) / steady.Seconds(),
+		P50:                msToDur(lat.Percentile(50)),
+		P95:                msToDur(lat.Percentile(95)),
+		P99:                msToDur(lat.Percentile(99)),
+		RecordsShipped:     sst.RecordsShipped,
+		BytesShipped:       sst.BytesShipped,
+		Reconnects:         fst.Reconnects,
+		SnapshotBootstraps: fst.SnapshotBootstraps,
+	}, nil
+}
+
+// Print renders the replication report as an aligned table.
+func (r *ReplicaReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "# WAL-shipped replication: %d-object catch-up, then %d update commits per size (loopback TCP, follower fsync off)\n",
+		r.Objects, r.Commits)
+	fmt.Fprintf(w, "%10s %14s %12s %12s %12s %12s %12s %10s %12s\n",
+		"batch", "catchup ops/s", "catchup", "steady ops/s", "p50", "p95", "p99",
+		"records", "bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d %14.0f %12s %12.0f %12s %12s %12s %10d %12d\n",
+			row.BatchSize, row.CatchUpOpsPerSec, row.CatchUpTime.Round(time.Millisecond),
+			row.SteadyOpsPerSec,
+			row.P50.Round(10*time.Microsecond), row.P95.Round(10*time.Microsecond),
+			row.P99.Round(10*time.Microsecond),
+			row.RecordsShipped, row.BytesShipped)
+	}
+}
+
+// Records converts a replication report to bench records.
+func (r *ReplicaReport) Records() []BenchRecord {
+	out := make([]BenchRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, BenchRecord{
+			Name:      fmt.Sprintf("replica/batch=%d", row.BatchSize),
+			OpsPerSec: row.SteadyOpsPerSec,
+			P50Ms:     ms(row.P50),
+			P95Ms:     ms(row.P95),
+			P99Ms:     ms(row.P99),
+			Extra: map[string]float64{
+				"catchup_ops_per_sec": row.CatchUpOpsPerSec,
+				"catchup_ms":          ms(row.CatchUpTime),
+				"records_shipped":     float64(row.RecordsShipped),
+				"bytes_shipped":       float64(row.BytesShipped),
+				"reconnects":          float64(row.Reconnects),
+				"snapshot_bootstraps": float64(row.SnapshotBootstraps),
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package replica
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pdf"
+	"repro/internal/store"
+)
+
+// chaosProxy sits between a follower and the primary's replication listener
+// and sabotages the FIRST connection through it — flipping one byte of the
+// primary→follower stream or cutting the connection after a byte budget.
+// Later connections pass through untouched, so the test observes the
+// follower detect the damage, drop the stream, reconnect and converge.
+type chaosProxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns int
+
+	corruptAfter int64 // >0: on conn #1, XOR one byte at this offset
+	cutAfter     int64 // >0: on conn #1, close both sides at this offset
+}
+
+func startChaosProxy(t *testing.T, target string, corruptAfter, cutAfter int64) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, target: target, corruptAfter: corruptAfter, cutAfter: cutAfter}
+	t.Cleanup(func() { ln.Close() })
+	go p.acceptLoop()
+	return p
+}
+
+func (p *chaosProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *chaosProxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.conns++
+		sabotage := p.conns == 1
+		p.mu.Unlock()
+		go p.pipe(client, sabotage)
+	}
+}
+
+func (p *chaosProxy) pipe(client net.Conn, sabotage bool) {
+	defer client.Close()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	go io.Copy(server, client) // hello flows through untouched
+	if !sabotage {
+		io.Copy(client, server)
+		return
+	}
+	var written int64
+	buf := make([]byte, 4<<10)
+	for {
+		n, err := server.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if p.cutAfter > 0 && written+int64(n) >= p.cutAfter {
+				// Forward the torn prefix, then drop the connection cold.
+				client.Write(chunk[:p.cutAfter-written])
+				return
+			}
+			if p.corruptAfter > 0 && written <= p.corruptAfter && p.corruptAfter < written+int64(n) {
+				chunk[p.corruptAfter-written] ^= 0xFF
+			}
+			written += int64(n)
+			if _, err := client.Write(chunk); err != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// startChaosFollower attaches a follower through a chaos proxy with tight
+// timeouts so corrupted length fields cannot stall the test.
+func startChaosFollower(t *testing.T, dir, addr string) (*store.Store, *Follower) {
+	t.Helper()
+	s, err := store.OpenFollower(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := StartFollower(FollowerConfig{
+		Store:       s,
+		Primary:     addr,
+		Dir:         dir,
+		ReadTimeout: time.Second,
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+	})
+	if err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	return s, f
+}
+
+func populate(t *testing.T, p *store.Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertObject(pdf.MustUniform(float64(i), float64(i+2)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFollowerRecoversFromCorruptedStream(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p, srv := startPrimary(t, pdir)
+	defer p.Close()
+	defer srv.Close()
+	populate(t, p, 40)
+
+	// Flip a byte mid-history: the frame CRC (or a mangled header) must kill
+	// the stream, never reach the store.
+	proxy := startChaosProxy(t, srv.Addr(), 700, 0)
+	fs, f := startChaosFollower(t, fdir, proxy.Addr())
+	defer fs.Close()
+	defer f.Close()
+
+	waitCaughtUp(t, f)
+	waitConverged(t, p, fs)
+	if st := f.Stats(); st.Reconnects == 0 {
+		t.Fatalf("follower converged without dropping the corrupted stream: %+v", st)
+	}
+	assertEqualState(t, p, pdir, fs, fdir)
+}
+
+func TestFollowerRecoversFromMidStreamDisconnect(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p, srv := startPrimary(t, pdir)
+	defer p.Close()
+	defer srv.Close()
+	populate(t, p, 40)
+
+	// Cut the stream partway through history — a torn frame at the cut.
+	proxy := startChaosProxy(t, srv.Addr(), 0, 900)
+	fs, f := startChaosFollower(t, fdir, proxy.Addr())
+	defer fs.Close()
+	defer f.Close()
+
+	waitCaughtUp(t, f)
+	waitConverged(t, p, fs)
+	if st := f.Stats(); st.Reconnects == 0 {
+		t.Fatalf("follower converged without a reconnect: %+v", st)
+	}
+	// The records applied before the cut were valid; the resume must not
+	// have re-applied them (no duplicate application, no snapshot).
+	if st := f.Stats(); st.SnapshotBootstraps != 0 {
+		t.Fatalf("disconnect forced a snapshot bootstrap: %+v", st)
+	}
+	if fs.View().Seq != 40 {
+		t.Fatalf("follower at seq %d, want 40", fs.View().Seq)
+	}
+	assertEqualState(t, p, pdir, fs, fdir)
+}
+
+func TestCorruptFrameRejected(t *testing.T) {
+	// Unit-level: every single-byte corruption of a valid frame must be
+	// rejected by readFrame, not silently decoded.
+	rm := recordMsg{Seq: 3, Version: 3, WALOffset: 99, Payload: []byte("opspayload")}
+	var wire []byte
+	{
+		w := &sliceWriter{}
+		if err := writeFrame(w, frameRecord, rm.encode()); err != nil {
+			t.Fatal(err)
+		}
+		wire = w.b
+	}
+	for i := range wire {
+		mut := append([]byte(nil), wire...)
+		mut[i] ^= 0x01
+		tp, payload, err := readFrame(&sliceReader{b: mut})
+		if err != nil {
+			continue // rejected — good
+		}
+		// A flipped bit that still frames must at least not masquerade as a
+		// clean record frame with intact content.
+		if tp == frameRecord {
+			if rm2, err := decodeRecord(payload); err == nil &&
+				rm2.Seq == rm.Seq && string(rm2.Payload) == string(rm.Payload) && rm2.WALOffset == rm.WALOffset && rm2.Version == rm.Version {
+				t.Fatalf("corruption at byte %d went undetected", i)
+			}
+		}
+	}
+}
+
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+
+type sliceReader struct {
+	b   []byte
+	off int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,502 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// FollowerConfig configures a replication follower.
+type FollowerConfig struct {
+	// Store is the local store, opened with store.OpenFollower. Required.
+	// The follower never closes it; the caller owns its lifecycle.
+	Store *store.Store
+	// Primary is the primary's replication address. Required.
+	Primary string
+	// Dir, when set, is the data dir where replica.json is maintained for
+	// offline inspection (cpnn-store inspect).
+	Dir string
+	// DialTimeout bounds each connection attempt; 0 means 5s.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each frame read; 0 means 15s. Must exceed the
+	// primary's heartbeat period or healthy idle streams get cut.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds the hello write; 0 means 10s.
+	WriteTimeout time.Duration
+	// BackoffMin and BackoffMax bound the reconnect backoff; 0 means
+	// 100ms / 5s.
+	BackoffMin, BackoffMax time.Duration
+	// BatchMax caps how many already-received records one ApplyReplicated
+	// call (one follower fsync) absorbs; 0 means 64.
+	BatchMax int
+}
+
+// Lag is the follower's distance behind the primary, three ways.
+type Lag struct {
+	// Versions is primary version − applied version (0 when caught up).
+	Versions uint64
+	// Seconds is how long the follower has continuously been behind the
+	// last-heard primary position; 0 when caught up. Computed from the
+	// follower's own clock, so primary clock skew cannot distort it.
+	Seconds float64
+	// Bytes is primary appended-WAL bytes − follower applied offset.
+	Bytes uint64
+}
+
+// FollowerStats is a snapshot of a follower's replication state.
+type FollowerStats struct {
+	// Connected reports a live stream; CaughtUp reports the first full
+	// catch-up happened (sticky — serving gates on it).
+	Connected, CaughtUp bool
+	// AppliedSeq and AppliedVersion are the local store position.
+	AppliedSeq, AppliedVersion uint64
+	// PrimarySeq and PrimaryVersion are the last-heard primary position.
+	PrimarySeq, PrimaryVersion uint64
+	// RecordsApplied and BytesApplied count replayed records (bytes count op
+	// payloads, matching WAL accounting).
+	RecordsApplied, BytesApplied uint64
+	// Reconnects counts streams re-established after a working one died;
+	// SnapshotBootstraps counts full-state installs.
+	Reconnects, SnapshotBootstraps uint64
+	// Lag is the current three-way lag.
+	Lag Lag
+}
+
+// Follower replicates a primary into a local follower store: it dials with
+// capped exponential backoff, replays shipped records through the store's
+// normal commit machinery (batching consecutive already-received records
+// into one fsync), installs snapshots when its position fell off the
+// primary's log, and reconnects through primary restarts and its own
+// position automatically — a restarted follower resumes from its local WAL.
+// Start with StartFollower; Close stops replication (the store stays open).
+type Follower struct {
+	cfg FollowerConfig
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	caughtUpCh   chan struct{}
+	caughtUpOnce sync.Once
+
+	connected   atomic.Bool
+	caughtUp    atomic.Bool
+	primaryHTTP atomic.Value // string
+
+	primarySeq     atomic.Uint64
+	primaryVersion atomic.Uint64
+	primaryWAL     atomic.Uint64
+	appliedWAL     atomic.Uint64
+	behindSince    atomic.Int64 // unix nanos; 0 = even with last-heard position
+
+	recordsApplied     atomic.Uint64
+	bytesApplied       atomic.Uint64
+	reconnects         atomic.Uint64
+	snapshotBootstraps atomic.Uint64
+
+	lastErr       atomic.Value // string
+	lastStateSync atomic.Int64 // unix nanos of the last replica.json write
+}
+
+// StartFollower begins replicating cfg.Primary into cfg.Store.
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("replica: FollowerConfig.Store is required")
+	}
+	if cfg.Store.Role() != store.RoleFollower {
+		return nil, errors.New("replica: FollowerConfig.Store must be opened with store.OpenFollower")
+	}
+	if cfg.Primary == "" {
+		return nil, errors.New("replica: FollowerConfig.Primary is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 15 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	f := &Follower{
+		cfg:        cfg,
+		closed:     make(chan struct{}),
+		caughtUpCh: make(chan struct{}),
+	}
+	f.primaryHTTP.Store("")
+	f.lastErr.Store("")
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// Store returns the local follower store.
+func (f *Follower) Store() *store.Store { return f.cfg.Store }
+
+// Source returns the primary's replication address.
+func (f *Follower) Source() string { return f.cfg.Primary }
+
+// PrimaryHTTP returns the primary's advertised HTTP address ("" if none was
+// advertised yet) — the redirect target for writes.
+func (f *Follower) PrimaryHTTP() string { return f.primaryHTTP.Load().(string) }
+
+// Connected reports a currently live replication stream.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// CaughtUp reports that the follower has fully caught up with the primary
+// position at least once — the gate for serving reads. Sticky: brief lag
+// afterwards does not clear it.
+func (f *Follower) CaughtUp() bool { return f.caughtUp.Load() }
+
+// WaitCaughtUp blocks until the first catch-up, the context ends, or the
+// follower closes.
+func (f *Follower) WaitCaughtUp(ctx context.Context) error {
+	select {
+	case <-f.caughtUpCh:
+		return nil
+	case <-f.closed:
+		return errors.New("replica: follower closed before catching up")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// LastError returns the most recent stream error ("" if none).
+func (f *Follower) LastError() string { return f.lastErr.Load().(string) }
+
+// Lag returns the current three-way replication lag.
+func (f *Follower) Lag() Lag {
+	v := f.cfg.Store.View()
+	var lag Lag
+	if pv := f.primaryVersion.Load(); pv > v.Version {
+		lag.Versions = pv - v.Version
+	}
+	if pw, aw := f.primaryWAL.Load(), f.appliedWAL.Load(); pw > aw {
+		lag.Bytes = pw - aw
+	}
+	if since := f.behindSince.Load(); since != 0 {
+		lag.Seconds = time.Since(time.Unix(0, since)).Seconds()
+	}
+	return lag
+}
+
+// Stats returns a snapshot of the follower's replication state.
+func (f *Follower) Stats() FollowerStats {
+	v := f.cfg.Store.View()
+	return FollowerStats{
+		Connected:          f.connected.Load(),
+		CaughtUp:           f.caughtUp.Load(),
+		AppliedSeq:         v.Seq,
+		AppliedVersion:     v.Version,
+		PrimarySeq:         f.primarySeq.Load(),
+		PrimaryVersion:     f.primaryVersion.Load(),
+		RecordsApplied:     f.recordsApplied.Load(),
+		BytesApplied:       f.bytesApplied.Load(),
+		Reconnects:         f.reconnects.Load(),
+		SnapshotBootstraps: f.snapshotBootstraps.Load(),
+		Lag:                f.Lag(),
+	}
+}
+
+// Close stops replication and waits for the stream goroutine. The store is
+// left open (the caller owns it); the final position lands in replica.json.
+func (f *Follower) Close() error {
+	f.closeOnce.Do(func() { close(f.closed) })
+	f.wg.Wait()
+	f.writeState(true)
+	return nil
+}
+
+// run is the reconnect loop: dial, stream until the connection dies, back
+// off (reset whenever a stream got as far as a welcome), repeat.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	backoff := f.cfg.BackoffMin
+	first := true
+	for {
+		select {
+		case <-f.closed:
+			return
+		default:
+		}
+		welcomed := f.stream()
+		f.connected.Store(false)
+		select {
+		case <-f.closed:
+			return
+		default:
+		}
+		if welcomed {
+			backoff = f.cfg.BackoffMin
+			f.reconnects.Add(1) // a working stream died; the next dial is a reconnect
+		} else if !first {
+			backoff = min(backoff*2, f.cfg.BackoffMax)
+		}
+		first = false
+		select {
+		case <-f.closed:
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+func (f *Follower) setErr(err error) {
+	if err != nil {
+		f.lastErr.Store(err.Error())
+	}
+}
+
+// stream runs one connection: handshake, then replay frames until the
+// stream dies. Reports whether a welcome was received (the dial worked).
+func (f *Follower) stream() (welcomed bool) {
+	conn, err := net.DialTimeout("tcp", f.cfg.Primary, f.cfg.DialTimeout)
+	if err != nil {
+		f.setErr(err)
+		return false
+	}
+	defer conn.Close()
+	// Tear the blocking read down when Close lands mid-stream.
+	streamDone := make(chan struct{})
+	defer close(streamDone)
+	go func() {
+		select {
+		case <-f.closed:
+			conn.Close()
+		case <-streamDone:
+		}
+	}()
+
+	conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
+	hello := helloMsg{FromSeq: f.cfg.Store.View().Seq + 1}
+	if err := writeFrame(conn, frameHello, hello.encode()); err != nil {
+		f.setErr(err)
+		return false
+	}
+
+	r := bufio.NewReaderSize(conn, 256<<10)
+	var syncTarget uint64
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout))
+		t, payload, err := readFrame(r)
+		if err != nil {
+			f.setErr(err)
+			return welcomed
+		}
+		switch t {
+		case frameWelcome:
+			wm, err := decodeWelcome(payload)
+			if err != nil {
+				f.setErr(err)
+				return welcomed
+			}
+			welcomed = true
+			syncTarget = wm.Seq
+			if wm.HTTPAddr != "" {
+				f.primaryHTTP.Store(wm.HTTPAddr)
+			}
+			f.notePrimary(wm.positionMsg)
+			f.connected.Store(true)
+			f.maybeCaughtUp(syncTarget)
+			f.writeState(true)
+
+		case frameSnapshot:
+			sm, err := decodeSnapshot(payload)
+			if err != nil {
+				f.setErr(err)
+				return welcomed
+			}
+			if err := f.cfg.Store.InstallSnapshot(sm.Stream); err != nil {
+				f.setErr(err)
+				return welcomed
+			}
+			f.snapshotBootstraps.Add(1)
+			f.appliedWAL.Store(sm.WALAppended)
+			f.notePrimary(positionMsg{Seq: sm.Seq, Version: sm.Version, WALAppended: sm.WALAppended})
+			f.maybeCaughtUp(syncTarget)
+			f.writeState(true)
+
+		case frameRecord:
+			rm, err := decodeRecord(payload)
+			if err != nil {
+				f.setErr(err)
+				return welcomed
+			}
+			recs := []store.LogRecord{{Seq: rm.Seq, Version: rm.Version, WALOffset: rm.WALOffset, Payload: rm.Payload}}
+			var pendingT frameType
+			var pendingPayload []byte
+			// Group commit: fold records that already arrived into the same
+			// ApplyReplicated call — one follower fsync for a burst, the same
+			// trick the primary's committer plays on concurrent writers.
+			for r.Buffered() >= frameHeaderSize && len(recs) < f.cfg.BatchMax {
+				t2, p2, err := readFrame(r)
+				if err != nil {
+					f.setErr(err)
+					return welcomed
+				}
+				if t2 != frameRecord {
+					pendingT, pendingPayload = t2, p2
+					break
+				}
+				rm2, err := decodeRecord(p2)
+				if err != nil {
+					f.setErr(err)
+					return welcomed
+				}
+				recs = append(recs, store.LogRecord{Seq: rm2.Seq, Version: rm2.Version, WALOffset: rm2.WALOffset, Payload: rm2.Payload})
+			}
+			if !f.applyRecords(recs, syncTarget) {
+				return welcomed
+			}
+			if pendingT != 0 && !f.handleAux(pendingT, pendingPayload, syncTarget) {
+				return welcomed
+			}
+
+		case frameHeartbeat:
+			if !f.handleAux(t, payload, syncTarget) {
+				return welcomed
+			}
+
+		case frameError:
+			f.setErr(fmt.Errorf("replica: primary: %s", payload))
+			return welcomed
+
+		default:
+			f.setErr(fmt.Errorf("replica: unexpected %d frame", t))
+			return welcomed
+		}
+	}
+}
+
+// applyRecords replays one batch; false means the stream must restart.
+func (f *Follower) applyRecords(recs []store.LogRecord, syncTarget uint64) bool {
+	var bytes uint64
+	for _, rec := range recs {
+		bytes += uint64(len(rec.Payload))
+	}
+	if _, err := f.cfg.Store.ApplyReplicated(recs); err != nil {
+		// Out-of-sync: reconnect resyncs from the store's actual position.
+		// Anything else (closed, broken) also ends the stream; the reconnect
+		// loop keeps trying until Close.
+		f.setErr(err)
+		return false
+	}
+	last := recs[len(recs)-1]
+	f.recordsApplied.Add(uint64(len(recs)))
+	f.bytesApplied.Add(bytes)
+	f.appliedWAL.Store(last.WALOffset)
+	f.notePrimary(positionMsg{Seq: last.Seq, Version: last.Version, WALAppended: last.WALOffset})
+	f.maybeCaughtUp(syncTarget)
+	f.writeState(false)
+	return true
+}
+
+// handleAux processes a non-record frame read during batching.
+func (f *Follower) handleAux(t frameType, payload []byte, syncTarget uint64) bool {
+	switch t {
+	case frameHeartbeat:
+		pm, _, err := decodePosition(payload)
+		if err != nil {
+			f.setErr(err)
+			return false
+		}
+		f.notePrimary(pm)
+		f.writeState(false)
+		return true
+	case frameError:
+		f.setErr(fmt.Errorf("replica: primary: %s", payload))
+		return false
+	case frameSnapshot:
+		// The primary only snapshots at stream (re)starts, never after
+		// records on the same stream.
+		f.setErr(errors.New("replica: unexpected mid-stream snapshot"))
+		return false
+	default:
+		f.setErr(fmt.Errorf("replica: unexpected %d frame", t))
+		return false
+	}
+}
+
+// notePrimary folds a heard primary position into the lag accounting.
+// Positions only move forward (records and heartbeats can interleave).
+func (f *Follower) notePrimary(pm positionMsg) {
+	storeMax(&f.primarySeq, pm.Seq)
+	storeMax(&f.primaryVersion, pm.Version)
+	storeMax(&f.primaryWAL, pm.WALAppended)
+	// Behind-ness is measured against the last-heard position with the
+	// follower's own clock: the timer starts when we learn we are behind and
+	// clears the moment we draw level.
+	if f.cfg.Store.View().Seq >= f.primarySeq.Load() {
+		f.behindSince.Store(0)
+	} else {
+		f.behindSince.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// maybeCaughtUp flips the sticky caught-up gate once the local position
+// reaches the welcome-time primary position.
+func (f *Follower) maybeCaughtUp(syncTarget uint64) {
+	if f.caughtUp.Load() {
+		return
+	}
+	if f.cfg.Store.View().Seq >= syncTarget {
+		f.caughtUp.Store(true)
+		f.caughtUpOnce.Do(func() { close(f.caughtUpCh) })
+		f.writeState(true)
+	}
+}
+
+// writeState maintains replica.json: immediately on transitions (force), at
+// most every 2s otherwise.
+func (f *Follower) writeState(force bool) {
+	if f.cfg.Dir == "" {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := f.lastStateSync.Load()
+	if !force && now-last < 2*int64(time.Second) {
+		return
+	}
+	if !f.lastStateSync.CompareAndSwap(last, now) {
+		return // someone else is writing
+	}
+	v := f.cfg.Store.View()
+	st := State{
+		Role:               store.RoleFollower.String(),
+		Source:             f.cfg.Primary,
+		PrimaryHTTP:        f.PrimaryHTTP(),
+		AppliedSeq:         v.Seq,
+		AppliedVersion:     v.Version,
+		CaughtUp:           f.caughtUp.Load(),
+		SnapshotBootstraps: f.snapshotBootstraps.Load(),
+		Reconnects:         f.reconnects.Load(),
+	}
+	if err := writeState(f.cfg.Dir, st); err != nil {
+		f.setErr(err)
+	}
+}

@@ -1,0 +1,471 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/monitor"
+	"repro/internal/pdf"
+	"repro/internal/store"
+	"repro/internal/verify"
+)
+
+const waitTimeout = 15 * time.Second
+
+func startPrimary(t *testing.T, dir string) (*store.Store, *Server) {
+	t.Helper()
+	s, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+	srv, err := StartServer(ServerConfig{
+		Store:          s,
+		Addr:           "127.0.0.1:0",
+		AdvertiseHTTP:  "http://primary.test",
+		HeartbeatEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		s.Close()
+		t.Fatalf("start server: %v", err)
+	}
+	return s, srv
+}
+
+func startFollower(t *testing.T, dir, primary string) (*store.Store, *Follower) {
+	t.Helper()
+	s, err := store.OpenFollower(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("open follower: %v", err)
+	}
+	f, err := StartFollower(FollowerConfig{
+		Store:      s,
+		Primary:    primary,
+		Dir:        dir,
+		BackoffMin: 10 * time.Millisecond,
+		BackoffMax: 200 * time.Millisecond,
+	})
+	if err != nil {
+		s.Close()
+		t.Fatalf("start follower: %v", err)
+	}
+	return s, f
+}
+
+func waitCaughtUp(t *testing.T, f *Follower) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), waitTimeout)
+	defer cancel()
+	if err := f.WaitCaughtUp(ctx); err != nil {
+		t.Fatalf("WaitCaughtUp: %v (last err: %s)", err, f.LastError())
+	}
+}
+
+// waitConverged polls until the follower store reaches the primary's seq.
+func waitConverged(t *testing.T, p, f *store.Store) {
+	t.Helper()
+	target := p.View().Seq
+	deadline := time.Now().Add(waitTimeout)
+	for f.View().Seq < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at seq %d, primary at %d", f.View().Seq, target)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertEqualState checkpoints both stores and compares the checkpoint files
+// byte for byte — bit-identical durable state, not just equal answers.
+func assertEqualState(t *testing.T, p *store.Store, pdir string, f *store.Store, fdir string) {
+	t.Helper()
+	if err := p.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint primary: %v", err)
+	}
+	if err := f.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint follower: %v", err)
+	}
+	pb, err := os.ReadFile(filepath.Join(pdir, "checkpoint.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(filepath.Join(fdir, "checkpoint.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, fb) {
+		t.Fatalf("checkpoint streams differ: primary %d bytes v%d, follower %d bytes v%d",
+			len(pb), p.View().Version, len(fb), f.View().Version)
+	}
+}
+
+func TestFollowerCatchUpAndLiveTail(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p, srv := startPrimary(t, pdir)
+	defer p.Close()
+	defer srv.Close()
+
+	// History before the follower exists.
+	for i := 0; i < 20; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertObject(pdf.MustUniform(float64(i), float64(i+1)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fs, f := startFollower(t, fdir, srv.Addr())
+	defer fs.Close()
+	defer f.Close()
+	waitCaughtUp(t, f)
+	if fs.View().Seq != 20 {
+		t.Fatalf("caught-up follower at seq %d", fs.View().Seq)
+	}
+	if f.PrimaryHTTP() != "http://primary.test" {
+		t.Fatalf("PrimaryHTTP = %q", f.PrimaryHTTP())
+	}
+
+	// Live tail.
+	for i := 0; i < 15; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertDisk(geom.Circle{Center: geom.Point{X: float64(i), Y: 1}, Radius: 2})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, p, fs)
+	st := f.Stats()
+	if st.RecordsApplied != 35 || st.SnapshotBootstraps != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if lag := f.Lag(); lag.Versions != 0 || lag.Bytes != 0 {
+		t.Fatalf("converged follower reports lag %+v", lag)
+	}
+	assertEqualState(t, p, pdir, fs, fdir)
+
+	// replica.json reflects the follower state.
+	rs, ok, err := ReadState(fdir)
+	if err != nil || !ok {
+		t.Fatalf("ReadState: %v ok=%v", err, ok)
+	}
+	if rs.Role != "follower" || rs.Source != srv.Addr() || !rs.CaughtUp {
+		t.Fatalf("state = %+v", rs)
+	}
+}
+
+func TestFollowerResumesAcrossItsOwnRestart(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p, srv := startPrimary(t, pdir)
+	defer p.Close()
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertObject(pdf.MustUniform(float64(i), float64(i+2)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, f := startFollower(t, fdir, srv.Addr())
+	waitCaughtUp(t, f)
+	f.Close()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary moves on while the follower is down.
+	for i := 0; i < 5; i++ {
+		if _, err := p.Apply([]store.Op{store.UpdateObject(uint64(i+1), pdf.MustUniform(100, 101))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fs2, f2 := startFollower(t, fdir, srv.Addr())
+	defer fs2.Close()
+	defer f2.Close()
+	if fs2.View().Seq != 10 {
+		t.Fatalf("restarted follower recovered seq %d from local WAL, want 10", fs2.View().Seq)
+	}
+	waitCaughtUp(t, f2)
+	waitConverged(t, p, fs2)
+	if st := f2.Stats(); st.SnapshotBootstraps != 0 {
+		t.Fatalf("resume needed a snapshot bootstrap: %+v", st)
+	}
+	if st := f2.Stats(); st.RecordsApplied != 5 {
+		t.Fatalf("resume re-shipped history: applied %d records, want 5", st.RecordsApplied)
+	}
+	assertEqualState(t, p, pdir, fs2, fdir)
+}
+
+func TestFollowerSurvivesPrimaryRestart(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p, srv := startPrimary(t, pdir)
+	for i := 0; i < 8; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertObject(pdf.MustUniform(float64(i), float64(i+1)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, f := startFollower(t, fdir, srv.Addr())
+	defer fs.Close()
+	defer f.Close()
+	waitCaughtUp(t, f)
+
+	// Take the primary down (listener and store) and bring it back on the
+	// same address.
+	addr := srv.Addr()
+	srv.Close()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := store.Open(pdir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	srv2, err := StartServer(ServerConfig{Store: p2, Addr: addr, HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("restart server on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := p2.Apply([]store.Op{store.InsertObject(pdf.MustUniform(200, 201))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, p2, fs)
+	if st := f.Stats(); st.Reconnects == 0 {
+		t.Fatalf("follower converged without counting a reconnect: %+v", st)
+	}
+	assertEqualState(t, p2, pdir, fs, fdir)
+}
+
+func TestSnapshotBootstrapFreshFollower(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p, srv := startPrimary(t, pdir)
+	defer p.Close()
+	defer srv.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertObject(pdf.MustUniform(float64(i), float64(i+3)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint resets the WAL: a fresh follower cannot be served history.
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertDisk(geom.Circle{Center: geom.Point{X: 1, Y: 1}, Radius: 1})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fs, f := startFollower(t, fdir, srv.Addr())
+	defer fs.Close()
+	defer f.Close()
+	waitCaughtUp(t, f)
+	waitConverged(t, p, fs)
+	if st := f.Stats(); st.SnapshotBootstraps != 1 {
+		t.Fatalf("SnapshotBootstraps = %d, want 1", st.SnapshotBootstraps)
+	}
+	assertEqualState(t, p, pdir, fs, fdir)
+
+	rs, ok, _ := ReadState(fdir)
+	if !ok || rs.SnapshotBootstraps != 1 {
+		t.Fatalf("replica.json snapshot count = %+v ok=%v", rs, ok)
+	}
+}
+
+func TestLaggingFollowerRebootstrapsAfterTruncation(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p, srv := startPrimary(t, pdir)
+	defer p.Close()
+	defer srv.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertObject(pdf.MustUniform(float64(i), float64(i+1)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, f := startFollower(t, fdir, srv.Addr())
+	waitCaughtUp(t, f)
+	f.Close()
+	fs.Close()
+
+	// While the follower is down, the primary commits more AND checkpoints,
+	// truncating the history the follower would need.
+	for i := 0; i < 6; i++ {
+		if _, err := p.Apply([]store.Op{store.InsertObject(pdf.MustUniform(50, 60))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, f2 := startFollower(t, fdir, srv.Addr())
+	defer fs2.Close()
+	defer f2.Close()
+	waitCaughtUp(t, f2)
+	waitConverged(t, p, fs2)
+	if st := f2.Stats(); st.SnapshotBootstraps != 1 {
+		t.Fatalf("lagging follower should re-bootstrap via snapshot: %+v", st)
+	}
+	assertEqualState(t, p, pdir, fs2, fdir)
+}
+
+// TestReplicaEquivalenceOracle is the correctness gate: for 50 seeded op
+// sequences it captures every MVCC view published on both sides and asserts
+// the follower's answer to CPNN/PNN/k-NN queries is byte-identical to the
+// primary's at every version — replication preserves not just convergence
+// but the entire version history.
+func TestReplicaEquivalenceOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50 seeded runs")
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runEquivalenceSeed(t, seed)
+		})
+	}
+}
+
+func runEquivalenceSeed(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p, srv := startPrimary(t, pdir)
+	defer p.Close()
+	defer srv.Close()
+	fs, err := store.OpenFollower(fdir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	// BatchMax 1 makes the follower publish a view at every version instead
+	// of collapsing bursts, so every primary version can be compared.
+	f, err := StartFollower(FollowerConfig{
+		Store: fs, Primary: srv.Addr(), Dir: fdir,
+		BackoffMin: 10 * time.Millisecond, BatchMax: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Record every view both sides publish.
+	psub, err := p.Watch(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psub.Close()
+	fsub, err := fs.Watch(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsub.Close()
+
+	const domain = 10000.0
+	randIv := func() (float64, float64) {
+		lo := rng.Float64() * domain
+		return lo, lo + 1 + rng.Float64()*20
+	}
+	var ops []store.Op
+	for i := 0; i < 40; i++ {
+		lo, hi := randIv()
+		ops = append(ops, store.InsertObject(pdf.MustUniform(lo, hi)))
+	}
+	res, err := p.Apply(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := append([]uint64(nil), res.IDs...)
+
+	for step := 0; step < 8; step++ {
+		nops := 1 + rng.Intn(4)
+		var batch []store.Op
+		for i := 0; i < nops; i++ {
+			switch op := rng.Intn(10); {
+			case op < 4 && len(live) > 0:
+				id := live[rng.Intn(len(live))]
+				lo, hi := randIv()
+				batch = append(batch, store.UpdateObject(id, pdf.MustUniform(lo, hi)))
+			case op < 7:
+				lo, hi := randIv()
+				hist := []float64{lo, lo + (hi-lo)/2, hi}
+				batch = append(batch, store.InsertObject(pdf.MustHistogram(hist, []float64{1 + rng.Float64(), 1})))
+			case len(live) > 1:
+				i := rng.Intn(len(live))
+				batch = append(batch, store.Delete(live[i]))
+				live = append(live[:i], live[i+1:]...)
+			default:
+				lo, hi := randIv()
+				batch = append(batch, store.InsertObject(pdf.MustUniform(lo, hi)))
+			}
+		}
+		res, err := p.Apply(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, op := range batch {
+			if op.Code != store.OpDelete && op.ID == 0 {
+				live = append(live, res.IDs[i])
+			}
+		}
+	}
+	waitConverged(t, p, fs)
+
+	pviews := drainViews(psub)
+	fviews := drainViews(fsub)
+	specs := make([]monitor.Spec, 0, 9)
+	for i := 0; i < 9; i++ {
+		q := rng.Float64() * domain
+		switch i % 3 {
+		case 0:
+			specs = append(specs, monitor.Spec{Kind: monitor.KindCPNN, Q: q,
+				Constraint: verify.Constraint{P: 0.3, Delta: 0.01}})
+		case 1:
+			specs = append(specs, monitor.Spec{Kind: monitor.KindPNN, Q: q})
+		case 2:
+			specs = append(specs, monitor.Spec{Kind: monitor.KindKNN, Q: q,
+				Constraint: verify.Constraint{P: 0.4, Delta: 0.05},
+				K:          2, Samples: 400, Seed: seed})
+		}
+	}
+	compared := 0
+	for ver, fv := range fviews {
+		pv, ok := pviews[ver]
+		if !ok {
+			continue
+		}
+		for _, sp := range specs {
+			want, _, err := monitor.Evaluate(pv, nil, nil, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := monitor.Evaluate(fv, nil, nil, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("seed %d version %d: %s q=%g diverges:\nprimary  %s\nfollower %s",
+					seed, ver, sp.Kind, sp.Q, want, got)
+			}
+		}
+		compared++
+	}
+	if compared < 5 {
+		t.Fatalf("only %d versions compared — the oracle lost its feed", compared)
+	}
+	assertEqualState(t, p, pdir, fs, fdir)
+}
+
+func drainViews(sub *store.Sub) map[uint64]*store.View {
+	views := map[uint64]*store.View{}
+	for {
+		select {
+		case d := <-sub.C():
+			if !d.Gap {
+				views[d.View.Version] = d.View
+			}
+		default:
+			return views
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// StateFileName is the follower-state file kept alongside the store's WAL
+// and checkpoint in the data dir, so tooling (cpnn-store inspect) can report
+// replication state without the process running.
+const StateFileName = "replica.json"
+
+// State is the persisted follower replication state. The store files remain
+// the source of truth for applied seq/version — this file records the
+// replication-layer facts a data dir alone cannot tell: where the data came
+// from and how the stream was going when last written.
+type State struct {
+	// Role is "follower" (the file only exists on follower dirs).
+	Role string `json:"role"`
+	// Source is the primary's replication address.
+	Source string `json:"source"`
+	// PrimaryHTTP is the primary's advertised HTTP address, if any.
+	PrimaryHTTP string `json:"primary_http,omitempty"`
+	// AppliedSeq and AppliedVersion are the follower position when the file
+	// was written (authoritative live values come from the store itself).
+	AppliedSeq     uint64 `json:"applied_seq"`
+	AppliedVersion uint64 `json:"applied_version"`
+	// CaughtUp reports whether the follower had reached its first catch-up.
+	CaughtUp bool `json:"caught_up"`
+	// SnapshotBootstraps and Reconnects count stream restarts over the
+	// follower's lifetime (this process).
+	SnapshotBootstraps uint64 `json:"snapshot_bootstraps"`
+	Reconnects         uint64 `json:"reconnects"`
+	// UpdatedUnix is the write time (seconds).
+	UpdatedUnix int64 `json:"updated_unix"`
+}
+
+// writeState persists st atomically (tmp + rename).
+func writeState(dir string, st State) error {
+	st.UpdatedUnix = time.Now().Unix()
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, StateFileName+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, StateFileName))
+}
+
+// ReadState loads the replication state of a data dir. ok=false means the
+// dir has no state file (it is not a follower dir).
+func ReadState(dir string) (st State, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, StateFileName))
+	if os.IsNotExist(err) {
+		return State{}, false, nil
+	}
+	if err != nil {
+		return State{}, false, err
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return State{}, false, fmt.Errorf("replica: parsing %s: %w", StateFileName, err)
+	}
+	return st, true, nil
+}

@@ -119,6 +119,10 @@ func (s *Server) parseBatchRequest(w http.ResponseWriter, r *http.Request) (batc
 // within one request evaluate once and share the outcome.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epBatch].Add(1)
+	if err := s.replicaGate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	if r.Method != http.MethodPost {
 		s.m.clientErrors.Add(1)
 		w.Header().Set("Allow", "POST")

@@ -120,6 +120,13 @@ func (s *Server) handleMonitors(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMonitor(w) {
 		return
 	}
+	// Standing queries are local to each node — a replica's monitors ride
+	// its own replayed change feed — but registering against a half-synced
+	// replay would answer from a state the primary never served.
+	if err := s.replicaGate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	switch r.Method {
 	case http.MethodPost:
 		body, err := readBody(w, r, s.cfg.MaxDatasetBytes)
@@ -205,6 +212,10 @@ const sseRetryAfter = "1"
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epSubscribe].Add(1)
 	if !s.requireMonitor(w) {
+		return
+	}
+	if err := s.replicaGate(); err != nil {
+		s.writeError(w, err)
 		return
 	}
 	if r.Method != http.MethodGet {

@@ -135,6 +135,10 @@ func storeError(err error) error {
 		return &httpError{status: http.StatusNotFound, msg: err.Error()}
 	case errors.Is(err, store.ErrInvalidOp):
 		return badRequest("%v", err)
+	case errors.Is(err, store.ErrFollower):
+		// Belt and braces: the handlers redirect replica writes before any
+		// store traffic, but a racing role check still maps cleanly.
+		return &httpError{status: http.StatusForbidden, msg: err.Error()}
 	case errors.Is(err, store.ErrClosed), errors.Is(err, store.ErrBroken):
 		return &httpError{status: http.StatusServiceUnavailable, msg: err.Error()}
 	default:
@@ -149,6 +153,9 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 			status: http.StatusNotImplemented,
 			msg:    "object-level updates require a store (run cpnn-serve with -data-dir)",
 		})
+		return
+	}
+	if s.redirectToPrimary(w, r) {
 		return
 	}
 	switch r.Method {

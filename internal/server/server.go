@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
@@ -71,6 +72,17 @@ type Config struct {
 	// across restarts. Response object IDs are the store's stable IDs. The
 	// server owns the store: Close checkpoints and closes it.
 	Store *store.Store
+
+	// Replica, when set, runs the server as a read replica: Store is filled
+	// in from the follower (leave it nil), reads answer 503 + Retry-After
+	// until the follower's first catch-up, and writes redirect to the
+	// primary (307 when its HTTP address is known, 403 otherwise). Dataset
+	// must be nil — the data comes from the primary. The caller owns the
+	// follower and must Close it before closing the server.
+	Replica *replica.Follower
+	// Replication, when set, is the primary-side replication listener whose
+	// counters surface in /metrics and /healthz. The caller owns it.
+	Replication *replica.Server
 
 	// CacheEntries is the result-cache capacity; 0 means DefaultCacheEntries
 	// and a negative value disables result storage (singleflight collapsing
@@ -120,7 +132,17 @@ func storeHasData(st *store.Store) bool {
 }
 
 func (cfg Config) withDefaults() (Config, error) {
-	if !storeHasData(cfg.Store) {
+	if cfg.Replica != nil {
+		if cfg.Dataset != nil {
+			return cfg, errors.New("server: Config.Dataset cannot be combined with Replica (the dataset comes from the primary)")
+		}
+		if cfg.Store == nil {
+			cfg.Store = cfg.Replica.Store()
+		} else if cfg.Store != cfg.Replica.Store() {
+			return cfg, errors.New("server: Config.Store must be the Replica's own store")
+		}
+	}
+	if cfg.Replica == nil && !storeHasData(cfg.Store) {
 		if cfg.Dataset == nil {
 			return cfg, errors.New("server: Config.Dataset is required")
 		}
@@ -220,12 +242,19 @@ func New(cfg Config) (*Server, error) {
 		drainCh: make(chan struct{}),
 	}
 	switch {
-	case storeHasData(cfg.Store):
+	case cfg.Replica != nil || storeHasData(cfg.Store):
 		// Serve the store's durable contents; a configured Dataset loses to
-		// them (it was only the seed).
+		// them (it was only the seed). A replica serves its follower store
+		// even when still empty — the replica gate keeps requests away until
+		// the first catch-up, and the feed goroutine below installs every
+		// replayed view.
 		source := cfg.Source
 		if source == "" {
-			source = "store"
+			if cfg.Replica != nil {
+				source = "replica:" + cfg.Replica.Source()
+			} else {
+				source = "store"
+			}
 		}
 		if err := s.installLatestView(source); err != nil {
 			return nil, err
@@ -655,6 +684,10 @@ func toAnswers(in []core.Answer, snap *Snapshot) []answerJSON {
 
 func (s *Server) handleCPNN(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epCPNN].Add(1)
+	if err := s.replicaGate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	q, err := queryFloat(r, "q")
 	if err != nil {
 		s.writeError(w, err)
@@ -722,6 +755,10 @@ func (s *Server) cpnnBody(ctx context.Context, snap *Snapshot, qq float64, c ver
 
 func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epPNN].Add(1)
+	if err := s.replicaGate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	q, err := queryFloat(r, "q")
 	if err != nil {
 		s.writeError(w, err)
@@ -762,6 +799,10 @@ func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epKNN].Add(1)
+	if err := s.replicaGate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	q, err := queryFloat(r, "q")
 	if err != nil {
 		s.writeError(w, err)
@@ -845,6 +886,9 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, snapshotInfo(s.snap.Load()))
 	case http.MethodPost:
+		if s.redirectToPrimary(w, r) {
+			return
+		}
 		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxDatasetBytes)
 		ds, err := uncertain.Read(body)
 		if err != nil {
@@ -908,12 +952,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		v := s.cfg.Store.View()
 		body["store_version"] = v.Version
 		body["store_seq"] = v.Seq
+		body["role"] = s.cfg.Store.Role().String()
+	}
+	if s.cfg.Replica != nil {
+		body["replication"] = replicationHealth(s.cfg.Replica)
+	}
+	if s.cfg.Replication != nil {
+		rst := s.cfg.Replication.Stats()
+		body["replication_server"] = map[string]any{
+			"addr":            s.cfg.Replication.Addr(),
+			"followers":       rst.Followers,
+			"records_shipped": rst.RecordsShipped,
+			"bytes_shipped":   rst.BytesShipped,
+			"snapshots_sent":  rst.SnapshotsSent,
+		}
 	}
 	if s.draining.Load() {
 		// Not-ready during drain: load balancers stop sending traffic while
 		// requests already here (and any still arriving) keep being served.
 		// Retry-After tells well-behaved clients when to probe again.
 		body["status"] = "draining"
+		w.Header().Set("Retry-After", sseRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	if err := s.replicaGate(); err != nil {
+		// Not-ready until the first catch-up: a load balancer should not
+		// route reads to a replica that would answer from a partial replay.
+		body["status"] = "syncing"
 		w.Header().Set("Retry-After", sseRetryAfter)
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
@@ -935,4 +1001,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ms = &v
 	}
 	s.m.write(w, s.cc, s.snap.Load(), st, ms)
+	var fs *replica.FollowerStats
+	var rs *replica.ServerStats
+	if s.cfg.Replica != nil {
+		v := s.cfg.Replica.Stats()
+		fs = &v
+	}
+	if s.cfg.Replication != nil {
+		v := s.cfg.Replication.Stats()
+		rs = &v
+	}
+	writeReplicaMetrics(w, fs, rs)
 }

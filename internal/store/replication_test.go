@@ -1,0 +1,397 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pdf"
+)
+
+func openFollowerTemp(t *testing.T, opt Options) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := OpenFollower(dir, opt)
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	return s, dir
+}
+
+// syncInto catches f up to p in one shot: SyncFrom at the follower's
+// position, install the snapshot if one came back, replay the history
+// records, and close the live subscription.
+func syncInto(t *testing.T, p, f *Store) *SyncResult {
+	t.Helper()
+	res, err := p.SyncFrom(f.View().Seq+1, 64)
+	if err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	defer res.Sub.Close()
+	if res.Snapshot != nil {
+		if err := f.InstallSnapshot(res.Snapshot); err != nil {
+			t.Fatalf("InstallSnapshot: %v", err)
+		}
+	}
+	if len(res.Records) > 0 {
+		if _, err := f.ApplyReplicated(res.Records); err != nil {
+			t.Fatalf("ApplyReplicated: %v", err)
+		}
+	}
+	return res
+}
+
+// assertStoresEqual proves two stores hold bit-identical durable state by
+// checkpointing both and comparing the checkpoint files byte for byte (they
+// embed version, seq, nextID and every object's exact encoding).
+func assertStoresEqual(t *testing.T, a *Store, dirA string, b *Store, dirB string) {
+	t.Helper()
+	if err := a.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint a: %v", err)
+	}
+	if err := b.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint b: %v", err)
+	}
+	ba, err := os.ReadFile(filepath.Join(dirA, checkpointName))
+	if err != nil {
+		t.Fatalf("read checkpoint a: %v", err)
+	}
+	bb, err := os.ReadFile(filepath.Join(dirB, checkpointName))
+	if err != nil {
+		t.Fatalf("read checkpoint b: %v", err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("checkpoint streams differ: %d vs %d bytes (version %d/%d)",
+			len(ba), len(bb), a.View().Version, b.View().Version)
+	}
+}
+
+func TestReplicationHistoryCatchUp(t *testing.T) {
+	p, pdir := openTemp(t, Options{})
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		mustApply(t, p,
+			InsertObject(pdf.MustUniform(float64(i*10), float64(i*10+5))),
+			InsertObject(pdf.MustHistogram([]float64{0, 1, 2}, []float64{1, float64(i + 1)})),
+			InsertDisk(geom.Circle{Center: geom.Point{X: float64(i), Y: 2}, Radius: 1}),
+		)
+	}
+	mustApply(t, p, Delete(1), UpdateObject(2, pdf.MustUniform(7, 9)))
+
+	f, fdir := openFollowerTemp(t, Options{})
+	defer f.Close()
+	res := syncInto(t, p, f)
+	if res.Snapshot != nil {
+		t.Fatalf("expected pure history catch-up, got a snapshot")
+	}
+	if len(res.Records) != 6 {
+		t.Fatalf("records = %d, want 6", len(res.Records))
+	}
+	// Offsets are cumulative and the last one meets the advertised total.
+	var prev uint64
+	for i, r := range res.Records {
+		if r.WALOffset <= prev {
+			t.Fatalf("records[%d].WALOffset = %d not increasing past %d", i, r.WALOffset, prev)
+		}
+		prev = r.WALOffset
+	}
+	if prev != res.WALAppended {
+		t.Fatalf("last WALOffset %d != WALAppended %d", prev, res.WALAppended)
+	}
+	if got := f.View(); got.Seq != res.Seq || got.Version != res.Version {
+		t.Fatalf("follower at seq %d version %d, want %d/%d", got.Seq, got.Version, res.Seq, res.Version)
+	}
+	assertStoresEqual(t, p, pdir, f, fdir)
+}
+
+func TestReplicationLiveTail(t *testing.T) {
+	p, pdir := openTemp(t, Options{})
+	defer p.Close()
+	f, fdir := openFollowerTemp(t, Options{})
+	defer f.Close()
+
+	res, err := p.SyncFrom(1, 64)
+	if err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	defer res.Sub.Close()
+	if len(res.Records) != 0 || res.Snapshot != nil {
+		t.Fatalf("fresh primary should have nothing to ship: %+v", res)
+	}
+
+	for i := 0; i < 10; i++ {
+		mustApply(t, p, InsertObject(pdf.MustUniform(float64(i), float64(i+1))))
+	}
+	got := 0
+	for rec := range res.Sub.C() {
+		if _, err := f.ApplyReplicated([]LogRecord{rec}); err != nil {
+			t.Fatalf("ApplyReplicated: %v", err)
+		}
+		if got++; got == 10 {
+			break
+		}
+	}
+	if fv := f.View(); fv.Seq != 10 || fv.Dataset.Len() != 10 {
+		t.Fatalf("follower seq %d, %d objects", fv.Seq, fv.Dataset.Len())
+	}
+	assertStoresEqual(t, p, pdir, f, fdir)
+}
+
+func TestReplicationSnapshotBootstrap(t *testing.T) {
+	p, pdir := openTemp(t, Options{})
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		mustApply(t, p, InsertObject(pdf.MustUniform(float64(i), float64(i+2))))
+	}
+	// The checkpoint resets the WAL: history before it is gone.
+	if err := p.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	mustApply(t, p, InsertDisk(geom.Circle{Center: geom.Point{X: 1, Y: 1}, Radius: 3}))
+
+	f, fdir := openFollowerTemp(t, Options{})
+	defer f.Close()
+	res, err := p.SyncFrom(1, 64)
+	if err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	defer res.Sub.Close()
+	if res.Snapshot == nil {
+		t.Fatalf("expected snapshot bootstrap after checkpoint truncated history")
+	}
+	if len(res.Records) != 0 {
+		t.Fatalf("snapshot result should carry no records, got %d", len(res.Records))
+	}
+	if err := f.InstallSnapshot(res.Snapshot); err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	if fv := f.View(); fv.Seq != res.Seq || fv.Dataset.Len() != 4 || len(fv.Disks) != 1 {
+		t.Fatalf("after install: seq %d, %d objects, %d disks", fv.Seq, fv.Dataset.Len(), len(fv.Disks))
+	}
+	// The live tail continues past the snapshot.
+	mustApply(t, p, InsertObject(pdf.MustUniform(50, 60)))
+	rec := <-res.Sub.C()
+	if _, err := f.ApplyReplicated([]LogRecord{rec}); err != nil {
+		t.Fatalf("ApplyReplicated after snapshot: %v", err)
+	}
+	assertStoresEqual(t, p, pdir, f, fdir)
+}
+
+func TestFollowerRoleEnforcement(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	f, _ := openFollowerTemp(t, Options{})
+	defer f.Close()
+
+	if p.Role() != RolePrimary || f.Role() != RoleFollower {
+		t.Fatalf("roles: %v / %v", p.Role(), f.Role())
+	}
+	if _, err := f.Apply([]Op{InsertObject(pdf.MustUniform(0, 1))}); !errors.Is(err, ErrFollower) {
+		t.Fatalf("follower Apply err = %v, want ErrFollower", err)
+	}
+	if _, err := p.ApplyReplicated([]LogRecord{{Seq: 1, Version: 1}}); err == nil {
+		t.Fatalf("primary ApplyReplicated should be rejected")
+	}
+	if err := p.InstallSnapshot(nil); err == nil {
+		t.Fatalf("primary InstallSnapshot should be rejected")
+	}
+}
+
+func TestApplyReplicatedOutOfSync(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	f, _ := openFollowerTemp(t, Options{})
+	defer f.Close()
+
+	res, err := p.SyncFrom(1, 64)
+	if err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	defer res.Sub.Close()
+	mustApply(t, p, InsertObject(pdf.MustUniform(0, 1)))
+	mustApply(t, p, InsertObject(pdf.MustUniform(2, 3)))
+	r1, r2 := <-res.Sub.C(), <-res.Sub.C()
+
+	// A gap (r2 without r1) must be rejected without mutating anything.
+	if _, err := f.ApplyReplicated([]LogRecord{r2}); !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("gap err = %v, want ErrOutOfSync", err)
+	}
+	if f.View().Seq != 0 {
+		t.Fatalf("follower mutated by rejected record")
+	}
+
+	// A valid prefix before a bad record commits durably; the error and the
+	// reported position tell the caller where to resync from.
+	got, err := f.ApplyReplicated([]LogRecord{r1, r2, r2})
+	if !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("partial err = %v, want ErrOutOfSync", err)
+	}
+	if got.Seq != 2 || f.View().Seq != 2 {
+		t.Fatalf("prefix position = %d/%d, want 2/2", got.Seq, f.View().Seq)
+	}
+}
+
+func TestInstallSnapshotRejectsBackwards(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		mustApply(t, p, InsertObject(pdf.MustUniform(float64(i), float64(i+1))))
+	}
+	old, err := p.SyncFrom(1, 8)
+	if err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	old.Sub.Close()
+
+	f, _ := openFollowerTemp(t, Options{})
+	defer f.Close()
+	res := syncInto(t, p, f) // follower now at seq 3
+	if res.Seq != 3 {
+		t.Fatalf("sync seq = %d", res.Seq)
+	}
+	// Regress the primary's snapshot by checkpointing an older logical state:
+	// simplest is to hand the follower a snapshot taken at version 0.
+	stream, err := encodeCheckpoint(checkpointState{Version: 1, Seq: 1, NextID: 2})
+	if err != nil {
+		t.Fatalf("encodeCheckpoint: %v", err)
+	}
+	if err := f.InstallSnapshot(stream); !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("backwards install err = %v, want ErrOutOfSync", err)
+	}
+	if f.View().Seq != 3 {
+		t.Fatalf("backwards install mutated the follower")
+	}
+}
+
+func TestSyncFromDiverged(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	mustApply(t, p, InsertObject(pdf.MustUniform(0, 1)))
+	if _, err := p.SyncFrom(10, 8); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestFollowerResumesFromLocalWAL(t *testing.T) {
+	p, pdir := openTemp(t, Options{})
+	defer p.Close()
+	fdir := t.TempDir()
+	f, err := OpenFollower(fdir, Options{})
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		mustApply(t, p, InsertObject(pdf.MustUniform(float64(i), float64(i+1))))
+	}
+	syncInto(t, p, f)
+	if err := f.Close(); err != nil {
+		t.Fatalf("close follower: %v", err)
+	}
+
+	// More primary history while the follower is down.
+	mustApply(t, p, InsertObject(pdf.MustUniform(100, 101)), Delete(2))
+
+	f, err = OpenFollower(fdir, Options{})
+	if err != nil {
+		t.Fatalf("reopen follower: %v", err)
+	}
+	defer f.Close()
+	if f.View().Seq != 6 {
+		t.Fatalf("reopened follower at seq %d, want 6 (local WAL resume)", f.View().Seq)
+	}
+	res := syncInto(t, p, f)
+	if res.Snapshot != nil || len(res.Records) != 1 {
+		t.Fatalf("resume should ship exactly the missing record, got snap=%v n=%d",
+			res.Snapshot != nil, len(res.Records))
+	}
+	assertStoresEqual(t, p, pdir, f, fdir)
+}
+
+func TestLogSubLagIsCut(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	res, err := p.SyncFrom(1, 2)
+	if err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		mustApply(t, p, InsertObject(pdf.MustUniform(float64(i), float64(i+1))))
+	}
+	// Drain whatever made it; the channel must close with Lagged set.
+	n := 0
+	for range res.Sub.C() {
+		n++
+	}
+	if n >= 8 {
+		t.Fatalf("received all %d records through a 2-slot buffer", n)
+	}
+	if !res.Sub.Lagged() {
+		t.Fatalf("cut subscription does not report Lagged")
+	}
+	if p.Stats().LogDropped == 0 {
+		t.Fatalf("LogDropped not counted")
+	}
+	// A fresh sync picks up from wherever the reader got to.
+	res2, err := p.SyncFrom(uint64(n)+1, 64)
+	if err != nil {
+		t.Fatalf("re-sync: %v", err)
+	}
+	defer res2.Sub.Close()
+	if len(res2.Records) != 8-n {
+		t.Fatalf("re-sync shipped %d records, want %d", len(res2.Records), 8-n)
+	}
+}
+
+func TestChainedFollowerSync(t *testing.T) {
+	// A follower can itself serve SyncFrom — the basis for chained replicas.
+	p, pdir := openTemp(t, Options{})
+	defer p.Close()
+	f1, _ := openFollowerTemp(t, Options{})
+	defer f1.Close()
+	f2, f2dir := openFollowerTemp(t, Options{})
+	defer f2.Close()
+
+	for i := 0; i < 4; i++ {
+		mustApply(t, p, InsertObject(pdf.MustUniform(float64(i), float64(i+1))))
+	}
+	syncInto(t, p, f1)
+	syncInto(t, f1, f2)
+	assertStoresEqual(t, p, pdir, f2, f2dir)
+}
+
+func TestInstallSnapshotCutsLogSubs(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		mustApply(t, p, InsertObject(pdf.MustUniform(float64(i), float64(i+1))))
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	f, _ := openFollowerTemp(t, Options{})
+	defer f.Close()
+	// A downstream subscriber attached to the follower before the snapshot
+	// lands must be cut — snapshots are holes a log stream cannot express.
+	down, err := f.SyncFrom(1, 8)
+	if err != nil {
+		t.Fatalf("follower SyncFrom: %v", err)
+	}
+	res, err := p.SyncFrom(1, 8)
+	if err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	defer res.Sub.Close()
+	if err := f.InstallSnapshot(res.Snapshot); err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	if _, ok := <-down.Sub.C(); ok {
+		t.Fatalf("downstream sub still open across a snapshot install")
+	}
+	if !down.Sub.Lagged() {
+		t.Fatalf("downstream sub not marked lagged after snapshot install")
+	}
+}

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/pdf"
+)
+
+func TestReplicatedTruncateBatch(t *testing.T) {
+	p, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Seed like cpnn-serve does: truncate + bulk insert in one batch.
+	ops := []Op{Truncate(), InsertObject(pdf.MustUniform(1, 2)), InsertObject(pdf.MustUniform(5, 9))}
+	if _, err := p.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Op{InsertObject(pdf.MustUniform(50, 60))}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := OpenFollower(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := p.SyncFrom(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Sub.Close()
+	if res.Snapshot != nil {
+		t.Fatal("unexpected snapshot")
+	}
+	if _, err := f.ApplyReplicated(res.Records); err != nil {
+		t.Fatal(err)
+	}
+	pv, fv := p.View(), f.View()
+	t.Logf("primary: version=%d len=%d; follower: version=%d len=%d", pv.Version, pv.Dataset.Len(), fv.Version, fv.Dataset.Len())
+	if fv.Dataset.Len() != pv.Dataset.Len() {
+		t.Fatalf("dataset length diverged")
+	}
+	for i := 0; i < pv.Dataset.Len(); i++ {
+		pb, fb := pv.Dataset.Objects()[i].Region(), fv.Dataset.Objects()[i].Region()
+		if pb != fb {
+			t.Fatalf("object %d: primary %+v follower %+v", i, pb, fb)
+		}
+	}
+	if len(fv.IDs) != len(pv.IDs) {
+		t.Fatalf("IDs diverged: %v vs %v", pv.IDs, fv.IDs)
+	}
+	for i := range pv.IDs {
+		if pv.IDs[i] != fv.IDs[i] {
+			t.Fatalf("IDs diverged: %v vs %v", pv.IDs, fv.IDs)
+		}
+	}
+}

@@ -106,6 +106,11 @@ type Stats struct {
 	// Gap delivery).
 	FeedSubscribers int
 	FeedDropped     uint64
+	// Role is the replication role; LogSubscribers counts live replication
+	// log subscriptions and LogDropped the ones cut for lagging.
+	Role           Role
+	LogSubscribers int
+	LogDropped     uint64
 	// Version and Seq mirror the current view.
 	Version, Seq uint64
 	// Objects1D and Objects2D count live objects.
@@ -138,6 +143,7 @@ func newState() *state {
 type Store struct {
 	dir  string
 	opt  Options
+	role Role
 	wal  *wal
 	lock *os.File // flock'd LOCK file; held for the store's lifetime
 	view atomic.Pointer[View]
@@ -147,10 +153,12 @@ type Store struct {
 	reqCh  chan *request
 	doneCh chan struct{}
 
-	watchMu        sync.Mutex // guards watchers, watchersClosed, per-Sub gap flags
+	watchMu        sync.Mutex // guards watchers, logSubs, watchersClosed, per-Sub flags
 	watchers       map[*Sub]struct{}
+	logSubs        map[*LogSub]struct{}
 	watchersClosed bool
 	watchDropped   atomic.Uint64
+	logDropped     atomic.Uint64
 
 	broken atomic.Bool
 
@@ -168,6 +176,9 @@ type Store struct {
 
 type request struct {
 	ops        []Op
+	rep        []LogRecord // replicated records (follower stores only)
+	install    []byte      // snapshot stream to install (follower stores only)
+	sync       *syncArgs   // replication sync request (runs standalone)
 	checkpoint bool
 	resp       chan result
 }
@@ -181,6 +192,10 @@ type result struct {
 // state: load the latest checkpoint, replay intact WAL records past it, and
 // truncate any torn tail. The recovered view is available immediately.
 func Open(dir string, opt Options) (*Store, error) {
+	return openStore(dir, opt, RolePrimary)
+}
+
+func openStore(dir string, opt Options, role Role) (*Store, error) {
 	if opt.CheckpointBytes == 0 {
 		opt.CheckpointBytes = DefaultCheckpointBytes
 	}
@@ -237,14 +252,17 @@ func Open(dir string, opt Options) (*Store, error) {
 	s := &Store{
 		dir:      dir,
 		opt:      opt,
+		role:     role,
 		wal:      w,
 		lock:     lock,
 		reqCh:    make(chan *request, 256),
 		doneCh:   make(chan struct{}),
 		watchers: map[*Sub]struct{}{},
+		logSubs:  map[*LogSub]struct{}{},
 		st:       st,
 		tornTail: torn,
 	}
+	s.walAppended.Store(uint64(w.size))
 	s.walSize.Store(uint64(w.size))
 	if haveCkpt {
 		s.ckptSeq.Store(cs.Seq)
@@ -278,6 +296,7 @@ func (s *Store) Stats() Stats {
 	v := s.View()
 	s.watchMu.Lock()
 	subs := len(s.watchers)
+	logSubs := len(s.logSubs)
 	s.watchMu.Unlock()
 	// A checkpoint racing this read can momentarily advance ckptSeq past the
 	// loaded view's Seq; clamp instead of underflowing.
@@ -288,6 +307,9 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		FeedSubscribers:  subs,
 		FeedDropped:      s.watchDropped.Load(),
+		Role:             s.role,
+		LogSubscribers:   logSubs,
+		LogDropped:       s.logDropped.Load(),
 		OpsApplied:       s.opsApplied.Load(),
 		Commits:          s.commits.Load(),
 		WALBytes:         s.walSize.Load(),
@@ -309,6 +331,9 @@ func (s *Store) Stats() Stats {
 // fsync. Apply returns only after the batch is durable (unless Options.NoSync)
 // and its view published.
 func (s *Store) Apply(ops []Op) (ApplyResult, error) {
+	if s.role == RoleFollower {
+		return ApplyResult{}, ErrFollower
+	}
 	if len(ops) == 0 {
 		return ApplyResult{}, fmt.Errorf("%w: empty batch", ErrInvalidOp)
 	}
@@ -369,10 +394,29 @@ const maxGroup = 128
 // committer is the single mutation loop: it drains waiting requests into a
 // group, stages each batch (validate → encode → decode → apply), writes all
 // records with one WAL append and one fsync, then publishes one view
-// covering the whole group and answers every waiter.
+// covering the whole group and answers every waiter. Replication sync and
+// snapshot-install requests run standalone between groups, so they always
+// see an on-disk log consistent with the in-memory position.
 func (s *Store) committer() {
 	defer close(s.doneCh)
-	for req, ok := <-s.reqCh; ok; req, ok = <-s.reqCh {
+	var pending *request
+	for {
+		req := pending
+		pending = nil
+		if req == nil {
+			var ok bool
+			if req, ok = <-s.reqCh; !ok {
+				return
+			}
+		}
+		if req.sync != nil {
+			s.handleSync(req)
+			continue
+		}
+		if req.install != nil {
+			s.handleInstall(req)
+			continue
+		}
 		group := []*request{req}
 	drain:
 		for len(group) < maxGroup {
@@ -380,6 +424,10 @@ func (s *Store) committer() {
 			case r, more := <-s.reqCh:
 				if !more {
 					break drain // outer receive sees the close and exits
+				}
+				if r.sync != nil || r.install != nil {
+					pending = r // commit the group first, then run it standalone
+					break drain
 				}
 				group = append(group, r)
 			default:
@@ -404,9 +452,12 @@ func (s *Store) commitGroup(group []*request) {
 		rebuild   bool
 		committed []*request
 		outcomes  []ApplyResult
+		errs      []error // parallel to committed: partial replication errors
 		wantCkpt  bool
 		opsTotal  uint64
+		batches   uint64
 		rec       deltaRec
+		logRecs   []LogRecord
 	)
 	for _, r := range group {
 		if s.broken.Load() {
@@ -420,6 +471,41 @@ func (s *Store) commitGroup(group []*request) {
 			wantCkpt = true
 			committed = append(committed, r)
 			outcomes = append(outcomes, ApplyResult{})
+			errs = append(errs, nil)
+			continue
+		}
+		if len(r.rep) > 0 {
+			// Replicated records: stage each in turn. On the first bad record
+			// the cleanly staged prefix still commits (those records were
+			// valid primary history); the error rides back with the last
+			// committed position so the follower resyncs from there.
+			var (
+				last   ApplyResult
+				repErr error
+				n      int
+			)
+			for _, lr := range r.rep {
+				stg, err := s.stageReplicated(lr, &rec)
+				if err != nil {
+					repErr = err
+					break
+				}
+				buf = appendWALRecord(buf, stg.seq, stg.payload)
+				edits = append(edits, stg.edits...)
+				rebuild = rebuild || stg.rebuild
+				opsTotal += uint64(stg.nops)
+				batches++
+				logRecs = append(logRecs, LogRecord{Seq: stg.seq, Version: stg.version, Payload: stg.payload})
+				last = ApplyResult{Version: stg.version, Seq: stg.seq}
+				n++
+			}
+			if n == 0 {
+				r.resp <- result{err: repErr}
+				continue
+			}
+			committed = append(committed, r)
+			outcomes = append(outcomes, last)
+			errs = append(errs, repErr)
 			continue
 		}
 		staged, err := s.stageBatch(r.ops, &rec)
@@ -431,8 +517,11 @@ func (s *Store) commitGroup(group []*request) {
 		edits = append(edits, staged.edits...)
 		rebuild = rebuild || staged.rebuild
 		opsTotal += uint64(len(r.ops))
+		batches++
+		logRecs = append(logRecs, LogRecord{Seq: staged.seq, Version: staged.version, Payload: staged.payload})
 		committed = append(committed, r)
 		outcomes = append(outcomes, ApplyResult{Version: staged.version, Seq: staged.seq, IDs: staged.ids})
+		errs = append(errs, nil)
 	}
 
 	if s.broken.Load() {
@@ -460,8 +549,15 @@ func (s *Store) commitGroup(group []*request) {
 			}
 			return
 		}
-		s.walAppended.Add(uint64(len(buf)))
+		total := s.walAppended.Add(uint64(len(buf)))
 		s.walSize.Store(uint64(s.wal.size))
+		// Fix up cumulative byte offsets now that the group's position in the
+		// appended stream is known.
+		cum := total - uint64(len(buf))
+		for i := range logRecs {
+			cum += uint64(walHeaderSize + 8 + len(logRecs[i].Payload))
+			logRecs[i].WALOffset = cum
+		}
 
 		view, err := s.materialize(s.View(), edits, rebuild)
 		if err != nil {
@@ -475,8 +571,9 @@ func (s *Store) commitGroup(group []*request) {
 		}
 		s.view.Store(view)
 		s.opsApplied.Add(opsTotal)
-		s.commits.Add(uint64(len(committed)))
+		s.commits.Add(batches)
 		s.publish(view, &rec)
+		s.publishLog(logRecs)
 	}
 
 	if wantCkpt || (s.opt.CheckpointBytes > 0 && s.wal.size >= s.opt.CheckpointBytes) {
@@ -491,7 +588,7 @@ func (s *Store) commitGroup(group []*request) {
 	}
 	for i, r := range committed {
 		if r != nil {
-			r.resp <- result{res: outcomes[i]}
+			r.resp <- result{res: outcomes[i], err: errs[i]}
 		}
 	}
 }
@@ -503,6 +600,7 @@ type staged struct {
 	ids          []uint64
 	edits        []filter.Edit
 	rebuild      bool
+	nops         int
 }
 
 // stageBatch validates ops against the live state, assigns stable IDs to
@@ -788,14 +886,9 @@ func (s *Store) materialize(prev *View, edits []filter.Edit, rebuild bool) (*Vie
 	}, nil
 }
 
-// checkpointLocked runs on the committer goroutine with exclusive state
-// access: serialize every live object as upserts, write the pager file
-// durably, then reset the WAL (its records are now redundant).
-func (s *Store) checkpointLocked() error {
-	if s.broken.Load() {
-		return ErrBroken
-	}
-	start := time.Now()
+// snapshotState captures the live state as a checkpoint payload: every live
+// object as an upsert, plus the position counters. Runs on the committer.
+func (s *Store) snapshotState() checkpointState {
 	st := s.st
 	ops := make([]Op, 0, len(st.slots)+len(st.dslots))
 	for i, id := range st.slots {
@@ -804,7 +897,18 @@ func (s *Store) checkpointLocked() error {
 	for i, id := range st.dslots {
 		ops = append(ops, Op{Code: OpDisk, ID: id, Disk: st.disks[i]})
 	}
-	cs := checkpointState{Version: st.version, Seq: st.seq, NextID: st.nextID, Ops: ops}
+	return checkpointState{Version: st.version, Seq: st.seq, NextID: st.nextID, Ops: ops}
+}
+
+// checkpointLocked runs on the committer goroutine with exclusive state
+// access: serialize every live object as upserts, write the pager file
+// durably, then reset the WAL (its records are now redundant).
+func (s *Store) checkpointLocked() error {
+	if s.broken.Load() {
+		return ErrBroken
+	}
+	start := time.Now()
+	cs := s.snapshotState()
 	if err := writeCheckpoint(s.dir, cs); err != nil {
 		return err
 	}
@@ -812,7 +916,7 @@ func (s *Store) checkpointLocked() error {
 		return err
 	}
 	s.walSize.Store(0)
-	s.ckptSeq.Store(st.seq)
+	s.ckptSeq.Store(cs.Seq)
 	s.checkpoints.Add(1)
 	s.ckptNanos.Add(uint64(time.Since(start).Nanoseconds()))
 	return nil

@@ -29,10 +29,16 @@ const maxWALRecord = 1 << 30
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// walRecord is one decoded WAL record.
+// walRecord is one decoded WAL record. Payload keeps the raw encoded op
+// batch (the bytes after the sequence number) so replication can ship the
+// exact bytes the primary committed — replaying them on a follower decodes
+// to bit-identical state by construction. End is the file offset just past
+// the record, which the log reader turns into cumulative byte positions.
 type walRecord struct {
-	Seq uint64
-	Ops []Op
+	Seq     uint64
+	Ops     []Op
+	Payload []byte
+	End     int64
 }
 
 // appendWALRecord frames a batch payload into buf.
@@ -80,7 +86,7 @@ func scanWAL(r io.Reader) (recs []walRecord, validBytes int64, torn bool, err er
 		if derr != nil {
 			return recs, start, true, nil
 		}
-		recs = append(recs, walRecord{Seq: seq, Ops: ops})
+		recs = append(recs, walRecord{Seq: seq, Ops: ops, Payload: payload[8:], End: br.off})
 	}
 }
 

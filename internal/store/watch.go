@@ -192,4 +192,9 @@ func (s *Store) closeWatchers() {
 		delete(s.watchers, sub)
 		close(sub.ch)
 	}
+	for sub := range s.logSubs {
+		sub.gone = true
+		delete(s.logSubs, sub)
+		close(sub.ch)
+	}
 }

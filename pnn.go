@@ -41,6 +41,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/monitor"
 	"repro/internal/pdf"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/uncertain"
@@ -335,6 +336,55 @@ const (
 // NewMonitor builds and starts a continuous-query monitor over a store's
 // change feed.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
+
+// Replication, re-exported from internal/replica: a primary streams its WAL
+// to followers over TCP (raw payload bytes, so replicas are byte-identical);
+// each follower replays the stream into its own durable store and publishes
+// the same MVCC views, change feed and monitors the primary would — attach
+// the Follower to a ServerConfig (field Replica) for a read replica that
+// serves 503 until caught up and redirects writes to the primary.
+type (
+	// ReplicationServer streams a store's WAL to followers. Create with
+	// StartReplication.
+	ReplicationServer = replica.Server
+	// ReplicationConfig configures a ReplicationServer; Store and Addr are
+	// required.
+	ReplicationConfig = replica.ServerConfig
+	// ReplicationStats counts followers, shipped records/bytes, snapshots.
+	ReplicationStats = replica.ServerStats
+	// Follower replicates a primary's WAL into a follower store. Create
+	// with StartFollower over an OpenFollowerStore store.
+	Follower = replica.Follower
+	// FollowerConfig configures a Follower; Store and Primary are required.
+	FollowerConfig = replica.FollowerConfig
+	// FollowerStats snapshots a follower's replication counters and lag.
+	FollowerStats = replica.FollowerStats
+	// ReplicationLag measures a follower's distance behind its primary in
+	// versions, seconds and WAL bytes.
+	ReplicationLag = replica.Lag
+	// StoreRole says whether a store accepts local writes (primary) or only
+	// replicated ones (follower).
+	StoreRole = store.Role
+)
+
+// ErrFollowerStore is the error a follower store's Apply returns: local
+// writes must be routed to the primary.
+var ErrFollowerStore = store.ErrFollower
+
+// OpenFollowerStore opens (creating or crash-recovering) a follower store in
+// dir: local writes are refused, only a Follower's replicated commits apply.
+func OpenFollowerStore(dir string, opt StoreOptions) (*Store, error) {
+	return store.OpenFollower(dir, opt)
+}
+
+// StartReplication starts streaming a store's WAL to followers.
+func StartReplication(cfg ReplicationConfig) (*ReplicationServer, error) {
+	return replica.StartServer(cfg)
+}
+
+// StartFollower connects a follower store to a primary's replication address
+// and keeps it caught up; see examples/replicaset for the full loop.
+func StartFollower(cfg FollowerConfig) (*Follower, error) { return replica.StartFollower(cfg) }
 
 // Two-dimensional support (the paper's §IV-A extension): disk-shaped
 // uncertainty regions reduce to distance pdfs and reuse the whole pipeline.
