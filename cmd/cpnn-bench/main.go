@@ -15,6 +15,8 @@
 //	cpnn-bench -monitor -json BENCH_monitor.json
 //	cpnn-bench -replica -batch-sizes 1,16,256  # WAL-shipped replication lag
 //	cpnn-bench -replica -json BENCH_replica.json
+//	cpnn-bench -shard -shard-counts 1,2,4,8    # scatter-gather sharding fan-out
+//	cpnn-bench -shard -json BENCH_shard.json
 //
 // -json additionally writes the replay/monitor/replica series as machine-readable
 // records (name, ops/s, p50/p95/p99 latency, allocs per op) — the format of
@@ -57,6 +59,11 @@ func main() {
 		replObjects = flag.Int("replica-objects", 5000, "replication experiment dataset size (catch-up phase)")
 		replCommits = flag.Int("replica-commits", 50, "replication experiment update commits per batch size")
 
+		shardOn      = flag.Bool("shard", false, "run the scatter-gather sharding experiment instead of a figure")
+		shardObjects = flag.Int("shard-objects", 20000, "sharding experiment dataset size")
+		shardQueries = flag.Int("shard-queries", 400, "sharding experiment C-PNN queries per shard count")
+		shardCounts  = flag.String("shard-counts", "", "comma-separated shard counts (default 1,2,4,8)")
+
 		mon         = flag.Bool("monitor", false, "run the continuous-monitoring experiment instead of a figure")
 		monObjects  = flag.Int("monitor-objects", 10000, "monitoring experiment dataset size")
 		monQueries  = flag.Int("monitor-queries", 200, "monitoring experiment standing-query count")
@@ -69,13 +76,13 @@ func main() {
 	flag.Parse()
 
 	modes := 0
-	for _, on := range []bool{*replay != "", *mon, *repl} {
+	for _, on := range []bool{*replay != "", *mon, *repl, *shardOn} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(fmt.Errorf("-replay, -monitor and -replica are mutually exclusive"))
+		fatal(fmt.Errorf("-replay, -monitor, -replica and -shard are mutually exclusive"))
 	}
 	if *replay != "" {
 		if err := runReplay(*replay, *dataPath, *batchSizes, *workers, *n, *seed,
@@ -93,6 +100,12 @@ func main() {
 	}
 	if *repl {
 		if err := runReplica(*batchSizes, *replObjects, *replCommits, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *shardOn {
+		if err := runShard(*shardCounts, *shardObjects, *shardQueries, *seed, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -193,6 +206,30 @@ func runReplica(sizesCSV string, objects, commits int, seed int64, jsonOut strin
 		Commits:    commits,
 		BatchSizes: sizes,
 		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	report.Print(os.Stdout)
+	if jsonOut != "" {
+		return exp.WriteBenchJSON(jsonOut, report.Records())
+	}
+	return nil
+}
+
+// runShard runs the scatter-gather sharding experiment (query throughput and
+// gather fan-out per shard count) and prints (and optionally records) its
+// table.
+func runShard(countsCSV string, objects, queries int, seed int64, jsonOut string) error {
+	counts, err := parseSizes(countsCSV, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	report, err := exp.RunShard(exp.ShardConfig{
+		Objects:     objects,
+		Queries:     queries,
+		ShardCounts: counts,
+		Seed:        seed,
 	})
 	if err != nil {
 		return err

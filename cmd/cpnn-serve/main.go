@@ -10,6 +10,14 @@
 // off the replayed views — answering 503 until its first catch-up and
 // redirecting writes to the primary's -advertise-http address.
 //
+// Sharding: -shards K serves one process over K STR-partitioned member
+// stores under -data-dir, scatter-gathering every query (see
+// internal/shard). The same cluster directory also runs multi-process:
+// each member with -shard-of i, and a stateless front with -router
+// listing the member URLs in shard order (the layout comes from the
+// cluster's shard.json). Use `cpnn-store split` to shard an existing
+// single-store directory.
+//
 // Examples:
 //
 //	cpnn-serve -gen -addr :8080                 # serve the Long-Beach-like dataset
@@ -19,6 +27,14 @@
 //	# primary + read replica
 //	cpnn-serve -gen -data-dir /var/lib/cpnn -replicate-addr :7071 -advertise-http http://10.0.0.1:8080
 //	cpnn-serve -addr :8081 -data-dir /var/lib/cpnn-replica -follow 10.0.0.1:7071
+//
+//	# single-process sharded serving (creates the cluster on first boot)
+//	cpnn-serve -gen -data-dir /var/lib/cpnn-cluster -shards 4
+//
+//	# the same cluster as one process per shard plus a router
+//	cpnn-serve -addr :8091 -data-dir /var/lib/cpnn-cluster -shard-of 0
+//	cpnn-serve -addr :8092 -data-dir /var/lib/cpnn-cluster -shard-of 1
+//	cpnn-serve -addr :8080 -data-dir /var/lib/cpnn-cluster -router http://127.0.0.1:8091,http://127.0.0.1:8092
 //
 //	curl 'localhost:8080/v1/cpnn?q=5000&p=0.3&delta=0.01'
 //	curl 'localhost:8080/v1/pnn?q=5000'
@@ -44,11 +60,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/uncertain"
 )
@@ -75,6 +94,10 @@ type serveOpts struct {
 	follow        string // replica mode: primary's replication address
 	replicateAddr string // primary mode: replication listen address
 	advertiseHTTP string // write-redirect target sent to followers
+
+	shards     int    // single-process sharding: member count for a new cluster under dataDir
+	shardOf    int    // member mode: shard index within the dataDir cluster (-1 = off)
+	routerURLs string // multi-process router mode: member base URLs in shard order
 }
 
 // run is the whole program behind main, factored out so tests can drive the
@@ -92,6 +115,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		replAddr     = fs.String("replicate-addr", "", "replication listen address: stream the WAL to followers (requires -data-dir)")
 		follow       = fs.String("follow", "", "run as a read replica of this primary replication address (requires -data-dir)")
 		advertise    = fs.String("advertise-http", "", "HTTP URL advertised to followers as the write-redirect target (with -replicate-addr)")
+		shards       = fs.Int("shards", 0, "serve a K-shard cluster under -data-dir in one process, scatter-gathering queries (created on first boot from -gen/-data)")
+		shardOf      = fs.Int("shard-of", -1, "serve shard i of the -data-dir cluster as a member process for a -router front (direct writes are refused)")
+		routerURLs   = fs.String("router", "", "serve as a scatter-gather router over these comma-separated member URLs, in shard order (layout from -data-dir's shard.json; members must be up)")
 		quantum      = fs.Float64("quantum", 0, "cache query-point quantization granularity (0 = exact keys)")
 		cacheSize    = fs.Int("cache", server.DefaultCacheEntries, "result-cache capacity in entries (negative disables)")
 		cacheShards  = fs.Int("cache-shards", server.DefaultCacheShards, "result-cache shard count")
@@ -105,10 +131,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 
-	srv, fol, repl, source, err := buildServer(serveOpts{
+	app, err := buildServer(serveOpts{
 		dataPath: *dataPath, gen: *gen, seed: *seed,
 		dataDir: *dataDir, noSync: *noSync,
 		follow: *follow, replicateAddr: *replAddr, advertiseHTTP: *advertise,
+		shards: *shards, shardOf: *shardOf, routerURLs: *routerURLs,
 	}, server.Config{
 		Quantum:           *quantum,
 		CacheEntries:      *cacheSize,
@@ -121,26 +148,19 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	// Replication teardown order matters: the follower stops applying before
-	// the replication listener stops streaming, and both before the server
-	// checkpoints and closes the store.
-	closeAll := func() error {
-		if fol != nil {
-			fol.Close()
-		}
-		if repl != nil {
-			repl.Close()
-		}
-		return srv.Close()
-	}
-	if fol != nil {
-		log.Printf("cpnn-serve: replica of %s, serving on %s (reads 503 until caught up)", fol.Source(), *addr)
-	} else {
+	srv, closeAll := app.srv, app.Close
+	switch {
+	case app.fol != nil:
+		log.Printf("cpnn-serve: replica of %s, serving on %s (reads 503 until caught up)", app.fol.Source(), *addr)
+	case app.router != nil:
+		log.Printf("cpnn-serve: scatter-gather over %d shards (%d objects, %s) on %s",
+			app.router.Shards(), app.router.Objects(), app.source, *addr)
+	default:
 		log.Printf("cpnn-serve: serving %d objects (%s, version %d) on %s",
-			srv.Snapshot().Objects, source, srv.Snapshot().Version, *addr)
+			srv.Snapshot().Objects, app.source, srv.Snapshot().Version, *addr)
 	}
-	if repl != nil {
-		log.Printf("cpnn-serve: replicating the WAL on %s", repl.Addr())
+	if app.repl != nil {
+		log.Printf("cpnn-serve: replicating the WAL on %s", app.repl.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
@@ -181,30 +201,188 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	return nil
 }
 
-// buildServer validates flags, loads or recovers the dataset, attaches
-// replication, and assembles the server. All user input is checked before
-// any engine is built. The returned follower and replication listener are
-// nil unless -follow / -replicate-addr asked for them.
-func buildServer(o serveOpts, cfg server.Config) (*server.Server, *replica.Follower, *replica.Server, string, error) {
-	var (
-		st   *store.Store
-		fol  *replica.Follower
-		repl *replica.Server
-	)
-	fail := func(err error) (*server.Server, *replica.Follower, *replica.Server, string, error) {
-		if fol != nil {
-			fol.Close()
+// serveApp is the assembled process: the HTTP server plus whichever
+// replication or sharding machinery the flags asked for.
+type serveApp struct {
+	srv     *server.Server
+	fol     *replica.Follower
+	repl    *replica.Server
+	router  *shard.Router  // -shards / -router: the scatter-gather front
+	cluster *shard.Cluster // -shards: locally-open member stores
+	source  string
+}
+
+// Close tears the assembly down in dependency order: the follower stops
+// applying before the replication listener stops streaming, both before the
+// server checkpoints and closes its store, and the router's members and the
+// cluster's member stores last (the server only borrows them).
+func (a *serveApp) Close() error {
+	if a.fol != nil {
+		a.fol.Close()
+	}
+	if a.repl != nil {
+		a.repl.Close()
+	}
+	err := a.srv.Close()
+	if a.router != nil {
+		a.router.Close()
+	}
+	if a.cluster != nil {
+		if cerr := a.cluster.Close(); err == nil {
+			err = cerr
 		}
-		if repl != nil {
-			repl.Close()
+	}
+	return err
+}
+
+// buildServer validates flags, loads or recovers the dataset, attaches
+// replication or sharding, and assembles the server. All user input is
+// checked before any engine is built.
+func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
+	a := &serveApp{}
+	var st *store.Store
+	fail := func(err error) (*serveApp, error) {
+		if a.fol != nil {
+			a.fol.Close()
+		}
+		if a.repl != nil {
+			a.repl.Close()
 		}
 		if st != nil {
 			st.Close()
 		}
-		return nil, nil, nil, "", err
+		if a.router != nil {
+			a.router.Close()
+		}
+		if a.cluster != nil {
+			a.cluster.Close()
+		}
+		return nil, err
 	}
 
-	if o.follow != "" {
+	// The three sharding modes all hang off a cluster directory in -data-dir
+	// and pick exactly one role per process.
+	shardModes := 0
+	for _, on := range []bool{o.shards > 0, o.shardOf >= 0, o.routerURLs != ""} {
+		if on {
+			shardModes++
+		}
+	}
+	if shardModes > 1 {
+		return fail(fmt.Errorf("-shards, -shard-of and -router are mutually exclusive"))
+	}
+	if shardModes == 1 {
+		if o.dataDir == "" {
+			return fail(fmt.Errorf("-shards/-shard-of/-router require -data-dir (the cluster directory)"))
+		}
+		if o.follow != "" {
+			return fail(fmt.Errorf("-follow does not combine with sharding; replicate individual member stores instead"))
+		}
+		if o.replicateAddr != "" && o.shardOf < 0 {
+			// A member process may ship its own WAL onward; the router and
+			// the single-process cluster have no single WAL to ship.
+			return fail(fmt.Errorf("-replicate-addr applies to single stores and -shard-of members, not routers"))
+		}
+	}
+
+	switch {
+	case o.routerURLs != "":
+		// Stateless scatter-gather front: the layout comes from the cluster
+		// metadata, the data stays in the member processes.
+		if o.gen || o.dataPath != "" {
+			return fail(fmt.Errorf("-router is mutually exclusive with -gen/-data: the dataset lives in the member stores"))
+		}
+		meta, err := shard.ReadMeta(o.dataDir)
+		if err != nil {
+			return fail(err)
+		}
+		var urls []string
+		for _, u := range strings.Split(o.routerURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) != meta.Shards {
+			return fail(fmt.Errorf("-router lists %d members for the %d-shard cluster in %s", len(urls), meta.Shards, o.dataDir))
+		}
+		members := make([]shard.Member, len(urls))
+		for i, u := range urls {
+			members[i] = shard.NewHTTPMember(u, nil)
+		}
+		rt, err := shard.NewRouter(shard.RouterConfig{Members: members, Cuts: meta.Cuts, NextID: meta.NextID})
+		if err != nil {
+			return fail(err)
+		}
+		a.router = rt
+		cfg.ShardRouter = rt
+		a.source = fmt.Sprintf("router:%s", o.dataDir)
+
+	case o.shardOf >= 0:
+		// Member mode: one shard's store behind the wire protocol. Reads
+		// serve normally; writes arrive only through a router.
+		if o.gen || o.dataPath != "" {
+			return fail(fmt.Errorf("-shard-of is mutually exclusive with -gen/-data: members are filled through the router"))
+		}
+		meta, err := shard.ReadMeta(o.dataDir)
+		if err != nil {
+			return fail(err)
+		}
+		if o.shardOf >= meta.Shards {
+			return fail(fmt.Errorf("-shard-of %d: the cluster in %s has %d shards", o.shardOf, o.dataDir, meta.Shards))
+		}
+		st, err = store.Open(shard.Dir(o.dataDir, o.shardOf), store.Options{NoSync: o.noSync, ExplicitIDs: true})
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Store = st
+		cfg.ShardMember = true
+		a.source = fmt.Sprintf("shard %d of %s", o.shardOf, o.dataDir)
+		cfg.Source = a.source
+
+	case o.shards > 0:
+		// Single-process cluster: open an existing layout, or partition a
+		// seed dataset into a fresh one.
+		if _, err := os.Stat(filepath.Join(o.dataDir, shard.MetaFile)); err == nil {
+			cluster, err := shard.OpenCluster(o.dataDir, store.Options{NoSync: o.noSync})
+			if err != nil {
+				return fail(err)
+			}
+			a.cluster = cluster
+			if cluster.Meta.Shards != o.shards {
+				log.Printf("cpnn-serve: cluster %s already holds %d shards; ignoring -shards %d",
+					o.dataDir, cluster.Meta.Shards, o.shards)
+			}
+			if o.gen || o.dataPath != "" {
+				log.Printf("cpnn-serve: cluster %s already exists; ignoring -gen/-data", o.dataDir)
+			}
+		} else {
+			ds, _, err := loadDataset(o.dataPath, o.gen, o.seed)
+			if err != nil {
+				return fail(fmt.Errorf("creating a %d-shard cluster: %w", o.shards, err))
+			}
+			// Seed with the same stable IDs a single store's dataset load
+			// would assign, so splitting and serving commute.
+			ids := make([]uint64, ds.Len())
+			for i := range ids {
+				ids[i] = uint64(i + 1)
+			}
+			view := &store.View{Dataset: ds, IDs: ids, NextID: uint64(ds.Len()) + 1}
+			cluster, err := shard.CreateCluster(o.dataDir, o.shards, view, store.Options{NoSync: o.noSync})
+			if err != nil {
+				return fail(err)
+			}
+			a.cluster = cluster
+		}
+		rt, err := a.cluster.Router()
+		if err != nil {
+			return fail(err)
+		}
+		a.router = rt
+		cfg.ShardRouter = rt
+		cfg.ShardCluster = a.cluster
+		a.source = fmt.Sprintf("cluster:%s", o.dataDir)
+
+	case o.follow != "":
 		// Replica mode: the dataset comes from the primary, never from flags.
 		if o.dataDir == "" {
 			return fail(fmt.Errorf("-follow requires -data-dir (the replica keeps its own durable copy)"))
@@ -217,14 +395,15 @@ func buildServer(o serveOpts, cfg server.Config) (*server.Server, *replica.Follo
 		if err != nil {
 			return fail(err)
 		}
-		fol, err = replica.StartFollower(replica.FollowerConfig{
+		a.fol, err = replica.StartFollower(replica.FollowerConfig{
 			Store: st, Primary: o.follow, Dir: o.dataDir,
 		})
 		if err != nil {
 			return fail(err)
 		}
-		cfg.Replica = fol
-	} else if o.dataDir != "" {
+		cfg.Replica = a.fol
+
+	case o.dataDir != "":
 		var err error
 		st, err = store.Open(o.dataDir, store.Options{NoSync: o.noSync})
 		if err != nil {
@@ -240,42 +419,44 @@ func buildServer(o serveOpts, cfg server.Config) (*server.Server, *replica.Follo
 			return fail(fmt.Errorf("-replicate-addr requires -data-dir (the WAL is what gets shipped)"))
 		}
 		var err error
-		repl, err = replica.StartServer(replica.ServerConfig{
+		a.repl, err = replica.StartServer(replica.ServerConfig{
 			Store: st, Addr: o.replicateAddr, AdvertiseHTTP: o.advertiseHTTP,
 		})
 		if err != nil {
 			return fail(err)
 		}
-		cfg.Replication = repl
+		cfg.Replication = a.repl
 	}
 
-	source := ""
-	switch {
-	case fol != nil:
-		// server.New labels replica snapshots itself.
-	case st != nil && (st.View().Dataset.Len() > 0 || len(st.View().Disks) > 0):
-		// The durable contents win (disks-only stores count: seeding would
-		// truncate them); -gen/-data would have been only the seed.
-		if o.gen || o.dataPath != "" {
-			log.Printf("cpnn-serve: store %s already holds %d objects and %d disks; ignoring -gen/-data",
-				o.dataDir, st.View().Dataset.Len(), len(st.View().Disks))
+	if shardModes == 0 {
+		switch {
+		case a.fol != nil:
+			// server.New labels replica snapshots itself.
+		case st != nil && (st.View().Dataset.Len() > 0 || len(st.View().Disks) > 0):
+			// The durable contents win (disks-only stores count: seeding would
+			// truncate them); -gen/-data would have been only the seed.
+			if o.gen || o.dataPath != "" {
+				log.Printf("cpnn-serve: store %s already holds %d objects and %d disks; ignoring -gen/-data",
+					o.dataDir, st.View().Dataset.Len(), len(st.View().Disks))
+			}
+			a.source = fmt.Sprintf("store:%s", o.dataDir)
+			cfg.Source = a.source
+		default:
+			ds, src, err := loadDataset(o.dataPath, o.gen, o.seed)
+			if err != nil {
+				return fail(err)
+			}
+			cfg.Dataset = ds
+			a.source = src
+			cfg.Source = a.source
 		}
-		source = fmt.Sprintf("store:%s", o.dataDir)
-		cfg.Source = source
-	default:
-		ds, src, err := loadDataset(o.dataPath, o.gen, o.seed)
-		if err != nil {
-			return fail(err)
-		}
-		cfg.Dataset = ds
-		source = src
-		cfg.Source = source
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		return fail(err)
 	}
-	return srv, fol, repl, source, nil
+	a.srv = srv
+	return a, nil
 }
 
 func loadDataset(path string, gen bool, seed int64) (*uncertain.Dataset, string, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -26,48 +27,49 @@ func writeDataset(t *testing.T, lines string) string {
 
 func TestBuildServerFromFile(t *testing.T) {
 	path := writeDataset(t, "1 2\n5 9\nhist 10 11 12 | 1 3\n")
-	srv, _, _, source, err := buildServer(serveOpts{dataPath: path, seed: 1}, server.Config{})
+	app, err := buildServer(serveOpts{shardOf: -1, dataPath: path, seed: 1}, server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if source != path {
-		t.Errorf("source = %q, want %q", source, path)
+	defer app.Close()
+	if app.source != path {
+		t.Errorf("source = %q, want %q", app.source, path)
 	}
-	if got := srv.Snapshot().Objects; got != 3 {
+	if got := app.srv.Snapshot().Objects; got != 3 {
 		t.Errorf("objects = %d, want 3", got)
 	}
 	rec := httptest.NewRecorder()
-	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cpnn?q=1.5&p=0.3", nil))
+	app.srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cpnn?q=1.5&p=0.3", nil))
 	if rec.Code != http.StatusOK {
 		t.Errorf("cpnn status %d: %s", rec.Code, rec.Body)
 	}
 }
 
 func TestBuildServerRejectsBadInput(t *testing.T) {
-	if _, _, _, _, err := buildServer(serveOpts{seed: 1}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, seed: 1}, server.Config{}); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, _, _, _, err := buildServer(serveOpts{dataPath: "/nonexistent/ds", seed: 1}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: "/nonexistent/ds", seed: 1}, server.Config{}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, _, _, _, err := buildServer(serveOpts{dataPath: "x", gen: true, seed: 1}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: "x", gen: true, seed: 1}, server.Config{}); err == nil {
 		t.Error("-gen with -data accepted")
 	}
 	bad := writeDataset(t, "9 2\n")
-	if _, _, _, _, err := buildServer(serveOpts{dataPath: bad, seed: 1}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: bad, seed: 1}, server.Config{}); err == nil {
 		t.Error("inverted interval accepted")
 	}
 	good := writeDataset(t, "1 2\n")
-	if _, _, _, _, err := buildServer(serveOpts{dataPath: good, seed: 1}, server.Config{Quantum: -2}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: good, seed: 1}, server.Config{Quantum: -2}); err == nil {
 		t.Error("negative quantum accepted")
 	}
-	if _, _, _, _, err := buildServer(serveOpts{follow: "127.0.0.1:1"}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, follow: "127.0.0.1:1"}, server.Config{}); err == nil {
 		t.Error("-follow without -data-dir accepted")
 	}
-	if _, _, _, _, err := buildServer(serveOpts{dataPath: good, replicateAddr: "127.0.0.1:0"}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: good, replicateAddr: "127.0.0.1:0"}, server.Config{}); err == nil {
 		t.Error("-replicate-addr without -data-dir accepted")
 	}
-	if _, _, _, _, err := buildServer(serveOpts{dataDir: t.TempDir(), follow: "127.0.0.1:1", gen: true}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataDir: t.TempDir(), follow: "127.0.0.1:1", gen: true}, server.Config{}); err == nil {
 		t.Error("-follow with -gen accepted")
 	}
 }
@@ -78,29 +80,29 @@ func TestBuildServerSeedsAndRecoversDataDir(t *testing.T) {
 	path := writeDataset(t, "1 2\n5 9\n")
 	dir := t.TempDir()
 
-	srv, _, _, _, err := buildServer(serveOpts{dataPath: path, seed: 1, dataDir: dir, noSync: true}, server.Config{})
+	app, err := buildServer(serveOpts{shardOf: -1, dataPath: path, seed: 1, dataDir: dir, noSync: true}, server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv.Snapshot().Objects != 2 || srv.Snapshot().Version != 1 {
-		t.Fatalf("seeded snapshot: %+v", srv.Snapshot())
+	if app.srv.Snapshot().Objects != 2 || app.srv.Snapshot().Version != 1 {
+		t.Fatalf("seeded snapshot: %+v", app.srv.Snapshot())
 	}
-	if err := srv.Close(); err != nil {
+	if err := app.Close(); err != nil {
 		t.Fatal(err)
 	}
 
 	// Reopen with a DIFFERENT -data file: the store contents must win.
 	other := writeDataset(t, "100 101\n200 201\n300 301\n")
-	srv, _, _, source, err := buildServer(serveOpts{dataPath: other, seed: 1, dataDir: dir, noSync: true}, server.Config{})
+	app, err = buildServer(serveOpts{shardOf: -1, dataPath: other, seed: 1, dataDir: dir, noSync: true}, server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
-	if srv.Snapshot().Objects != 2 {
-		t.Fatalf("store contents overridden: %d objects", srv.Snapshot().Objects)
+	defer app.Close()
+	if app.srv.Snapshot().Objects != 2 {
+		t.Fatalf("store contents overridden: %d objects", app.srv.Snapshot().Objects)
 	}
-	if !strings.HasPrefix(source, "store:") {
-		t.Fatalf("source = %q", source)
+	if !strings.HasPrefix(app.source, "store:") {
+		t.Fatalf("source = %q", app.source)
 	}
 }
 
@@ -349,4 +351,140 @@ func TestPrimaryReplicaEndToEnd(t *testing.T) {
 		}
 		st.Close()
 	}
+}
+
+// TestShardedServeEndToEnd exercises all three sharding roles through the
+// real run() loop: a single-process -shards boot creates the cluster from a
+// seed file, serves and mutates it, and shuts down cleanly; then the same
+// directory comes back as two -shard-of member processes behind a -router
+// front, which must serve the mutated data and keep member writes locked.
+func TestShardedServeEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cluster")
+	dsPath := writeDataset(t, "1 2\n5 9\n100 110\n200 210\n")
+
+	// Phase 1: single-process sharded serving, cluster created on boot.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-data", dsPath,
+			"-data-dir", dir, "-no-fsync", "-shards", "2"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("sharded run exited early: %v", err)
+	}
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("http://" + addr + "/v1/cpnn?q=1.5&p=0.3"); code != http.StatusOK {
+		t.Fatalf("sharded cpnn: %d: %s", code, body)
+	}
+	if code, body := get("http://" + addr + "/healthz"); code != http.StatusOK || !strings.Contains(body, `"shards":2`) {
+		t.Fatalf("sharded healthz: %d: %s", code, body)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/objects", "application/json",
+		strings.NewReader(`{"objects":[{"uniform":{"lo":50,"hi":60}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded write: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sharded run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("sharded run did not exit")
+	}
+
+	// Phase 2: the same cluster as member processes plus a router.
+	type proc struct {
+		cancel context.CancelFunc
+		done   chan error
+		addr   string
+	}
+	start := func(args ...string) *proc {
+		t.Helper()
+		pctx, pcancel := context.WithCancel(context.Background())
+		p := &proc{cancel: pcancel, done: make(chan error, 1)}
+		pready := make(chan string, 1)
+		go func() { p.done <- run(pctx, args, pready) }()
+		select {
+		case p.addr = <-pready:
+		case err := <-p.done:
+			t.Fatalf("%v exited early: %v", args, err)
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%v never became ready", args)
+		}
+		return p
+	}
+	stop := func(p *proc) {
+		t.Helper()
+		p.cancel()
+		select {
+		case err := <-p.done:
+			if err != nil {
+				t.Fatalf("process returned %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("process did not exit")
+		}
+	}
+
+	m0 := start("-addr", "127.0.0.1:0", "-data-dir", dir, "-no-fsync", "-shard-of", "0")
+	m1 := start("-addr", "127.0.0.1:0", "-data-dir", dir, "-no-fsync", "-shard-of", "1")
+	rt := start("-addr", "127.0.0.1:0", "-data-dir", dir, "-no-fsync",
+		"-router", "http://"+m0.addr+",http://"+m1.addr)
+
+	// The phase-1 write must be visible through the router: [50,60] owns q=55.
+	if code, body := get("http://" + rt.addr + "/v1/pnn?q=55"); code != http.StatusOK || !strings.Contains(body, `"id":5`) {
+		t.Fatalf("router pnn: %d: %s", code, body)
+	}
+	// Members refuse direct writes: the router owns placement and IDs.
+	resp, err = http.Post("http://"+m0.addr+"/v1/objects", "application/json",
+		strings.NewReader(`{"objects":[{"uniform":{"lo":1,"hi":2}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("member write: %d, want 403", resp.StatusCode)
+	}
+	// Writes through the router land on the owning member.
+	resp, err = http.Post("http://"+rt.addr+"/v1/objects", "application/json",
+		strings.NewReader(`{"objects":[{"uniform":{"lo":205,"hi":215}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router write: %d", resp.StatusCode)
+	}
+	if code, body := get("http://" + rt.addr + "/v1/dataset"); code != http.StatusOK || !strings.Contains(body, `"objects":6`) {
+		t.Fatalf("router dataset: %d: %s", code, body)
+	}
+
+	stop(rt)
+	stop(m1)
+	stop(m0)
 }

@@ -3,13 +3,18 @@
 //	cpnn-store -dir DIR inspect   # print version/seq/object counts/WAL state
 //	cpnn-store -dir DIR compact   # checkpoint and truncate the WAL
 //	cpnn-store -dir DIR verify    # recover, validate every pdf, run a probe query
+//	cpnn-store -dir DIR -into CLUSTER -shards 4 split
+//	                              # partition DIR into a 4-shard cluster
+//
+// When -dir points at a shard cluster directory (one holding shard.json),
+// inspect and verify run against every member store in turn.
 //
 // All commands open the store through the normal recovery path — they take
 // the directory's exclusive lock (a live server must be stopped first), and
 // a torn WAL tail left by a crash is detected, reported, and truncated away
 // exactly as a server boot would truncate it. Copy the directory first if
 // the torn bytes themselves matter for a post-mortem. Beyond that recovery,
-// inspect and verify make no changes.
+// inspect, verify and split make no changes to the source directory.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/replica"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/verify"
 )
@@ -40,7 +46,9 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cpnn-store", flag.ContinueOnError)
 	dir := fs.String("dir", "", "store directory (required)")
-	noSync := fs.Bool("no-fsync", false, "skip fsyncs (compact only; faster on scratch copies)")
+	noSync := fs.Bool("no-fsync", false, "skip fsyncs (compact/split only; faster on scratch copies)")
+	into := fs.String("into", "", "split: destination cluster directory")
+	shards := fs.Int("shards", 0, "split: member count K")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +60,24 @@ func run(args []string, out io.Writer) error {
 		cmd = "inspect"
 	}
 
+	if cmd == "split" {
+		// SplitStore opens the source itself (briefly, read-only in effect),
+		// so it must run before this process takes the directory lock.
+		if *into == "" || *shards < 1 {
+			return fmt.Errorf("split requires -into DIR and -shards K")
+		}
+		meta, err := shard.SplitStore(*dir, *into, *shards, store.Options{NoSync: *noSync})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "split: %d shards under %s (cuts %v, next id %d)\n",
+			meta.Shards, *into, meta.Cuts, meta.NextID)
+		return nil
+	}
+	if *into != "" || *shards != 0 {
+		return fmt.Errorf("-into/-shards apply to the split command")
+	}
+
 	// Refuse directories that hold neither store files nor nothing — a guard
 	// against pointing the tool at an unrelated directory.
 	if cmd != "compact" {
@@ -60,7 +86,25 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	s, err := store.Open(*dir, store.Options{NoSync: *noSync})
+	// A cluster directory fans inspect/verify out over every member store.
+	if meta, err := shard.ReadMeta(*dir); err == nil {
+		if cmd == "compact" {
+			return fmt.Errorf("compact one member at a time (e.g. -dir %s)", shard.Dir(*dir, 0))
+		}
+		for i := 0; i < meta.Shards; i++ {
+			fmt.Fprintf(out, "--- shard %d/%d: %s\n", i, meta.Shards, shard.Dir(*dir, i))
+			if err := runOne(shard.Dir(*dir, i), cmd, *noSync, out); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	return runOne(*dir, cmd, *noSync, out)
+}
+
+// runOne opens one store directory and applies cmd to it.
+func runOne(dir, cmd string, noSync bool, out io.Writer) error {
+	s, err := store.Open(dir, store.Options{NoSync: noSync})
 	if err != nil {
 		return err
 	}
@@ -68,17 +112,17 @@ func run(args []string, out io.Writer) error {
 
 	switch cmd {
 	case "inspect":
-		return inspect(out, *dir, s)
+		return inspect(out, dir, s)
 	case "compact":
 		if err := s.Checkpoint(); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "compacted: checkpoint written, WAL reset\n")
-		return inspect(out, *dir, s)
+		return inspect(out, dir, s)
 	case "verify":
 		return verifyStore(out, s)
 	default:
-		return fmt.Errorf("unknown command %q (inspect, compact, verify)", cmd)
+		return fmt.Errorf("unknown command %q (inspect, compact, verify, split)", cmd)
 	}
 }
 

@@ -100,3 +100,63 @@ func TestRunBadArgs(t *testing.T) {
 		t.Fatal("unknown command accepted")
 	}
 }
+
+// TestSplitThenVerifyCluster splits a store into a cluster and checks that
+// inspect/verify fan out over every member, the object counts add up, and
+// the source directory is untouched.
+func TestSplitThenVerifyCluster(t *testing.T) {
+	dir := populated(t)
+	cluster := filepath.Join(t.TempDir(), "cluster")
+
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir, "-into", cluster, "-shards", "2", "-no-fsync", "split"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "split: 2 shards under") {
+		t.Fatalf("split output:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if err := run([]string{"-dir", cluster, "verify"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"--- shard 0/2", "--- shard 1/2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cluster verify missing %q:\n%s", want, out)
+		}
+	}
+
+	// The members hold the three objects between them.
+	sb.Reset()
+	if err := run([]string{"-dir", cluster, "inspect"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	total := strings.Count(sb.String(), "objects (1d): 1") + 2*strings.Count(sb.String(), "objects (1d): 2") +
+		3*strings.Count(sb.String(), "objects (1d): 3")
+	if total != 3 {
+		t.Fatalf("cluster inspect object counts do not sum to 3:\n%s", sb.String())
+	}
+
+	// The source store still opens and verifies on its own.
+	sb.Reset()
+	if err := run([]string{"-dir", dir, "verify"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ok: 3 objects") {
+		t.Fatalf("source verify after split:\n%s", sb.String())
+	}
+
+	// Cluster-level compact is refused with a pointer at the member dirs.
+	if err := run([]string{"-dir", cluster, "compact"}, &sb); err == nil {
+		t.Fatal("cluster compact accepted")
+	}
+
+	// Split flags without the split command are refused.
+	if err := run([]string{"-dir", dir, "-into", cluster, "inspect"}, &sb); err == nil {
+		t.Fatal("-into without split accepted")
+	}
+	if err := run([]string{"-dir", dir, "split"}, &sb); err == nil {
+		t.Fatal("split without -into/-shards accepted")
+	}
+}

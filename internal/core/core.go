@@ -528,12 +528,8 @@ func (e *Engine) CKNN(q float64, c verify.Constraint, opt KNNOptions) ([]KNNAnsw
 // because k objects are certainly closer — and the surviving candidate IDs in
 // dense order. Shared by CKNN and KNNIncremental.
 func (e *Engine) cknnFilter(q float64, k int) (float64, []int) {
-	fars := make([]float64, e.ds.Len())
-	for i, o := range e.ds.Objects() {
-		fars[i] = o.Region().MaxDist(q)
-	}
-	sort.Float64s(fars)
-	fk := fars[k-1]
+	fars := e.FarBounds(q, k)
+	fk := fars[len(fars)-1]
 	var ids []int
 	for _, o := range e.ds.Objects() {
 		if o.Region().MinDist(q) <= fk {
@@ -541,6 +537,29 @@ func (e *Engine) cknnFilter(q float64, k int) (float64, []int) {
 		}
 	}
 	return fk, ids
+}
+
+// FarBounds returns the k smallest far-point distances from q, ascending
+// (fewer when the dataset holds fewer than k objects; nil when it is empty).
+// The last value is the k-NN critical distance f_k; k = 1 yields the C-PNN
+// filtering bound f_min. Scatter-gather merges per-shard FarBounds lists to
+// recover the global bound exactly: each of the k global witnesses is one of
+// some shard's k smallest, so the k smallest of the merged lists equal the k
+// smallest of the whole dataset.
+func (e *Engine) FarBounds(q float64, k int) []float64 {
+	n := e.ds.Len()
+	if n == 0 || k < 1 {
+		return nil
+	}
+	fars := make([]float64, n)
+	for i, o := range e.ds.Objects() {
+		fars[i] = o.Region().MaxDist(q)
+	}
+	sort.Float64s(fars)
+	if k < n {
+		fars = fars[:k:k]
+	}
+	return fars
 }
 
 // cknnClassify is the verification half of a constrained k-NN evaluation,

@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"time"
 )
 
@@ -24,8 +27,47 @@ type BenchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// Extra carries series-specific metrics (amortization ratio, re-eval
 	// fraction, ...).
-	Extra map[string]float64 `json:"extra,omitempty"`
+	Extra Extra `json:"extra,omitempty"`
 }
+
+// Extra is a metric map whose JSON form is deterministic by construction:
+// keys ascending, values in Go's shortest round-trip float syntax. The
+// recorded BENCH_*.json files are diffed across PRs, so their byte layout
+// must not depend on map iteration order or encoder internals — this
+// marshaller makes that a property of the type rather than a behavior
+// inherited from encoding/json.
+type Extra map[string]float64
+
+// MarshalJSON renders the map with sorted keys.
+func (e Extra) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(e))
+	for k := range e {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		v := e[k]
+		if v != v || v > maxJSONFloat || v < -maxJSONFloat {
+			return nil, fmt.Errorf("exp: metric %q is %g, not a JSON number", k, v)
+		}
+		buf.Write(strconv.AppendFloat(nil, v, 'g', -1, 64))
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+const maxJSONFloat = 1.7976931348623157e308
 
 // benchFile is the on-disk shape of a -json output.
 type benchFile struct {
@@ -54,7 +96,7 @@ func (r *ReplayReport) Records() []BenchRecord {
 			P95Ms:       ms(row.P95),
 			P99Ms:       ms(row.P99),
 			AllocsPerOp: row.AllocsPerQuery,
-			Extra:       map[string]float64{"ratio": row.Ratio},
+			Extra:       Extra{"ratio": row.Ratio},
 		})
 	}
 	return out
@@ -75,7 +117,7 @@ func (r *MonitorReport) Records() []BenchRecord {
 			P95Ms:       ms(row.P95),
 			P99Ms:       ms(row.P99),
 			AllocsPerOp: row.AllocsPerCommit,
-			Extra: map[string]float64{
+			Extra: Extra{
 				"reeval_fraction": row.ReevalFraction,
 				"standing":        float64(r.Queries),
 				"early_exits":     float64(row.EarlyExits),

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The BENCH_*.json trajectory files are compared byte-for-byte across PRs,
+// so the writer must be deterministic down to key order and float syntax.
+// This golden pins the exact bytes a fixed record set produces.
+func TestWriteBenchJSONGolden(t *testing.T) {
+	records := []BenchRecord{
+		{
+			Name:        "shard/k=4",
+			OpsPerSec:   1234.5,
+			P50Ms:       0.25,
+			P95Ms:       1.5,
+			P99Ms:       3.75,
+			AllocsPerOp: 42,
+			// Keys deliberately unsorted in source order.
+			Extra: Extra{"skew": 1.02, "fanout_fraction": 0.34, "mean_fanout": 1.36},
+		},
+		{Name: "shard/k=1", OpsPerSec: 2000},
+	}
+	const golden = `{
+  "records": [
+    {
+      "name": "shard/k=4",
+      "ops_per_sec": 1234.5,
+      "p50_ms": 0.25,
+      "p95_ms": 1.5,
+      "p99_ms": 3.75,
+      "allocs_per_op": 42,
+      "extra": {
+        "fanout_fraction": 0.34,
+        "mean_fanout": 1.36,
+        "skew": 1.02
+      }
+    },
+    {
+      "name": "shard/k=1",
+      "ops_per_sec": 2000,
+      "p50_ms": 0,
+      "p95_ms": 0,
+      "p99_ms": 0,
+      "allocs_per_op": 0
+    }
+  ]
+}
+`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	for i := 0; i < 2; i++ { // twice: key order must not vary run to run
+		if err := WriteBenchJSON(path, records); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != golden {
+			t.Fatalf("write %d: bench JSON differs from golden:\n--- got ---\n%s\n--- want ---\n%s", i, got, golden)
+		}
+	}
+}
+
+// Non-numbers cannot appear in a trajectory file: the marshaller must refuse
+// them rather than let encoding/json error with a less useful message (or a
+// future encoder silently emit null).
+func TestExtraRejectsNonFinite(t *testing.T) {
+	for name, v := range map[string]float64{"nan": math.NaN(), "inf": math.Inf(1)} {
+		if _, err := (Extra{"m": v}).MarshalJSON(); err == nil {
+			t.Errorf("%s: MarshalJSON accepted %g", name, v)
+		}
+	}
+}

@@ -56,14 +56,20 @@ func (ix *Index) Candidates(q float64) Result {
 	if ix.tree.Len() == 0 {
 		return Result{}
 	}
-	qp := geom.Point{X: q, Y: 0}
-	fMin := ix.tree.MinMaxDist(qp)
-	window := geom.Rect{MinX: q - fMin, MinY: 0, MaxX: q + fMin, MaxY: 0}
+	fMin := ix.tree.MinMaxDist(geom.Point{X: q, Y: 0})
+	return Result{IDs: ix.Within(q, fMin), FMin: fMin}
+}
+
+// Within returns the IDs of every indexed region whose near point lies
+// within bound of q, ascending. With bound = f_min this is the candidate
+// set; a shard's gather step runs it against the router's global bound.
+func (ix *Index) Within(q, bound float64) []int {
+	window := geom.Rect{MinX: q - bound, MinY: 0, MaxX: q + bound, MaxY: 0}
 	var ids []int
 	ix.tree.Search(window, func(r geom.Rect, id int) bool {
-		// The window search is the MINDIST <= f_min test in one dimension,
+		// The window search is the MINDIST <= bound test in one dimension,
 		// but guard explicitly to keep the invariant obvious.
-		if r.Interval().MinDist(q) <= fMin {
+		if r.Interval().MinDist(q) <= bound {
 			ids = append(ids, id)
 		}
 		return true
@@ -72,7 +78,7 @@ func (ix *Index) Candidates(q float64) Result {
 	// history, and downstream consumers (answer assembly, incremental replay)
 	// require the candidate order to be a function of the set alone.
 	sort.Ints(ids)
-	return Result{IDs: ids, FMin: fMin}
+	return ids
 }
 
 // Insert adds an object to an existing index. The object must already carry
@@ -91,6 +97,11 @@ func (ix *Index) Delete(o uncertain.Object) bool {
 
 // Len returns the number of indexed objects.
 func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Bounds returns the bounding rectangle of every indexed region and whether
+// the index is non-empty. A shard's router prunes the scatter phase with it:
+// a shard whose extent misses the candidate ball cannot hold a candidate.
+func (ix *Index) Bounds() (geom.Rect, bool) { return ix.tree.Bounds() }
 
 // Edit is one incremental index mutation in terms of dense dataset IDs:
 // the (rect, id) entry to insert or delete. The store emits edit streams as

@@ -1,0 +1,129 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func partitionRects(rng *rand.Rand, n int, spread float64) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		lo := (rng.Float64() - 0.5) * spread
+		rects[i] = geom.Rect{MinX: lo, MaxX: lo + rng.Float64()*spread/100}
+	}
+	return rects
+}
+
+// checkPartition asserts the PartitionSTR contract: the groups are a
+// disjoint cover of the input, the cuts are finite and ascending, and
+// cut-based routing (SearchFloat64s over center X — shard.ShardFor's exact
+// rule) agrees with the group assignment for every rectangle.
+func checkPartition(t *testing.T, rects []geom.Rect, k int) [][]int {
+	t.Helper()
+	groups, cuts := PartitionSTR(rects, k)
+	if len(groups) != k {
+		t.Fatalf("got %d groups, want %d", len(groups), k)
+	}
+	if len(cuts) != k-1 {
+		t.Fatalf("got %d cuts, want %d", len(cuts), k-1)
+	}
+	for i, c := range cuts {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("cut[%d] = %g not finite", i, c)
+		}
+		if i > 0 && c < cuts[i-1] {
+			t.Fatalf("cuts out of order: cut[%d]=%g < cut[%d]=%g", i, c, i-1, cuts[i-1])
+		}
+	}
+	seen := make([]int, len(rects))
+	for g, grp := range groups {
+		for _, i := range grp {
+			if i < 0 || i >= len(rects) {
+				t.Fatalf("group %d holds out-of-range index %d", g, i)
+			}
+			seen[i]++
+			cx := rects[i].Center().X
+			routed := sort.SearchFloat64s(cuts, cx)
+			if routed != g {
+				t.Fatalf("rect %d (center %g) in group %d but routes to %d (cuts %v)",
+					i, cx, g, routed, cuts)
+			}
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("rect %d appears in %d groups", i, n)
+		}
+	}
+	return groups
+}
+
+func TestPartitionSTR(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 500} {
+			rects := partitionRects(rng, n, 1000)
+			groups := checkPartition(t, rects, k)
+			// STR balance: group sizes within one of each other (modulo
+			// center-tie coalescing, absent in this float-random input).
+			if n >= k {
+				for g, grp := range groups {
+					lo, hi := n/k, (n+k-1)/k
+					if len(grp) < lo-1 || len(grp) > hi+1 {
+						t.Fatalf("n=%d k=%d: group %d holds %d rects, want ~%d", n, k, g, len(grp), n/k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionSTRTies(t *testing.T) {
+	// All centers equal: every rect must land in one group (a tie split
+	// across a cut would break cut-based routing).
+	rects := make([]geom.Rect, 10)
+	for i := range rects {
+		rects[i] = geom.Rect{MinX: 5, MaxX: 5}
+	}
+	groups := checkPartition(t, rects, 4)
+	nonEmpty := 0
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("equal centers split across %d groups", nonEmpty)
+	}
+}
+
+// FuzzSplitSTR fuzzes the partition contract over arbitrary sizes, shard
+// counts and coordinate magnitudes: disjoint cover, sorted finite cuts, and
+// routing/group agreement (the invariant shard cluster creation rests on).
+func FuzzSplitSTR(f *testing.F) {
+	f.Add(int64(1), uint16(40), uint8(4), 1000.0)
+	f.Add(int64(2), uint16(0), uint8(1), 10.0)
+	f.Add(int64(3), uint16(3), uint8(8), 1e300)
+	f.Add(int64(4), uint16(100), uint8(16), 1e-300)
+
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16, kRaw uint8, spread float64) {
+		if math.IsNaN(spread) || math.IsInf(spread, 0) {
+			t.Skip()
+		}
+		n := int(nRaw) % 513
+		k := int(kRaw)%16 + 1
+		rng := rand.New(rand.NewSource(seed))
+		rects := partitionRects(rng, n, math.Abs(spread))
+		// Ties are the delicate path: duplicate a random prefix's centers.
+		for i := 1; i < n; i += 3 {
+			if rng.Intn(2) == 0 {
+				rects[i] = rects[i-1]
+			}
+		}
+		checkPartition(t, rects, k)
+	})
+}

@@ -596,6 +596,85 @@ func (q *nnQueue[T]) pop() nnEntry[T] {
 	return top
 }
 
+// Bounds returns the minimum bounding rectangle of every stored item and
+// whether the tree holds any. The rectangle is maintained exactly through
+// inserts and deletes, so a shard can report its live extent without a scan.
+func (t *Tree[T]) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return mbr(t.root), true
+}
+
+// PartitionSTR splits rects into k spatially contiguous groups along the X
+// axis using the same sort-by-center pass as STR bulk loading, and returns
+// the k-1 routing cuts that reproduce the split: group i holds exactly the
+// indices whose center X coordinate c satisfies cuts[i-1] < c <= cuts[i]
+// (with the missing outer cuts read as ±Inf). Rectangles with equal centers
+// are never separated, so routing by cut is always consistent with the
+// returned groups. Group sizes are near-equal up to tie-keeping.
+func PartitionSTR(rects []geom.Rect, k int) ([][]int, []float64) {
+	if k < 1 {
+		k = 1
+	}
+	n := len(rects)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	cx := func(i int) float64 { return rects[idx[i]].Center().X }
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := rects[idx[a]].Center().X, rects[idx[b]].Center().X
+		if ca != cb {
+			return ca < cb
+		}
+		return idx[a] < idx[b]
+	})
+	groups := make([][]int, k)
+	cuts := make([]float64, 0, k-1)
+	start := 0
+	for g := 0; g < k; g++ {
+		end := ((g + 1) * n) / k
+		if end < start {
+			end = start
+		}
+		if g == k-1 {
+			end = n
+		}
+		// Keep equal centers together: a tie split across a cut would make
+		// the cut-based routing disagree with the group assignment.
+		for end > start && end < n && cx(end-1) == cx(end) {
+			end++
+		}
+		groups[g] = append([]int(nil), idx[start:end]...)
+		if g < k-1 {
+			var cut float64
+			switch {
+			case n == 0:
+				cut = 0
+			case end == 0:
+				// Everything routes right of this cut; the next float below
+				// the smallest center keeps the cut list sorted (plain -1
+				// would be absorbed at large magnitudes).
+				cut = math.Nextafter(cx(0), math.Inf(-1))
+			case end == n:
+				cut = cx(n - 1)
+			default:
+				// Overflow-safe midpoint; rounding collisions with either
+				// neighbor fall back to the left edge, which is always a
+				// valid cut (>= every center left of it, < cx(end)).
+				cut = cx(end-1) + (cx(end)-cx(end-1))/2
+				if !(cut >= cx(end-1) && cut < cx(end)) {
+					cut = cx(end - 1)
+				}
+			}
+			cuts = append(cuts, cut)
+		}
+		start = end
+	}
+	return groups, cuts
+}
+
 // Input is a (rectangle, item) pair for bulk loading.
 type Input[T any] struct {
 	Rect geom.Rect

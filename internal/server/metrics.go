@@ -23,6 +23,7 @@ const (
 	epSubscribe
 	epHealthz
 	epMetrics
+	epShard // member wire protocol (/internal/shard/*)
 	numEndpoints
 )
 
@@ -48,6 +49,8 @@ func (e endpoint) String() string {
 		return "healthz"
 	case epMetrics:
 		return "metrics"
+	case epShard:
+		return "shard"
 	default:
 		return fmt.Sprintf("endpoint(%d)", int(e))
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/shard"
 	"repro/internal/verify"
 )
 
@@ -105,14 +106,17 @@ func monitorInfo(st *monitor.State) monitorJSON {
 }
 
 func (s *Server) requireMonitor(w http.ResponseWriter) bool {
-	if s.monitor == nil {
-		s.writeError(w, &httpError{
-			status: http.StatusNotImplemented,
-			msg:    "continuous queries require a store (run cpnn-serve with -data-dir)",
-		})
-		return false
+	if s.monitor != nil || s.shardMon != nil {
+		return true
 	}
-	return true
+	msg := "continuous queries require a store (run cpnn-serve with -data-dir)"
+	if s.cfg.ShardRouter != nil {
+		// Multi-process routing: the member change feeds live in the member
+		// processes, so this router cannot host standing queries.
+		msg = "continuous queries require in-process member stores (run cpnn-serve with -shards)"
+	}
+	s.writeError(w, &httpError{status: http.StatusNotImplemented, msg: msg})
+	return false
 }
 
 func (s *Server) handleMonitors(w http.ResponseWriter, r *http.Request) {
@@ -139,9 +143,9 @@ func (s *Server) handleMonitors(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, err)
 			return
 		}
-		st, err := s.monitor.Register(spec)
+		st, err := s.monitorRegister(spec)
 		if err != nil {
-			if errors.Is(err, monitor.ErrClosed) {
+			if errors.Is(err, monitor.ErrClosed) || errors.Is(err, shard.ErrUnavailable) {
 				err = &httpError{status: http.StatusServiceUnavailable, msg: err.Error()}
 			} else {
 				err = badRequest("%v", err)
@@ -151,7 +155,7 @@ func (s *Server) handleMonitors(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, monitorInfo(st))
 	case http.MethodGet:
-		states := s.monitor.List()
+		states := s.monitorStates()
 		out := make([]monitorJSON, len(states))
 		for i, st := range states {
 			out[i] = monitorInfo(st)
@@ -166,7 +170,7 @@ func (s *Server) handleMonitors(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, badRequest("parameter %q: %q is not a monitor id", "id", raw))
 			return
 		}
-		if !s.monitor.Unregister(id) {
+		if !s.monitorRemove(id) {
 			s.writeError(w, &httpError{status: http.StatusNotFound,
 				msg: fmt.Sprintf("%v %d", monitor.ErrUnknownMonitor, id)})
 			return
@@ -239,7 +243,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("response writer does not support streaming"))
 		return
 	}
-	sub, err := s.monitor.Subscribe(ids, 0)
+	sub, err := s.monitorSubscribe(ids, 0)
 	if err != nil {
 		s.writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: err.Error()})
 		return
@@ -257,7 +261,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	for _, id := range ids {
 		want[id] = true
 	}
-	for _, st := range s.monitor.List() {
+	for _, st := range s.monitorStates() {
 		if len(want) > 0 && !want[st.ID] {
 			continue
 		}

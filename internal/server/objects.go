@@ -158,6 +158,10 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 	if s.redirectToPrimary(w, r) {
 		return
 	}
+	if err := s.memberWriteGate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	switch r.Method {
 	case http.MethodPost:
 		s.handleObjectsPost(w, r)

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/replica"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
@@ -83,6 +84,24 @@ type Config struct {
 	// Replication, when set, is the primary-side replication listener whose
 	// counters surface in /metrics and /healthz. The caller owns it.
 	Replication *replica.Server
+
+	// ShardRouter, when set, runs the server in scatter-gather mode: queries
+	// fan out over the router's shard cluster and writes route to the owning
+	// member, replacing the local snapshot entirely. Dataset, Store and
+	// Replica must be nil. The caller owns the router (and the cluster
+	// behind it) and closes them after the server.
+	ShardRouter *shard.Router
+	// ShardCluster, set alongside ShardRouter when the member stores live in
+	// this process (cpnn-serve -shards K), enables continuous queries over
+	// the cluster: the shard monitor joins every member's change feed.
+	// Without it (multi-process routing) /v1/monitors answers 501.
+	ShardCluster *shard.Cluster
+	// ShardMember exposes the member wire protocol under /internal/shard/*
+	// so a shard router in another process can scatter to this server.
+	// Requires Store. Client-facing writes (/v1/objects, POST /v1/dataset)
+	// are refused in member mode — the router owns ID assignment and
+	// placement, so writes must flow through it.
+	ShardMember bool
 
 	// CacheEntries is the result-cache capacity; 0 means DefaultCacheEntries
 	// and a negative value disables result storage (singleflight collapsing
@@ -132,6 +151,20 @@ func storeHasData(st *store.Store) bool {
 }
 
 func (cfg Config) withDefaults() (Config, error) {
+	if cfg.ShardRouter != nil {
+		if cfg.Dataset != nil || cfg.Store != nil || cfg.Replica != nil || cfg.Replication != nil {
+			return cfg, errors.New("server: ShardRouter cannot be combined with Dataset, Store or replication (the data lives in the shard cluster)")
+		}
+		if cfg.ShardMember {
+			return cfg, errors.New("server: a server is a shard router or a shard member, not both")
+		}
+	}
+	if cfg.ShardCluster != nil && cfg.ShardRouter == nil {
+		return cfg, errors.New("server: ShardCluster requires ShardRouter")
+	}
+	if cfg.ShardMember && cfg.Store == nil {
+		return cfg, errors.New("server: shard member mode requires a store")
+	}
 	if cfg.Replica != nil {
 		if cfg.Dataset != nil {
 			return cfg, errors.New("server: Config.Dataset cannot be combined with Replica (the dataset comes from the primary)")
@@ -142,7 +175,8 @@ func (cfg Config) withDefaults() (Config, error) {
 			return cfg, errors.New("server: Config.Store must be the Replica's own store")
 		}
 	}
-	if cfg.Replica == nil && !storeHasData(cfg.Store) {
+	// A shard member may boot over a still-empty store: the router fills it.
+	if cfg.Replica == nil && cfg.ShardRouter == nil && !cfg.ShardMember && !storeHasData(cfg.Store) {
 		if cfg.Dataset == nil {
 			return cfg, errors.New("server: Config.Dataset is required")
 		}
@@ -225,6 +259,11 @@ type Server struct {
 	drainOnce sync.Once
 	feedDone  chan struct{} // snapshot-follower goroutine exit (store mode)
 
+	// shardMon serves continuous queries in single-process sharded mode;
+	// member is the local wire endpoint implementation in member mode.
+	shardMon *shard.Monitor
+	member   *shard.Local
+
 	reloadMu sync.Mutex // serializes snapshot swaps, not reads
 }
 
@@ -242,7 +281,24 @@ func New(cfg Config) (*Server, error) {
 		drainCh: make(chan struct{}),
 	}
 	switch {
-	case cfg.Replica != nil || storeHasData(cfg.Store):
+	case cfg.ShardRouter != nil:
+		// No local snapshot: every query resolves against a fresh
+		// scatter-gather cut. Continuous queries need the member change
+		// feeds, which exist in-process only with a ShardCluster.
+		if cfg.ShardCluster != nil {
+			sm, err := shard.NewMonitor(shard.MonitorConfig{
+				Router:  cfg.ShardRouter,
+				Stores:  cfg.ShardCluster.Stores,
+				Workers: cfg.MonitorWorkers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.shardMon = sm
+		}
+		s.buildMux()
+		return s, nil
+	case cfg.Replica != nil || cfg.ShardMember || storeHasData(cfg.Store):
 		// Serve the store's durable contents; a configured Dataset loses to
 		// them (it was only the seed). A replica serves its follower store
 		// even when still empty — the replica gate keeps requests away until
@@ -317,6 +373,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // empty WAL for a fast next boot) and closes, flushing everything to disk.
 // Safe without a store.
 func (s *Server) Close() error {
+	if s.shardMon != nil {
+		s.shardMon.Close()
+	}
 	if s.cfg.Store == nil {
 		return nil
 	}
@@ -414,16 +473,37 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() {
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/monitors", s.handleMonitors)
+	s.mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
+	if s.cfg.ShardRouter != nil {
+		// Router mode swaps the snapshot-backed handlers for scatter-gather
+		// ones; the monitor endpoints above dispatch through the shared
+		// backend helpers.
+		s.mux.HandleFunc("/v1/cpnn", s.handleShardCPNN)
+		s.mux.HandleFunc("/v1/batch", s.handleShardBatch)
+		s.mux.HandleFunc("/v1/pnn", s.handleShardPNN)
+		s.mux.HandleFunc("/v1/knn", s.handleShardKNN)
+		s.mux.HandleFunc("/v1/dataset", s.handleShardDataset)
+		s.mux.HandleFunc("/v1/objects", s.handleShardObjects)
+		s.mux.HandleFunc("/healthz", s.handleShardHealthz)
+		s.mux.HandleFunc("/metrics", s.handleShardMetrics)
+		return
+	}
 	s.mux.HandleFunc("/v1/cpnn", s.handleCPNN)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/pnn", s.handlePNN)
 	s.mux.HandleFunc("/v1/knn", s.handleKNN)
 	s.mux.HandleFunc("/v1/dataset", s.handleDataset)
 	s.mux.HandleFunc("/v1/objects", s.handleObjects)
-	s.mux.HandleFunc("/v1/monitors", s.handleMonitors)
-	s.mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.ShardMember {
+		s.member = shard.NewLocal(s.cfg.Store)
+		s.mux.HandleFunc("/internal/shard/info", s.handleShardInfo)
+		s.mux.HandleFunc("/internal/shard/bound", s.handleShardBound)
+		s.mux.HandleFunc("/internal/shard/gather", s.handleShardGather)
+		s.mux.HandleFunc("/internal/shard/apply", s.handleShardApply)
+	}
 }
 
 // snapPoint quantizes a query point to the configured granularity. The
@@ -724,33 +804,41 @@ func (s *Server) cpnnBody(ctx context.Context, snap *Snapshot, qq float64, c ver
 		snap.Version, math.Float64bits(qq), math.Float64bits(c.P), math.Float64bits(c.Delta), strat, all)
 	return s.cc.Do(ctx, key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			res, err := snap.Engine.CPNN(qq, c, core.Options{Strategy: strat})
-			if err != nil {
-				return nil, err
-			}
-			resp := cpnnResponse{
-				Query:    qq,
-				P:        c.P,
-				Delta:    c.Delta,
-				Strategy: strat.String(),
-				Version:  snap.Version,
-				Answers:  toAnswers(res.Answers, snap),
-				Stats: statsJSON{
-					Candidates:   res.Stats.Candidates,
-					Subregions:   res.Stats.Subregions,
-					FMin:         res.Stats.FMin,
-					Verifiers:    res.Stats.VerifiersApplied,
-					UnknownAfter: res.Stats.UnknownAfter,
-					Refined:      res.Stats.RefinedObjects,
-					Integrations: res.Stats.Integrations,
-				},
-			}
-			if all {
-				resp.Candidates = toAnswers(res.Candidates, snap)
-			}
-			return json.Marshal(resp)
+			return cpnnPayload(snap, qq, c, strat, all)
 		})
 	})
+}
+
+// cpnnPayload evaluates one C-PNN query against a snapshot and renders the
+// response body. Both the snapshot-backed and the scatter-gather serving
+// paths route through here, so a sharded server's body differs from a
+// single server's only in the version field.
+func cpnnPayload(snap *Snapshot, qq float64, c verify.Constraint, strat core.Strategy, all bool) ([]byte, error) {
+	res, err := snap.Engine.CPNN(qq, c, core.Options{Strategy: strat})
+	if err != nil {
+		return nil, err
+	}
+	resp := cpnnResponse{
+		Query:    qq,
+		P:        c.P,
+		Delta:    c.Delta,
+		Strategy: strat.String(),
+		Version:  snap.Version,
+		Answers:  toAnswers(res.Answers, snap),
+		Stats: statsJSON{
+			Candidates:   res.Stats.Candidates,
+			Subregions:   res.Stats.Subregions,
+			FMin:         res.Stats.FMin,
+			Verifiers:    res.Stats.VerifiersApplied,
+			UnknownAfter: res.Stats.UnknownAfter,
+			Refined:      res.Stats.RefinedObjects,
+			Integrations: res.Stats.Integrations,
+		},
+	}
+	if all {
+		resp.Candidates = toAnswers(res.Candidates, snap)
+	}
+	return json.Marshal(resp)
 }
 
 func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
@@ -769,25 +857,7 @@ func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("pnn|%d|%x", snap.Version, math.Float64bits(qq))
 	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			probs, st, err := snap.Engine.PNN(qq, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			out := make([]probabilityJSON, len(probs))
-			for i, pr := range probs {
-				out[i] = probabilityJSON{ID: snap.oid(pr.ID), P: pr.P}
-			}
-			return json.Marshal(pnnResponse{
-				Query:         qq,
-				Version:       snap.Version,
-				Probabilities: out,
-				Stats: statsJSON{
-					Candidates: st.Candidates,
-					Subregions: st.Subregions,
-					FMin:       st.FMin,
-					Refined:    st.RefinedObjects,
-				},
-			})
+			return pnnPayload(snap, qq)
 		})
 	})
 	if err != nil {
@@ -795,6 +865,30 @@ func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeCached(w, body, src)
+}
+
+// pnnPayload evaluates one PNN query against a snapshot and renders the
+// response body (shared by the snapshot and scatter-gather paths).
+func pnnPayload(snap *Snapshot, qq float64) ([]byte, error) {
+	probs, st, err := snap.Engine.PNN(qq, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]probabilityJSON, len(probs))
+	for i, pr := range probs {
+		out[i] = probabilityJSON{ID: snap.oid(pr.ID), P: pr.P}
+	}
+	return json.Marshal(pnnResponse{
+		Query:         qq,
+		Version:       snap.Version,
+		Probabilities: out,
+		Stats: statsJSON{
+			Candidates: st.Candidates,
+			Subregions: st.Subregions,
+			FMin:       st.FMin,
+			Refined:    st.RefinedObjects,
+		},
+	})
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -845,32 +939,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		k, samples, seed, all)
 	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			answers, _, err := snap.Engine.CKNN(qq, c, core.KNNOptions{
-				K:       k,
-				Samples: samples,
-				Seed:    int64(seed),
-			})
-			if err != nil {
-				return nil, err
-			}
-			resp := knnResponse{
-				Query:   qq,
-				K:       k,
-				P:       c.P,
-				Delta:   c.Delta,
-				Samples: samples,
-				Seed:    int64(seed),
-				Version: snap.Version,
-				Answers: []answerJSON{}, // marshal as [], not null, like the other endpoints
-			}
-			for _, a := range answers {
-				if !all && a.Status != verify.Satisfy {
-					continue
-				}
-				resp.Answers = append(resp.Answers,
-					answerJSON{ID: snap.oid(a.ID), L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()})
-			}
-			return json.Marshal(resp)
+			return knnPayload(snap, qq, c, k, samples, int64(seed), all, nil)
 		})
 	})
 	if err != nil {
@@ -880,6 +949,42 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	s.writeCached(w, body, src)
 }
 
+// knnPayload evaluates one C-kNN query against a snapshot and renders the
+// response body. ids, when non-nil, keys each object's sampling RNG stream
+// by its stable ID instead of its dense index: the scatter-gather path uses
+// it so answers are invariant to how the data is sharded (at the price of
+// diverging from a single snapshot server's dense streams for the same
+// seed).
+func knnPayload(snap *Snapshot, qq float64, c verify.Constraint, k, samples int, seed int64, all bool, ids []uint64) ([]byte, error) {
+	answers, _, err := snap.Engine.CKNN(qq, c, core.KNNOptions{
+		K:       k,
+		Samples: samples,
+		Seed:    seed,
+		IDs:     ids,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := knnResponse{
+		Query:   qq,
+		K:       k,
+		P:       c.P,
+		Delta:   c.Delta,
+		Samples: samples,
+		Seed:    seed,
+		Version: snap.Version,
+		Answers: []answerJSON{}, // marshal as [], not null, like the other endpoints
+	}
+	for _, a := range answers {
+		if !all && a.Status != verify.Satisfy {
+			continue
+		}
+		resp.Answers = append(resp.Answers,
+			answerJSON{ID: snap.oid(a.ID), L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()})
+	}
+	return json.Marshal(resp)
+}
+
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epDataset].Add(1)
 	switch r.Method {
@@ -887,6 +992,10 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, snapshotInfo(s.snap.Load()))
 	case http.MethodPost:
 		if s.redirectToPrimary(w, r) {
+			return
+		}
+		if err := s.memberWriteGate(); err != nil {
+			s.writeError(w, err)
 			return
 		}
 		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxDatasetBytes)

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/pdf"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/verify"
+)
+
+// stripVersion removes the version field from a response body so sharded
+// and single-server answers (which agree on everything else) compare equal.
+func stripVersion(t *testing.T, body []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	delete(m, "version")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestShardServerParity locks the serving layer to the shard oracle: a
+// store-backed single server and a 4-shard scatter-gather server over a
+// split of the same store answer /v1/cpnn and /v1/pnn identically except
+// for the version field, writes through the router continue the single
+// store's ID sequence, and the shard metric families are exposed.
+func TestShardServerParity(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	st, err := store.Open(srcDir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []store.Op
+	for i := 0; i < 40; i++ {
+		lo := float64(i * 25)
+		ops = append(ops, store.InsertObject(pdf.MustUniform(lo, lo+10)))
+	}
+	if _, err := st.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	nextID := st.View().NextID
+
+	single := testServer(t, Config{Store: st, Dataset: testDataset(t, 7)})
+	queries := []string{
+		"/v1/cpnn?q=137.5&p=0.3&delta=0.01",
+		"/v1/cpnn?q=512&p=0.5&delta=0.05&all=1",
+		"/v1/pnn?q=137.5",
+		"/v1/pnn?q=990",
+	}
+	want := make([]string, len(queries))
+	for i, u := range queries {
+		rec := get(t, single, u)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("single %s: status %d: %s", u, rec.Code, rec.Body.Bytes())
+		}
+		want[i] = stripVersion(t, rec.Body.Bytes())
+	}
+	if err := single.Close(); err != nil { // closes the store
+		t.Fatal(err)
+	}
+
+	if _, err := shard.SplitStore(srcDir, dstDir, 4, store.Options{NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := shard.OpenCluster(dstDir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	rt, err := cluster.Router()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{ShardRouter: rt, ShardCluster: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i, u := range queries {
+		rec := get(t, s, u)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("sharded %s: status %d: %s", u, rec.Code, rec.Body.Bytes())
+		}
+		if got := stripVersion(t, rec.Body.Bytes()); got != want[i] {
+			t.Fatalf("%s diverged under sharding:\n got %s\nwant %s", u, got, want[i])
+		}
+		// The second read must be a byte-identical cache hit.
+		rec2 := get(t, s, u)
+		if rec2.Header().Get("X-Cache") != "hit" {
+			t.Fatalf("%s: second read was %q, want hit", u, rec2.Header().Get("X-Cache"))
+		}
+		if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+			t.Fatalf("%s: cached body differs from fresh body", u)
+		}
+	}
+
+	// k-NN serves deterministically (stable-ID RNG streams) through the cache.
+	knn := "/v1/knn?q=300&k=2&p=0.3&delta=0.05&samples=500&seed=9"
+	r1 := get(t, s, knn)
+	if r1.Code != http.StatusOK {
+		t.Fatalf("knn: status %d: %s", r1.Code, r1.Body.Bytes())
+	}
+	if r2 := get(t, s, knn); !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+		t.Fatal("knn response not deterministic across reads")
+	}
+
+	// Writes route through the router and continue the stable ID sequence.
+	rec := doJSON(t, s, http.MethodPost, "/v1/objects",
+		`{"objects":[{"uniform":{"lo":5,"hi":6}}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("objects POST: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var or objectsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &or); err != nil {
+		t.Fatal(err)
+	}
+	if len(or.IDs) != 1 || or.IDs[0] != nextID {
+		t.Fatalf("post-split insert got IDs %v, want [%d]", or.IDs, nextID)
+	}
+	if or.Objects != 41 {
+		t.Fatalf("objects after insert = %d, want 41", or.Objects)
+	}
+	rec = doJSON(t, s, http.MethodDelete, fmt.Sprintf("/v1/objects?id=%d", or.IDs[0]), "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("objects DELETE: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+
+	// A deleted ID is a 404, same as the single server.
+	rec = doJSON(t, s, http.MethodDelete, fmt.Sprintf("/v1/objects?id=%d", or.IDs[0]), "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete: status %d, want 404", rec.Code)
+	}
+
+	// Health and metrics surface the cluster shape.
+	rec = get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"shards":4`) {
+		t.Fatalf("healthz: status %d body %s", rec.Code, rec.Body.Bytes())
+	}
+	rec = get(t, s, "/metrics")
+	for _, want := range []string{
+		"cpnn_server_shard_count 4",
+		"cpnn_server_shard_fanout_fraction",
+		"cpnn_server_shard_queries_total",
+		"cpnn_server_shard_monitor_active 0",
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("metrics output lacks %q", want)
+		}
+	}
+}
+
+// TestShardServerMonitors runs a standing query over the sharded server:
+// registration answers immediately, a write through the router re-evaluates
+// it, and the pushed answer matches a fresh scatter-gather evaluation.
+func TestShardServerMonitors(t *testing.T) {
+	dir := t.TempDir()
+	cluster, err := shard.CreateClusterCuts(dir, []float64{100, 200, 300}, nil, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	rt, err := cluster.Router()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{ShardRouter: rt, ShardCluster: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 12; i++ {
+		lo := float64(i * 30)
+		rec := doJSON(t, s, http.MethodPost, "/v1/objects",
+			fmt.Sprintf(`{"objects":[{"uniform":{"lo":%g,"hi":%g}}]}`, lo, lo+8))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seed insert: status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+
+	rec := doJSON(t, s, http.MethodPost, "/v1/monitors",
+		`{"kind":"cpnn","q":150,"p":0.3,"delta":0.01}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var mj monitorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &mj); err != nil {
+		t.Fatal(err)
+	}
+
+	// A write near the standing query moves its answer.
+	rec = doJSON(t, s, http.MethodPost, "/v1/objects",
+		`{"objects":[{"uniform":{"lo":149,"hi":151}}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trigger insert: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if err := s.shardMon.Sync(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := monitor.Spec{Kind: monitor.KindCPNN, Q: 150,
+		Constraint: verify.Constraint{P: 0.3, Delta: 0.01}}
+	wantBody, _, _, err := rt.Evaluate(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, s, "/v1/monitors")
+	var list struct {
+		Monitors []monitorJSON `json:"monitors"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Monitors) != 1 || list.Monitors[0].ID != mj.ID {
+		t.Fatalf("monitor list: %s", rec.Body.Bytes())
+	}
+	if !bytes.Equal(list.Monitors[0].Answer, wantBody) {
+		t.Fatalf("standing answer stale:\n got %s\nwant %s", list.Monitors[0].Answer, wantBody)
+	}
+}
+
+// TestShardServerMemberWire drives the multi-process topology end to end
+// over real HTTP: member servers expose /internal/shard/*, a router server
+// scatters to them, a dead member degrades exactly (provably-unaffected
+// queries keep serving, affected ones answer 503 + Retry-After), and member
+// servers refuse direct writes.
+func TestShardServerMemberWire(t *testing.T) {
+	cuts := []float64{500}
+	var members []shard.Member
+	var stores []*store.Store
+	var srvs []*Server
+	var ts []*httptest.Server
+	for i := 0; i < 2; i++ {
+		st, err := store.Open(t.TempDir(), store.Options{NoSync: true, ExplicitIDs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, st)
+		srv, err := New(Config{Store: st, ShardMember: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs = append(srvs, srv)
+		h := httptest.NewServer(srv.Handler())
+		ts = append(ts, h)
+		members = append(members, shard.NewHTTPMember(h.URL, nil))
+	}
+	defer func() {
+		for i, srv := range srvs {
+			ts[i].Close()
+			srv.Close()
+		}
+	}()
+
+	rt, err := shard.NewRouter(shard.RouterConfig{Members: members, Cuts: cuts, NextID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := New(Config{ShardRouter: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	// Two well-separated clumps, one per shard.
+	var specs []string
+	for i := 0; i < 6; i++ {
+		specs = append(specs,
+			fmt.Sprintf(`{"uniform":{"lo":%d,"hi":%d}}`, i*3, i*3+2),
+			fmt.Sprintf(`{"uniform":{"lo":%d,"hi":%d}}`, 1000+i*3, 1000+i*3+2))
+	}
+	rec := doJSON(t, router, http.MethodPost, "/v1/objects",
+		`{"objects":[`+strings.Join(specs, ",")+`]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("router write: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if n0, n1 := stores[0].View().Dataset.Len(), stores[1].View().Dataset.Len(); n0 != 6 || n1 != 6 {
+		t.Fatalf("placement: shard populations %d/%d, want 6/6", n0, n1)
+	}
+
+	nearURL, farURL := "/v1/pnn?q=7", "/v1/pnn?q=1007"
+	near := get(t, router, nearURL)
+	if near.Code != http.StatusOK {
+		t.Fatalf("near query: status %d: %s", near.Code, near.Body.Bytes())
+	}
+
+	// Direct member writes are refused: placement belongs to the router.
+	memberRec := doJSON(t, srvs[0], http.MethodPost, "/v1/objects",
+		`{"objects":[{"uniform":{"lo":1,"hi":2}}]}`)
+	if memberRec.Code != http.StatusForbidden {
+		t.Fatalf("member direct write: status %d, want 403", memberRec.Code)
+	}
+	memberRec = doJSON(t, srvs[0], http.MethodPost, "/v1/dataset", "u 1 0 1\n")
+	if memberRec.Code != http.StatusForbidden {
+		t.Fatalf("member dataset reload: status %d, want 403", memberRec.Code)
+	}
+	// The wire endpoints are live and versioned.
+	memberRec = get(t, srvs[0], "/internal/shard/info")
+	if memberRec.Code != http.StatusOK || memberRec.Header().Get(shard.VersionHeader) == "" {
+		t.Fatalf("member info: status %d header %q", memberRec.Code, memberRec.Header().Get(shard.VersionHeader))
+	}
+
+	// Kill the far member.
+	ts[1].Close()
+
+	rec = get(t, router, nearURL)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("near query with dead far shard: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got, want := stripVersion(t, rec.Body.Bytes()), stripVersion(t, near.Body.Bytes()); got != want {
+		t.Fatalf("near answer changed under partial availability:\n got %s\nwant %s", got, want)
+	}
+	rec = get(t, router, farURL)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("far query with dead shard: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 for a dead shard lacks Retry-After")
+	}
+	rec = doJSON(t, router, http.MethodPost, "/v1/objects",
+		`{"objects":[{"uniform":{"lo":1000,"hi":1001}}]}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("write to dead shard: status %d, want 503", rec.Code)
+	}
+	// Unavailability is visible in the router's health output.
+	rec = get(t, router, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"unavailable_total"`) {
+		t.Fatalf("router healthz: status %d body %s", rec.Code, rec.Body.Bytes())
+	}
+	// (Full kill -9 / restart / reconvergence runs in the CI shard smoke,
+	// where the member really does come back on the same address.)
+}

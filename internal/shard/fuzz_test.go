@@ -1,0 +1,149 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzShardRoute fuzzes the scatter-phase pruning invariant the router's
+// exactness rests on: for an arbitrary placement of objects onto shards —
+// including placements that do NOT respect the routing cuts, modeling
+// regions that drifted across cuts under sticky updates — pruning a shard
+// because its extent misses the candidate ball must never lose a true
+// candidate. The model mirrors the router: per-shard extent = union of
+// region rects, per-shard contribution = min(k, n_i) smallest far-point
+// distances, global bound = k-th smallest of the merged contributions.
+func FuzzShardRoute(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint16(40), 500.0, uint8(1))
+	f.Add(int64(2), uint8(8), uint16(100), 10.0, uint8(3))
+	f.Add(int64(3), uint8(2), uint16(3), -50.0, uint8(5))
+	f.Add(int64(4), uint8(16), uint16(0), 0.0, uint8(1))
+	f.Add(int64(5), uint8(1), uint16(7), 1e9, uint8(2))
+
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint8, nRaw uint16, q float64, depthRaw uint8) {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Skip()
+		}
+		k := int(kRaw)%16 + 1
+		n := int(nRaw) % 257
+		depth := int(depthRaw)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		type obj struct {
+			iv    geom.Interval
+			shard int
+		}
+		objs := make([]obj, n)
+		for i := range objs {
+			lo := (rng.Float64() - 0.5) * 2000
+			objs[i] = obj{
+				iv:    geom.Interval{Lo: lo, Hi: lo + rng.Float64()*50},
+				shard: rng.Intn(k), // arbitrary placement, cuts not respected
+			}
+		}
+
+		// Per-shard extents and far-distance contributions, as members
+		// report them.
+		extents := make([]geom.Rect, k)
+		hasExtent := make([]bool, k)
+		var merged []float64
+		for s := 0; s < k; s++ {
+			var fars []float64
+			for _, o := range objs {
+				if o.shard != s {
+					continue
+				}
+				r := geom.RectFromInterval(o.iv)
+				if !hasExtent[s] {
+					extents[s], hasExtent[s] = r, true
+				} else {
+					extents[s] = extents[s].Union(r)
+				}
+				fars = append(fars, o.iv.MaxDist(q))
+			}
+			sort.Float64s(fars)
+			if len(fars) > depth {
+				fars = fars[:depth]
+			}
+			merged = append(merged, fars...)
+		}
+		sort.Float64s(merged)
+		bound := math.Inf(1)
+		if len(merged) >= depth {
+			bound = merged[depth-1]
+		}
+
+		// The true global filter bound and candidate set.
+		var allFars []float64
+		for _, o := range objs {
+			allFars = append(allFars, o.iv.MaxDist(q))
+		}
+		sort.Float64s(allFars)
+		trueBound := math.Inf(1)
+		if len(allFars) >= depth {
+			trueBound = allFars[depth-1]
+		}
+
+		// The merged bound must never under-cut the true bound (under-cutting
+		// could prune a shard holding a candidate).
+		if bound < trueBound {
+			t.Fatalf("merged bound %g < true bound %g (n=%d k=%d depth=%d)",
+				bound, trueBound, n, k, depth)
+		}
+		qp := geom.Point{X: q, Y: 0}
+		for i, o := range objs {
+			if o.iv.MinDist(q) > trueBound {
+				continue // not a candidate
+			}
+			// Its shard must survive the extent/ball intersection test...
+			if !hasExtent[o.shard] {
+				t.Fatalf("candidate %d on shard %d with no extent", i, o.shard)
+			}
+			if !math.IsInf(bound, 1) && extents[o.shard].MinDist(qp) > bound {
+				t.Fatalf("candidate %d (iv=%+v) pruned with shard %d: extent %+v, bound %g",
+					i, o.iv, o.shard, extents[o.shard], bound)
+			}
+			// ...and the per-shard gather filter must return the object.
+			if o.iv.MinDist(q) > bound {
+				t.Fatalf("candidate %d (iv=%+v) not gathered: mindist %g > bound %g",
+					i, o.iv, o.iv.MinDist(q), bound)
+			}
+		}
+	})
+}
+
+// FuzzShardFor fuzzes the routing function against its specification: for
+// any sorted cuts, ShardFor(x) is the unique shard whose (cuts[i-1],
+// cuts[i]] interval holds x, and neighbors agree at the boundaries.
+func FuzzShardFor(f *testing.F) {
+	f.Add(int64(1), uint8(4), 0.5)
+	f.Add(int64(2), uint8(1), -3.0)
+	f.Add(int64(9), uint8(16), 1e300)
+
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint8, x float64) {
+		if math.IsNaN(x) {
+			t.Skip()
+		}
+		k := int(kRaw)%16 + 1
+		rng := rand.New(rand.NewSource(seed))
+		cuts := make([]float64, k-1)
+		for i := range cuts {
+			cuts[i] = (rng.Float64() - 0.5) * 100
+		}
+		sort.Float64s(cuts)
+		s := ShardFor(x, cuts)
+		if s < 0 || s >= k {
+			t.Fatalf("ShardFor(%g) = %d out of [0,%d)", x, s, k)
+		}
+		if s > 0 && x <= cuts[s-1] {
+			t.Fatalf("ShardFor(%g) = %d but x <= cuts[%d] = %g", x, s, s-1, cuts[s-1])
+		}
+		if s < k-1 && x > cuts[s] {
+			t.Fatalf("ShardFor(%g) = %d but x > cuts[%d] = %g", x, s, s, cuts[s])
+		}
+	})
+}

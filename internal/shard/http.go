@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/store"
+)
+
+// The member wire protocol. A member server (cpnn-serve -shard-of) exposes
+//
+//	GET  /internal/shard/info              → WireInfo (JSON)
+//	GET  /internal/shard/bound?q=&k=       → WireBound (JSON)
+//	GET  /internal/shard/gather?q=&bound=  → EncodeItems payload (octet-stream)
+//	POST /internal/shard/apply             → body: store.EncodeOps payload;
+//	                                          reply: WireApply (JSON)
+//
+// Every response carries the member's view version in VersionHeader. Bulk
+// payloads (gather replies, apply bodies) use the store's WAL op encoding —
+// IEEE float bit patterns, so a remote gather or apply is bit-identical to a
+// local one; JSON is reserved for the small control structures, whose
+// float64 fields round-trip exactly under Go's shortest-form encoding.
+
+// VersionHeader carries the member's view version on every wire response.
+const VersionHeader = "X-Shard-Version"
+
+// WireRect is a geom.Rect in JSON form.
+type WireRect struct {
+	MinX float64 `json:"minx"`
+	MinY float64 `json:"miny"`
+	MaxX float64 `json:"maxx"`
+	MaxY float64 `json:"maxy"`
+}
+
+// RectToWire converts for transport.
+func RectToWire(r geom.Rect) WireRect {
+	return WireRect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+// Rect converts back.
+func (w WireRect) Rect() geom.Rect {
+	return geom.Rect{MinX: w.MinX, MinY: w.MinY, MaxX: w.MaxX, MaxY: w.MaxY}
+}
+
+// WireInfo is MemberInfo in JSON form.
+type WireInfo struct {
+	IDs1D     []uint64 `json:"ids_1d"`
+	IDs2D     []uint64 `json:"ids_2d"`
+	NextID    uint64   `json:"next_id"`
+	Version   uint64   `json:"version"`
+	Extent    WireRect `json:"extent"`
+	HasExtent bool     `json:"has_extent"`
+}
+
+// InfoToWire converts for transport.
+func InfoToWire(i MemberInfo) WireInfo {
+	return WireInfo{IDs1D: i.IDs1D, IDs2D: i.IDs2D, NextID: i.NextID,
+		Version: i.Version, Extent: RectToWire(i.Extent), HasExtent: i.HasExtent}
+}
+
+// Info converts back.
+func (w WireInfo) Info() MemberInfo {
+	return MemberInfo{IDs1D: w.IDs1D, IDs2D: w.IDs2D, NextID: w.NextID,
+		Version: w.Version, Extent: w.Extent.Rect(), HasExtent: w.HasExtent}
+}
+
+// WireBound is BoundInfo in JSON form.
+type WireBound struct {
+	Extent    WireRect  `json:"extent"`
+	HasExtent bool      `json:"has_extent"`
+	Fars      []float64 `json:"fars"`
+	N         int       `json:"n"`
+	Version   uint64    `json:"version"`
+}
+
+// BoundToWire converts for transport.
+func BoundToWire(b BoundInfo) WireBound {
+	return WireBound{Extent: RectToWire(b.Extent), HasExtent: b.HasExtent,
+		Fars: b.Fars, N: b.N, Version: b.Version}
+}
+
+// Bound converts back.
+func (w WireBound) Bound() BoundInfo {
+	return BoundInfo{Extent: w.Extent.Rect(), HasExtent: w.HasExtent,
+		Fars: w.Fars, N: w.N, Version: w.Version}
+}
+
+// WireApply is a store.ApplyResult in JSON form.
+type WireApply struct {
+	Version uint64   `json:"version"`
+	Seq     uint64   `json:"seq"`
+	IDs     []uint64 `json:"ids,omitempty"`
+}
+
+// EncodeItems serializes gathered candidates as explicit-ID upsert ops in
+// the WAL payload encoding — the pdfs cross the wire bit-exactly.
+func EncodeItems(items []Item) ([]byte, error) {
+	ops := make([]store.Op, len(items))
+	for i, it := range items {
+		ops[i] = store.UpdateObject(it.ID, it.PDF)
+	}
+	return store.EncodeOps(ops)
+}
+
+// DecodeItems parses an EncodeItems payload.
+func DecodeItems(b []byte) ([]Item, error) {
+	ops, err := store.DecodeOps(b)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]Item, len(ops))
+	for i, op := range ops {
+		if op.PDF == nil {
+			return nil, fmt.Errorf("shard: gather payload op %d carries no pdf", i)
+		}
+		items[i] = Item{ID: op.ID, PDF: op.PDF}
+	}
+	return items, nil
+}
+
+// HTTPMember is the Member implementation speaking to a remote member
+// server. Safe for concurrent use.
+type HTTPMember struct {
+	base    string
+	hc      *http.Client
+	lastVer atomic.Uint64
+}
+
+// NewHTTPMember wraps a member server's base URL (e.g. http://host:port).
+// client may be nil for a default with a sane timeout.
+func NewHTTPMember(base string, client *http.Client) *HTTPMember {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPMember{base: base, hc: client}
+}
+
+// observe records the version header of any successful response.
+func (h *HTTPMember) observe(resp *http.Response) uint64 {
+	v, err := strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64)
+	if err != nil {
+		return h.lastVer.Load()
+	}
+	for {
+		cur := h.lastVer.Load()
+		if v <= cur || h.lastVer.CompareAndSwap(cur, v) {
+			return v
+		}
+	}
+}
+
+func (h *HTTPMember) get(path string, q url.Values) (*http.Response, error) {
+	u := h.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := h.hc.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("shard: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	h.observe(resp)
+	return resp, nil
+}
+
+// Info implements Member.
+func (h *HTTPMember) Info() (MemberInfo, error) {
+	resp, err := h.get("/internal/shard/info", nil)
+	if err != nil {
+		return MemberInfo{}, err
+	}
+	defer resp.Body.Close()
+	var w WireInfo
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		return MemberInfo{}, fmt.Errorf("shard: decoding info: %w", err)
+	}
+	return w.Info(), nil
+}
+
+// Bound implements Member.
+func (h *HTTPMember) Bound(q float64, k int) (BoundInfo, error) {
+	vals := url.Values{}
+	vals.Set("q", strconv.FormatFloat(q, 'g', -1, 64))
+	vals.Set("k", strconv.Itoa(k))
+	resp, err := h.get("/internal/shard/bound", vals)
+	if err != nil {
+		return BoundInfo{}, err
+	}
+	defer resp.Body.Close()
+	var w WireBound
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		return BoundInfo{}, fmt.Errorf("shard: decoding bound: %w", err)
+	}
+	return w.Bound(), nil
+}
+
+// Gather implements Member.
+func (h *HTTPMember) Gather(q, bound float64) ([]Item, uint64, error) {
+	vals := url.Values{}
+	vals.Set("q", strconv.FormatFloat(q, 'g', -1, 64))
+	vals.Set("bound", strconv.FormatFloat(bound, 'g', -1, 64))
+	resp, err := h.get("/internal/shard/gather", vals)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	ver, err := strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: gather reply lacks %s", VersionHeader)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	items, err := DecodeItems(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return items, ver, nil
+}
+
+// Apply implements Member.
+func (h *HTTPMember) Apply(payload []byte) (store.ApplyResult, error) {
+	resp, err := h.hc.Post(h.base+"/internal/shard/apply", "application/octet-stream",
+		bytes.NewReader(payload))
+	if err != nil {
+		return store.ApplyResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return store.ApplyResult{}, fmt.Errorf("shard: apply: status %d: %s",
+			resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	h.observe(resp)
+	var w WireApply
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		return store.ApplyResult{}, fmt.Errorf("shard: decoding apply reply: %w", err)
+	}
+	return store.ApplyResult{Version: w.Version, Seq: w.Seq, IDs: w.IDs}, nil
+}
+
+// Version implements Member: the last version observed on any reply.
+func (h *HTTPMember) Version() uint64 { return h.lastVer.Load() }
+
+// Close implements Member.
+func (h *HTTPMember) Close() error {
+	h.hc.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/store"
+)
+
+// BoundInfo is one shard's reply to the scatter (bound) phase of a query:
+// everything the router needs to compute the global filter bound and decide
+// whether this shard can hold a candidate.
+type BoundInfo struct {
+	// Extent is the bounding rectangle of the shard's live 1-D regions;
+	// valid only when HasExtent (an empty shard has none).
+	Extent    geom.Rect
+	HasExtent bool
+	// Fars holds the shard's min(k, n) smallest far-point distances from the
+	// query point, ascending (core.Engine.FarBounds).
+	Fars []float64
+	// N counts the shard's live 1-D objects.
+	N int
+	// Version is the shard's store version the reply was computed at.
+	Version uint64
+}
+
+// Item is one gathered candidate object in stable-ID terms.
+type Item struct {
+	ID  uint64
+	PDF pdf.PDF
+}
+
+// MemberInfo is a shard's full identity snapshot, used to boot the router's
+// owner map and ID counter.
+type MemberInfo struct {
+	// IDs1D and IDs2D list the shard's live stable IDs per family.
+	IDs1D, IDs2D []uint64
+	// NextID is the shard's durable ID counter.
+	NextID uint64
+	// Version is the shard's store version.
+	Version uint64
+	// Extent/HasExtent mirror BoundInfo for the 1-D family.
+	Extent    geom.Rect
+	HasExtent bool
+}
+
+// Member is one shard as seen by the router. Implementations: Local wraps an
+// in-process store; HTTPMember speaks to a member server. All methods are
+// safe for concurrent use.
+type Member interface {
+	// Info snapshots the shard's identity (owner-map boot and recovery).
+	Info() (MemberInfo, error)
+	// Bound answers the scatter phase for query point q with filter depth k.
+	Bound(q float64, k int) (BoundInfo, error)
+	// Gather returns every 1-D object whose near point lies within bound of
+	// q (all of them when bound is +Inf), plus the version it read.
+	Gather(q, bound float64) ([]Item, uint64, error)
+	// Apply commits an op batch encoded with store.EncodeOps — the raw WAL
+	// payload bytes, shipped verbatim so a remote apply is bit-identical to
+	// a local one.
+	Apply(payload []byte) (store.ApplyResult, error)
+	// Version is the member's latest known store version (exact for Local,
+	// last-observed for HTTPMember). Used for cache keys, never correctness.
+	Version() uint64
+	// Close releases the member. Local members do NOT close their store
+	// (the Cluster owns it); HTTP members release their connections.
+	Close() error
+}
+
+// Local is the in-process Member over a shard's own store.
+type Local struct {
+	st *store.Store
+}
+
+// NewLocal wraps an open member store. The store must have been opened with
+// ExplicitIDs (CreateCluster/OpenCluster do).
+func NewLocal(st *store.Store) *Local { return &Local{st: st} }
+
+// Store exposes the wrapped store (the shard monitor subscribes to its
+// change feed).
+func (l *Local) Store() *store.Store { return l.st }
+
+// Info implements Member.
+func (l *Local) Info() (MemberInfo, error) {
+	v := l.st.View()
+	info := MemberInfo{
+		IDs1D:  append([]uint64(nil), v.IDs...),
+		NextID: v.NextID,
+		Version: v.Version,
+	}
+	for _, d := range v.Disks {
+		info.IDs2D = append(info.IDs2D, d.ID)
+	}
+	info.Extent, info.HasExtent = v.Index.Bounds()
+	return info, nil
+}
+
+// Bound implements Member.
+func (l *Local) Bound(q float64, k int) (BoundInfo, error) {
+	v := l.st.View()
+	eng, err := core.NewEngineWithIndex(v.Dataset, v.Index)
+	if err != nil {
+		return BoundInfo{}, err
+	}
+	info := BoundInfo{N: v.Dataset.Len(), Version: v.Version, Fars: eng.FarBounds(q, k)}
+	info.Extent, info.HasExtent = v.Index.Bounds()
+	return info, nil
+}
+
+// Gather implements Member.
+func (l *Local) Gather(q, bound float64) ([]Item, uint64, error) {
+	v := l.st.View()
+	items := gatherView(v, q, bound)
+	return items, v.Version, nil
+}
+
+// gatherView collects the view's 1-D objects with near point within bound of
+// q, in stable-ID order.
+func gatherView(v *store.View, q, bound float64) []Item {
+	var items []Item
+	if math.IsInf(bound, 1) {
+		for slot, o := range v.Dataset.Objects() {
+			items = append(items, Item{ID: v.IDs[slot], PDF: o.PDF})
+		}
+	} else {
+		for _, slot := range v.Index.Within(q, bound) {
+			items = append(items, Item{ID: v.IDs[slot], PDF: v.Dataset.Object(slot).PDF})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	return items
+}
+
+// Apply implements Member: decode + commit, the same bytes recovery would
+// replay.
+func (l *Local) Apply(payload []byte) (store.ApplyResult, error) {
+	ops, err := store.DecodeOps(payload)
+	if err != nil {
+		return store.ApplyResult{}, fmt.Errorf("%w: %v", store.ErrInvalidOp, err)
+	}
+	return l.st.Apply(ops)
+}
+
+// Version implements Member.
+func (l *Local) Version() uint64 { return l.st.View().Version }
+
+// Close implements Member; the Cluster owns the store, so this is a no-op.
+func (l *Local) Close() error { return nil }

@@ -1,0 +1,708 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/monitor"
+	"repro/internal/pdf"
+	"repro/internal/store"
+	"repro/internal/uncertain"
+)
+
+// RouterConfig assembles a Router.
+type RouterConfig struct {
+	// Members are the shards, in cut order.
+	Members []Member
+	// Cuts are the K-1 routing boundaries (see Meta.Cuts).
+	Cuts []float64
+	// NextID seeds the cluster-wide ID counter; the router uses the max of
+	// this and every member's durable counter.
+	NextID uint64
+}
+
+// Router is the scatter-gather front of a shard cluster. It owns stable-ID
+// assignment and the ID→shard owner map, routes writes to the owning shard,
+// and answers queries by merging per-shard filter bounds and candidates into
+// one exact single-engine evaluation. One router must be the only writer of
+// its cluster; reads are safe from any number of goroutines.
+type Router struct {
+	members []Member
+	cuts    []float64
+
+	// wmu serializes writes: owner map, ID counter, per-shard counts.
+	wmu      sync.Mutex
+	owner    map[uint64]ownerRef
+	nextID   uint64
+	n1, n2   int
+	perShard []int // live 1-D objects per shard (skew metric)
+
+	// emu guards the last-known extent cache consulted when a member is
+	// unreachable: a dead shard whose cached extent provably misses the
+	// candidate ball is pruned instead of failing the query.
+	emu     sync.Mutex
+	extents []extentCache
+
+	queries, retries, unavailable  atomic.Uint64
+	boundContacts, gatherContacts  atomic.Uint64
+	mergeNanos                     atomic.Int64
+}
+
+type ownerRef struct {
+	shard  int
+	family uint8 // 1 = 1-D, 2 = disk
+}
+
+type extentCache struct {
+	rect  geom.Rect
+	has   bool // member holds 1-D objects
+	known bool // ever observed
+}
+
+// NewRouter boots a router: every member must be reachable once so the
+// owner map and ID counter can be recovered from durable state.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Members) < 1 {
+		return nil, fmt.Errorf("shard: router needs at least one member")
+	}
+	if len(cfg.Cuts) != len(cfg.Members)-1 {
+		return nil, fmt.Errorf("shard: %d cuts for %d members", len(cfg.Cuts), len(cfg.Members))
+	}
+	if !sort.Float64sAreSorted(cfg.Cuts) {
+		return nil, fmt.Errorf("shard: cuts are not ascending")
+	}
+	r := &Router{
+		members:  cfg.Members,
+		cuts:     append([]float64(nil), cfg.Cuts...),
+		owner:    map[uint64]ownerRef{},
+		nextID:   cfg.NextID,
+		perShard: make([]int, len(cfg.Members)),
+		extents:  make([]extentCache, len(cfg.Members)),
+	}
+	if r.nextID == 0 {
+		r.nextID = 1
+	}
+	for i, m := range cfg.Members {
+		info, err := m.Info()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: boot: %w: %v", i, ErrUnavailable, err)
+		}
+		for _, id := range info.IDs1D {
+			if prev, ok := r.owner[id]; ok {
+				return nil, fmt.Errorf("shard: object %d owned by both shard %d and %d", id, prev.shard, i)
+			}
+			r.owner[id] = ownerRef{shard: i, family: 1}
+		}
+		for _, id := range info.IDs2D {
+			if prev, ok := r.owner[id]; ok {
+				return nil, fmt.Errorf("shard: object %d owned by both shard %d and %d", id, prev.shard, i)
+			}
+			r.owner[id] = ownerRef{shard: i, family: 2}
+		}
+		r.n1 += len(info.IDs1D)
+		r.n2 += len(info.IDs2D)
+		r.perShard[i] = len(info.IDs1D)
+		if info.NextID > r.nextID {
+			r.nextID = info.NextID
+		}
+		r.extents[i] = extentCache{rect: info.Extent, has: info.HasExtent, known: true}
+	}
+	return r, nil
+}
+
+// Shards returns the member count.
+func (r *Router) Shards() int { return len(r.members) }
+
+// Objects returns the cluster-wide live 1-D object count.
+func (r *Router) Objects() int {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	return r.n1
+}
+
+// Close closes every member.
+func (r *Router) Close() error {
+	var first error
+	for _, m := range r.members {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// VersionSum returns the sum of member versions — the cluster's reported
+// snapshot version (monotonic: member versions only grow).
+func (r *Router) VersionSum() uint64 {
+	var sum uint64
+	for _, m := range r.members {
+		sum += m.Version()
+	}
+	return sum
+}
+
+// VersionsKey renders the member version vector for cache keys. The vector,
+// not the sum: distinct cuts can share a sum.
+func (r *Router) VersionsKey() string {
+	var b strings.Builder
+	for i, m := range r.members {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(m.Version(), 10))
+	}
+	return b.String()
+}
+
+// ---- writes ------------------------------------------------------------
+
+// Apply validates, routes and commits an op batch. Semantics mirror a
+// single store's Apply: inserts are assigned cluster-unique stable IDs in
+// op order, updates and deletes address the owning shard (an unknown ID is
+// store.ErrUnknownID, a family mismatch store.ErrInvalidOp), truncation
+// clears every shard. Validation is all-up-front, so an invalid batch
+// touches nothing; a member failure mid-batch leaves the shards it already
+// reached committed (per-shard atomicity, not global) and returns
+// ErrUnavailable. The result's Version is the cluster version sum; Seq is
+// meaningless across shards and reported as 0.
+func (r *Router) Apply(ops []store.Op) (store.ApplyResult, error) {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	routed, ids, err := r.validate(ops)
+	if err != nil {
+		return store.ApplyResult{}, err
+	}
+	// Execute in segments: runs of ops between truncates preserve per-shard
+	// order; a truncate is a barrier applied to every shard.
+	k := len(r.members)
+	flushSeg := func(seg [][]store.Op) error {
+		for i := 0; i < k; i++ {
+			if len(seg[i]) == 0 {
+				continue
+			}
+			payload, err := store.EncodeOps(seg[i])
+			if err != nil {
+				return fmt.Errorf("%w: %v", store.ErrInvalidOp, err)
+			}
+			if _, err := r.members[i].Apply(payload); err != nil {
+				return fmt.Errorf("shard %d: apply: %w: %v", i, ErrUnavailable, err)
+			}
+		}
+		return nil
+	}
+	seg := make([][]store.Op, k)
+	commitErr := func(err error) (store.ApplyResult, error) {
+		// Members already flushed have committed; resync the owner map from
+		// the shards' durable truth so the router stays coherent.
+		r.refreshOwnersLocked()
+		return store.ApplyResult{}, err
+	}
+	for oi, op := range ops {
+		if op.Code == store.OpTruncate {
+			if err := flushSeg(seg); err != nil {
+				return commitErr(err)
+			}
+			seg = make([][]store.Op, k)
+			for i := 0; i < k; i++ {
+				payload, err := store.EncodeOps([]store.Op{store.Truncate()})
+				if err != nil {
+					return commitErr(fmt.Errorf("%w: %v", store.ErrInvalidOp, err))
+				}
+				if _, err := r.members[i].Apply(payload); err != nil {
+					return commitErr(fmt.Errorf("shard %d: truncate: %w: %v", i, ErrUnavailable, err))
+				}
+			}
+			r.owner = map[uint64]ownerRef{}
+			r.n1, r.n2 = 0, 0
+			r.perShard = make([]int, k)
+			continue
+		}
+		out := op
+		out.ID = ids[oi]
+		seg[routed[oi]] = append(seg[routed[oi]], out)
+		// Track ownership as we go so a later failure resync starts close.
+		switch op.Code {
+		case store.OpDelete:
+			if ref, ok := r.owner[out.ID]; ok {
+				if ref.family == 1 {
+					r.n1--
+					r.perShard[ref.shard]--
+				} else {
+					r.n2--
+				}
+				delete(r.owner, out.ID)
+			}
+		case store.OpUniform, store.OpHist:
+			if _, ok := r.owner[out.ID]; !ok {
+				r.owner[out.ID] = ownerRef{shard: routed[oi], family: 1}
+				r.n1++
+				r.perShard[routed[oi]]++
+			}
+		case store.OpDisk:
+			if _, ok := r.owner[out.ID]; !ok {
+				r.owner[out.ID] = ownerRef{shard: routed[oi], family: 2}
+				r.n2++
+			}
+		}
+		if out.ID >= r.nextID {
+			r.nextID = out.ID + 1
+		}
+	}
+	if err := flushSeg(seg); err != nil {
+		return commitErr(err)
+	}
+	return store.ApplyResult{Version: r.VersionSum(), IDs: ids}, nil
+}
+
+// validate mirrors the store's batch validation against the cluster-wide
+// owner map: per-op family checks with in-batch overlay, insert ID
+// assignment, and routing (inserts by region center through the cuts,
+// updates and deletes sticky to the owning shard).
+func (r *Router) validate(ops []store.Op) (routed []int, ids []uint64, err error) {
+	overlay := map[uint64]int8{}
+	overlayShard := map[uint64]int{}
+	truncated := false
+	family := func(id uint64) (int8, int) {
+		if v, ok := overlay[id]; ok {
+			return v, overlayShard[id]
+		}
+		if truncated {
+			return -1, 0
+		}
+		if ref, ok := r.owner[id]; ok {
+			return int8(ref.family), ref.shard
+		}
+		return -1, 0
+	}
+	routed = make([]int, len(ops))
+	ids = make([]uint64, len(ops))
+	nextID := r.nextID
+	for i, op := range ops {
+		switch op.Code {
+		case store.OpTruncate:
+			truncated = true
+			overlay = map[uint64]int8{}
+			overlayShard = map[uint64]int{}
+		case store.OpDelete:
+			fam, shard := family(op.ID)
+			if op.ID == 0 || fam == -1 {
+				return nil, nil, fmt.Errorf("ops[%d]: delete: %w %d", i, store.ErrUnknownID, op.ID)
+			}
+			overlay[op.ID], overlayShard[op.ID] = -1, shard
+			routed[i], ids[i] = shard, op.ID
+		case store.OpUniform, store.OpHist:
+			if !pdfMatchesCode(op.PDF, op.Code) {
+				return nil, nil, fmt.Errorf("ops[%d]: %w: pdf %T does not match op code %d",
+					i, store.ErrInvalidOp, op.PDF, op.Code)
+			}
+			shard := -1
+			if op.ID == 0 {
+				op.ID = nextID
+				nextID++
+			} else {
+				switch fam, s := family(op.ID); fam {
+				case 1:
+					shard = s // sticky update: the owner's live extent covers it
+				case 2:
+					return nil, nil, fmt.Errorf("ops[%d]: %w: object %d is 2-D, payload 1-D",
+						i, store.ErrInvalidOp, op.ID)
+				default:
+					return nil, nil, fmt.Errorf("ops[%d]: update: %w %d", i, store.ErrUnknownID, op.ID)
+				}
+			}
+			if shard < 0 {
+				shard = ShardFor(geom.RectFromInterval(op.PDF.Support()).Center().X, r.cuts)
+			}
+			overlay[op.ID], overlayShard[op.ID] = 1, shard
+			routed[i], ids[i] = shard, op.ID
+		case store.OpDisk:
+			if !(op.Disk.Radius > 0) || !finite(op.Disk.Radius) ||
+				!finite(op.Disk.Center.X) || !finite(op.Disk.Center.Y) {
+				return nil, nil, fmt.Errorf("ops[%d]: %w: invalid disk %+v", i, store.ErrInvalidOp, op.Disk)
+			}
+			shard := -1
+			if op.ID == 0 {
+				op.ID = nextID
+				nextID++
+			} else {
+				switch fam, s := family(op.ID); fam {
+				case 2:
+					shard = s
+				case 1:
+					return nil, nil, fmt.Errorf("ops[%d]: %w: object %d is 1-D, payload 2-D",
+						i, store.ErrInvalidOp, op.ID)
+				default:
+					return nil, nil, fmt.Errorf("ops[%d]: update: %w %d", i, store.ErrUnknownID, op.ID)
+				}
+			}
+			if shard < 0 {
+				shard = ShardFor(op.Disk.Center.X, r.cuts)
+			}
+			overlay[op.ID], overlayShard[op.ID] = 2, shard
+			routed[i], ids[i] = shard, op.ID
+		default:
+			return nil, nil, fmt.Errorf("ops[%d]: %w: unknown code %d", i, store.ErrInvalidOp, op.Code)
+		}
+	}
+	return routed, ids, nil
+}
+
+func pdfMatchesCode(p pdf.PDF, code store.OpCode) bool {
+	switch p.(type) {
+	case pdf.Uniform:
+		return code == store.OpUniform
+	case *pdf.Histogram:
+		return code == store.OpHist
+	default:
+		return false
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// refreshOwnersLocked rebuilds the owner map from member truth after a
+// partial write failure; unreachable members keep their previous entries.
+func (r *Router) refreshOwnersLocked() {
+	owner := map[uint64]ownerRef{}
+	perShard := make([]int, len(r.members))
+	n1, n2 := 0, 0
+	for i, m := range r.members {
+		info, err := m.Info()
+		if err != nil {
+			for id, ref := range r.owner {
+				if ref.shard == i {
+					owner[id] = ref
+					if ref.family == 1 {
+						n1++
+						perShard[i]++
+					} else {
+						n2++
+					}
+				}
+			}
+			continue
+		}
+		for _, id := range info.IDs1D {
+			owner[id] = ownerRef{shard: i, family: 1}
+		}
+		for _, id := range info.IDs2D {
+			owner[id] = ownerRef{shard: i, family: 2}
+		}
+		n1 += len(info.IDs1D)
+		n2 += len(info.IDs2D)
+		perShard[i] = len(info.IDs1D)
+		if info.NextID > r.nextID {
+			r.nextID = info.NextID
+		}
+	}
+	r.owner, r.n1, r.n2, r.perShard = owner, n1, n2, perShard
+}
+
+// Reload replaces the cluster's contents with a dataset: one truncate
+// barrier, then routed bulk inserts with fresh stable IDs in dataset order
+// (matching a single store's DatasetOps assignment).
+func (r *Router) Reload(ds *uncertain.Dataset) (store.ApplyResult, error) {
+	ops := make([]store.Op, 0, ds.Len()+1)
+	ops = append(ops, store.Truncate())
+	for _, o := range ds.Objects() {
+		ops = append(ops, store.InsertObject(o.PDF))
+	}
+	return r.Apply(ops)
+}
+
+// ---- queries -----------------------------------------------------------
+
+// Gathered is the merged result of one scatter-gather pass: a mini-view
+// holding exactly the cluster's candidate objects for the query, ready for
+// a standard single-engine evaluation.
+type Gathered struct {
+	// View holds the merged candidates (Dataset + stable IDs, no index —
+	// engines build their own over the handful of candidates).
+	View *store.View
+	// Versions is the per-member consistency cut the answer corresponds to.
+	Versions []uint64
+	// Version is the cut's sum — the cluster snapshot version.
+	Version uint64
+	// Contacted counts members that answered the bound phase; Fanout counts
+	// members the gather phase actually read (the fan-out metric).
+	Contacted, Fanout int
+	// Bound is the pruning radius of the final gather pass.
+	Bound float64
+	// TotalN is the cluster-wide live 1-D object count at bound time.
+	TotalN int
+}
+
+// Gather runs the two-phase scatter-gather for query point q with filter
+// depth k (1 for C-PNN/PNN, the query's K for k-NN): bound every shard in
+// parallel, merge the k smallest far-point distances into the global
+// filter bound, then gather candidates only from shards whose live extent
+// intersects the candidate ball. If the bound moved between the two phases
+// (a concurrent write retired a witness), the pass retries with the bound
+// recomputed from the gathered set, so the returned candidates are always
+// exactly the candidate set of the returned consistency cut. A member
+// failure fails the query with ErrUnavailable unless its last-known extent
+// provably misses the ball.
+func (r *Router) Gather(q float64, k int) (*Gathered, error) {
+	if math.IsNaN(q) || math.IsInf(q, 0) {
+		return nil, fmt.Errorf("shard: non-finite query point %g", q)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("shard: filter depth %d < 1", k)
+	}
+	r.queries.Add(1)
+	n := len(r.members)
+
+	// Phase 1: bound. Every live member, in parallel.
+	infos := make([]BoundInfo, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range r.members {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = r.members[i].Bound(q, k)
+		}(i)
+	}
+	wg.Wait()
+
+	start := time.Now()
+	var fars []float64
+	totalN, contacted := 0, 0
+	for i := range infos {
+		if errs[i] != nil {
+			continue
+		}
+		contacted++
+		totalN += infos[i].N
+		fars = append(fars, infos[i].Fars...)
+		r.observeExtent(i, infos[i].Extent, infos[i].HasExtent)
+	}
+	r.boundContacts.Add(uint64(contacted))
+	if contacted == 0 {
+		r.unavailable.Add(1)
+		return nil, fmt.Errorf("shard: %w: no member answered the bound phase", ErrUnavailable)
+	}
+	sort.Float64s(fars)
+	bound := math.Inf(1)
+	if len(fars) >= k {
+		bound = fars[k-1]
+	}
+	r.mergeNanos.Add(time.Since(start).Nanoseconds())
+
+	qp := geom.Point{X: q, Y: 0}
+	for attempt := 0; ; attempt++ {
+		// A dead member is tolerable only while its last-known extent
+		// provably misses the candidate ball; its data cannot have moved
+		// while dead (writes flow through this router and fail loudly).
+		for i := range r.members {
+			if errs[i] == nil {
+				continue
+			}
+			ext := r.extent(i)
+			if !ext.known || (ext.has && (math.IsInf(bound, 1) || ext.rect.MinDist(qp) <= bound)) {
+				r.unavailable.Add(1)
+				return nil, fmt.Errorf("shard %d: bound: %w: %v", i, ErrUnavailable, errs[i])
+			}
+		}
+		// Phase 2: gather from intersecting shards only.
+		type gatherRes struct {
+			items []Item
+			ver   uint64
+			err   error
+			read  bool
+		}
+		res := make([]gatherRes, n)
+		var gw sync.WaitGroup
+		for i := range r.members {
+			if errs[i] != nil {
+				continue
+			}
+			if !infos[i].HasExtent {
+				continue
+			}
+			if !math.IsInf(bound, 1) && infos[i].Extent.MinDist(qp) > bound {
+				continue
+			}
+			res[i].read = true
+			gw.Add(1)
+			go func(i int) {
+				defer gw.Done()
+				res[i].items, res[i].ver, res[i].err = r.members[i].Gather(q, bound)
+			}(i)
+		}
+		gw.Wait()
+
+		mstart := time.Now()
+		fanout := 0
+		var items []Item
+		versions := make([]uint64, n)
+		var vsum uint64
+		for i := range res {
+			if !res[i].read {
+				versions[i] = infos[i].Version
+				if errs[i] != nil {
+					versions[i] = r.members[i].Version()
+				}
+				vsum += versions[i]
+				continue
+			}
+			if res[i].err != nil {
+				r.unavailable.Add(1)
+				return nil, fmt.Errorf("shard %d: gather: %w: %v", i, ErrUnavailable, res[i].err)
+			}
+			fanout++
+			items = append(items, res[i].items...)
+			versions[i] = res[i].ver
+			vsum += res[i].ver
+		}
+		r.gatherContacts.Add(uint64(fanout))
+
+		// Soundness check: the bound recomputed from what was actually
+		// gathered must not exceed the bound that pruned. If it does, a
+		// witness retired between the phases — retry wider.
+		done := math.IsInf(bound, 1)
+		if !done {
+			mf := make([]float64, len(items))
+			for i, it := range items {
+				mf[i] = it.PDF.Support().MaxDist(q)
+			}
+			sort.Float64s(mf)
+			if len(mf) >= k && mf[k-1] <= bound {
+				done = true
+			}
+		}
+		if !done {
+			r.retries.Add(1)
+			if attempt >= 2 {
+				bound = math.Inf(1)
+			} else {
+				prev := bound
+				bound = math.Inf(1)
+				if mfars := itemFars(items, q); len(mfars) >= k {
+					bound = mfars[k-1]
+				}
+				if bound <= prev { // no progress information; go wide
+					bound = math.Inf(1)
+				}
+			}
+			r.mergeNanos.Add(time.Since(mstart).Nanoseconds())
+			continue
+		}
+
+		sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+		pdfs := make([]pdf.PDF, len(items))
+		ids := make([]uint64, len(items))
+		for i, it := range items {
+			pdfs[i] = it.PDF
+			ids[i] = it.ID
+		}
+		g := &Gathered{
+			View:      &store.View{Version: vsum, Dataset: uncertain.NewDataset(pdfs), IDs: ids},
+			Versions:  versions,
+			Version:   vsum,
+			Contacted: contacted,
+			Fanout:    fanout,
+			Bound:     bound,
+			TotalN:    totalN,
+		}
+		r.mergeNanos.Add(time.Since(mstart).Nanoseconds())
+		return g, nil
+	}
+}
+
+func itemFars(items []Item, q float64) []float64 {
+	fars := make([]float64, len(items))
+	for i, it := range items {
+		fars[i] = it.PDF.Support().MaxDist(q)
+	}
+	sort.Float64s(fars)
+	return fars
+}
+
+// observeExtent refreshes the last-known extent cache.
+func (r *Router) observeExtent(i int, rect geom.Rect, has bool) {
+	r.emu.Lock()
+	r.extents[i] = extentCache{rect: rect, has: has, known: true}
+	r.emu.Unlock()
+}
+
+func (r *Router) extent(i int) extentCache {
+	r.emu.Lock()
+	defer r.emu.Unlock()
+	return r.extents[i]
+}
+
+// Evaluate answers a standing-query spec against the cluster: scatter-gather
+// the candidates, then run the standard single-engine evaluation over the
+// merged mini-view. The body is byte-identical to monitor.Evaluate over a
+// single store holding the same objects; the radius is the query's influence
+// radius under the returned consistency cut.
+func (r *Router) Evaluate(spec monitor.Spec, sc *core.Scratch) (body []byte, radius float64, g *Gathered, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, 0, nil, err
+	}
+	k := 1
+	if spec.Kind == monitor.KindKNN {
+		k = spec.K
+	}
+	g, err = r.Gather(spec.Q, k)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	body, radius, err = monitor.Evaluate(g.View, nil, sc, spec)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return body, radius, g, nil
+}
+
+// Stats is a snapshot of the router's operational counters.
+type Stats struct {
+	// Shards is the member count; Objects the cluster-wide live 1-D count.
+	Shards, Objects int
+	// PerShard holds the live 1-D object count per shard (skew metric).
+	PerShard []int
+	// Queries counts scatter-gather passes; Retries the extra gather rounds
+	// forced by bound movement; Unavailable the queries failed on a dead
+	// shard.
+	Queries, Retries, Unavailable uint64
+	// BoundContacts and GatherContacts count per-member phase reads; the
+	// mean gather fan-out fraction is GatherContacts / (Queries * Shards).
+	BoundContacts, GatherContacts uint64
+	// MergeNanos is total time spent merging bounds and candidates.
+	MergeNanos int64
+	// Versions is the current member version vector.
+	Versions []uint64
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() Stats {
+	r.wmu.Lock()
+	perShard := append([]int(nil), r.perShard...)
+	n1 := r.n1
+	r.wmu.Unlock()
+	vers := make([]uint64, len(r.members))
+	for i, m := range r.members {
+		vers[i] = m.Version()
+	}
+	return Stats{
+		Shards:         len(r.members),
+		Objects:        n1,
+		PerShard:       perShard,
+		Queries:        r.queries.Load(),
+		Retries:        r.retries.Load(),
+		Unavailable:    r.unavailable.Load(),
+		BoundContacts:  r.boundContacts.Load(),
+		GatherContacts: r.gatherContacts.Load(),
+		MergeNanos:     r.mergeNanos.Load(),
+		Versions:       vers,
+	}
+}

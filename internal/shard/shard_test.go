@@ -1,0 +1,325 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/monitor"
+	"repro/internal/pdf"
+	"repro/internal/store"
+	"repro/internal/verify"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := Meta{Shards: 4, Cuts: []float64{1, 2.5, 100}, NextID: 17}
+	if err := WriteMeta(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 4 || got.NextID != 17 || len(got.Cuts) != 3 || got.Cuts[1] != 2.5 {
+		t.Fatalf("round trip mangled meta: %+v", got)
+	}
+	for _, bad := range []Meta{
+		{Shards: 0},
+		{Shards: 2, Cuts: nil},
+		{Shards: 3, Cuts: []float64{2, 1}},
+		{Shards: 2, Cuts: []float64{math.Inf(1)}},
+		{Shards: 2, Cuts: []float64{math.NaN()}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("meta %+v validated", bad)
+		}
+	}
+}
+
+func TestShardForEdges(t *testing.T) {
+	cuts := []float64{10, 20}
+	for _, tc := range []struct {
+		x    float64
+		want int
+	}{
+		{5, 0}, {10, 0}, {10.0001, 1}, {20, 1}, {21, 2},
+		{math.Inf(-1), 0}, {math.Inf(1), 2},
+	} {
+		if got := ShardFor(tc.x, cuts); got != tc.want {
+			t.Fatalf("ShardFor(%g) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	if got := ShardFor(42, nil); got != 0 {
+		t.Fatalf("single-shard routing returned %d", got)
+	}
+}
+
+// TestSplitStoreReopen splits a populated single store into a cluster,
+// reopens it from disk, and checks the router serves identical answers and
+// continues the ID sequence.
+func TestSplitStoreReopen(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src, err := store.Open(srcDir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []store.Op
+	for i := 0; i < 20; i++ {
+		lo := float64(i * 10)
+		ops = append(ops, store.InsertObject(pdf.MustUniform(lo, lo+5)))
+	}
+	// A couple of disks, to prove the 2-D family survives the split.
+	ops = append(ops,
+		store.InsertDisk(geom.Circle{Center: geom.Point{X: 3, Y: 4}, Radius: 1}),
+		store.InsertDisk(geom.Circle{Center: geom.Point{X: 150, Y: 0}, Radius: 2}))
+	if _, err := src.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	view := src.View()
+	spec := monitor.Spec{Kind: monitor.KindCPNN, Q: 42,
+		Constraint: verify.Constraint{P: 0.3, Delta: 0.01}}
+	want, _, err := monitor.Evaluate(view, nil, nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, err := SplitStore(srcDir, dstDir, 4, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Shards != 4 || meta.NextID != view.NextID {
+		t.Fatalf("split meta %+v, want 4 shards nextID %d", meta, view.NextID)
+	}
+
+	c, err := OpenCluster(dstDir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	total, disks := 0, 0
+	for _, st := range c.Stores {
+		v := st.View()
+		total += v.Dataset.Len()
+		disks += len(v.Disks)
+	}
+	if total != 20 || disks != 2 {
+		t.Fatalf("cluster holds %d objects, %d disks; want 20, 2", total, disks)
+	}
+	r, err := c.Router()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := r.Evaluate(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-split answer diverged:\n got %s\nwant %s", got, want)
+	}
+	// The ID sequence continues where the single store left off.
+	res, err := r.Apply([]store.Op{store.InsertObject(pdf.MustUniform(0, 1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IDs[0] != view.NextID {
+		t.Fatalf("first post-split insert got ID %d, want %d", res.IDs[0], view.NextID)
+	}
+
+	// A second split into the same directory must refuse.
+	if _, err := SplitStore(srcDir, dstDir, 2, store.Options{}); err == nil {
+		t.Fatal("re-split into an existing cluster dir succeeded")
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	c, err := CreateCluster(t.TempDir(), 2, nil, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, err := c.Router()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Apply([]store.Op{
+		store.InsertObject(pdf.MustUniform(0, 1)),
+		store.InsertDisk(geom.Circle{Center: geom.Point{X: 1, Y: 1}, Radius: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, did := res.IDs[0], res.IDs[1]
+
+	for name, tc := range map[string]struct {
+		ops  []store.Op
+		want error
+	}{
+		"unknown update": {[]store.Op{store.UpdateObject(99, pdf.MustUniform(0, 1))}, store.ErrUnknownID},
+		"unknown delete": {[]store.Op{store.Delete(99)}, store.ErrUnknownID},
+		"family 1d->2d":  {[]store.Op{store.UpdateDisk(oid, geom.Circle{Center: geom.Point{X: 0, Y: 0}, Radius: 1})}, store.ErrInvalidOp},
+		"family 2d->1d":  {[]store.Op{store.UpdateObject(did, pdf.MustUniform(0, 1))}, store.ErrInvalidOp},
+		"bad disk":       {[]store.Op{store.InsertDisk(geom.Circle{Radius: -1})}, store.ErrInvalidOp},
+		"update after truncate": {[]store.Op{store.Truncate(),
+			store.UpdateObject(oid, pdf.MustUniform(0, 1))}, store.ErrUnknownID},
+	} {
+		if _, err := r.Apply(tc.ops); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: got %v, want %v", name, err, tc.want)
+		}
+	}
+	// Failed batches must not have committed anything: the object is alive.
+	if _, err := r.Apply([]store.Op{store.UpdateObject(oid, pdf.MustUniform(5, 6))}); err != nil {
+		t.Fatal(err)
+	}
+	// In-batch visibility: delete then update the same ID fails.
+	if _, err := r.Apply([]store.Op{store.Delete(oid),
+		store.UpdateObject(oid, pdf.MustUniform(0, 1))}); !errors.Is(err, store.ErrUnknownID) {
+		t.Fatalf("delete-then-update: %v", err)
+	}
+}
+
+// flakyMember wraps a Member with switchable failure injection.
+type flakyMember struct {
+	Member
+	mu   sync.Mutex
+	down bool
+}
+
+func (f *flakyMember) fail() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+func (f *flakyMember) setDown(d bool) {
+	f.mu.Lock()
+	f.down = d
+	f.mu.Unlock()
+}
+
+func (f *flakyMember) Info() (MemberInfo, error) {
+	if f.fail() {
+		return MemberInfo{}, errors.New("injected: down")
+	}
+	return f.Member.Info()
+}
+
+func (f *flakyMember) Bound(q float64, k int) (BoundInfo, error) {
+	if f.fail() {
+		return BoundInfo{}, errors.New("injected: down")
+	}
+	return f.Member.Bound(q, k)
+}
+
+func (f *flakyMember) Gather(q, bound float64) ([]Item, uint64, error) {
+	if f.fail() {
+		return nil, 0, errors.New("injected: down")
+	}
+	return f.Member.Gather(q, bound)
+}
+
+func (f *flakyMember) Apply(payload []byte) (store.ApplyResult, error) {
+	if f.fail() {
+		return store.ApplyResult{}, errors.New("injected: down")
+	}
+	return f.Member.Apply(payload)
+}
+
+// TestRouterDeadShard checks partial availability: with one member down, a
+// query whose candidate ball provably misses the dead shard's last-known
+// extent keeps being served exactly; a query that needs it fails with
+// ErrUnavailable; writes routed to it fail; and after the member returns,
+// everything reconverges.
+func TestRouterDeadShard(t *testing.T) {
+	// Two shards with the cut between two well-separated clumps of objects.
+	c, err := CreateClusterCuts(t.TempDir(), []float64{500}, nil, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r0, err := NewRouter(RouterConfig{Members: c.Members(), Cuts: c.Meta.Cuts, NextID: c.Meta.NextID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []store.Op
+	for i := 0; i < 8; i++ {
+		lo := float64(i)
+		ops = append(ops, store.InsertObject(pdf.MustUniform(lo, lo+0.5)))
+		lo = 1000 + float64(i)
+		ops = append(ops, store.InsertObject(pdf.MustUniform(lo, lo+0.5)))
+	}
+	if _, err := r0.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the router over flaky wrappers (cuts were all zero at create
+	// time; recreate with a real cut between the two clumps).
+	members := c.Members()
+	flaky := make([]*flakyMember, len(members))
+	wrapped := make([]Member, len(members))
+	for i, m := range members {
+		flaky[i] = &flakyMember{Member: m}
+		wrapped[i] = flaky[i]
+	}
+	r, err := NewRouter(RouterConfig{Members: wrapped, Cuts: c.Meta.Cuts, NextID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both clumps landed on some shard; find the shard owning the far clump.
+	farShard := ShardFor(1000, c.Meta.Cuts)
+	nearSpec := monitor.Spec{Kind: monitor.KindPNN, Q: 4}
+	farSpec := monitor.Spec{Kind: monitor.KindPNN, Q: 1004}
+	wantNear, _, _, err := r.Evaluate(nearSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flaky[farShard].setDown(true)
+
+	// The near query survives: the dead shard's cached extent misses its
+	// candidate ball.
+	if ShardFor(4, c.Meta.Cuts) != farShard {
+		got, _, g, err := r.Evaluate(nearSpec, nil)
+		if err != nil {
+			t.Fatalf("near query with dead far shard: %v", err)
+		}
+		if !bytes.Equal(got, wantNear) {
+			t.Fatalf("near answer changed under partial availability:\n got %s\nwant %s", got, wantNear)
+		}
+		if g.Contacted >= len(wrapped) {
+			t.Fatalf("dead shard counted as contacted")
+		}
+	}
+	// The far query needs the dead shard and must say so.
+	if _, _, _, err := r.Evaluate(farSpec, nil); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("far query: got %v, want ErrUnavailable", err)
+	}
+	// A write routed to the dead shard fails unavailable.
+	if _, err := r.Apply([]store.Op{store.InsertObject(pdf.MustUniform(1000, 1001))}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("write to dead shard: got %v, want ErrUnavailable", err)
+	}
+
+	flaky[farShard].setDown(false)
+	want, _, err := monitor.Evaluate(fullClusterView(t, c), nil, nil, farSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := r.Evaluate(farSpec, nil)
+	if err != nil {
+		t.Fatalf("far query after recovery: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-recovery answer diverged:\n got %s\nwant %s", got, want)
+	}
+	st := r.Stats()
+	if st.Unavailable == 0 {
+		t.Fatal("unavailability was not counted")
+	}
+}

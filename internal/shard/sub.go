@@ -1,0 +1,83 @@
+package shard
+
+import "repro/internal/monitor"
+
+// Subscription is one consumer of the shard monitor's pushed updates. It
+// reuses the single-store monitor's Update/Event types and its lossy
+// delivery protocol: a subscriber that cannot drain its buffer never blocks
+// the monitor — pending updates are dropped and one EventLagged lands in the
+// reserved last slot as soon as there is room.
+type Subscription struct {
+	m   *Monitor
+	ids map[uint64]struct{} // nil = all standing queries
+	ch  chan monitor.Event
+
+	lagged bool // guarded by m.mu
+}
+
+// C returns the event channel. It is closed by Close and when the monitor
+// closes.
+func (s *Subscription) C() <-chan monitor.Event { return s.ch }
+
+// Close cancels the subscription and closes its channel. Idempotent.
+func (s *Subscription) Close() {
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	if _, ok := s.m.subs[s]; ok {
+		delete(s.m.subs, s)
+		close(s.ch)
+	}
+}
+
+// Subscribe registers a consumer for pushed updates; ids narrows delivery to
+// those monitor IDs (empty/nil means all). Buffer semantics match
+// monitor.Monitor.Subscribe.
+func (m *Monitor) Subscribe(ids []uint64, buffer int) (*Subscription, error) {
+	if buffer <= 0 {
+		buffer = monitor.DefaultSubscriptionBuffer
+	}
+	if buffer < 2 {
+		buffer = 2
+	}
+	sub := &Subscription{m: m, ch: make(chan monitor.Event, buffer)}
+	if len(ids) > 0 {
+		sub.ids = make(map[uint64]struct{}, len(ids))
+		for _, id := range ids {
+			sub.ids[id] = struct{}{}
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, monitor.ErrClosed
+	}
+	m.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+// pushLocked fans an update out to every matching subscription; m.mu held.
+// The protocol mirrors monitor.(*Monitor).pushLocked — reserved last slot
+// for the in-stream lagged marker, drops until fully drained.
+func (m *Monitor) pushLocked(u monitor.Update) {
+	for sub := range m.subs {
+		if sub.ids != nil {
+			if _, ok := sub.ids[u.ID]; !ok {
+				continue
+			}
+		}
+		if sub.lagged {
+			if len(sub.ch) > 0 {
+				m.nDropped++
+				continue // still draining the pre-lag backlog
+			}
+			sub.lagged = false
+		}
+		if len(sub.ch) < cap(sub.ch)-1 {
+			sub.ch <- monitor.Event{Type: monitor.EventUpdate, Update: u}
+		} else {
+			sub.ch <- monitor.Event{Type: monitor.EventLagged} // the reserved slot
+			sub.lagged = true
+			m.nDropped++
+		}
+	}
+}

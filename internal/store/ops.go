@@ -282,6 +282,15 @@ func encodeOps(ops []Op) ([]byte, error) {
 	return buf, nil
 }
 
+// EncodeOps serializes an op batch in the store's WAL payload encoding.
+// Shard routers and member servers ship op batches over the wire in this
+// format — the same bytes a local commit would log — so a remote apply is
+// bit-identical to a local one.
+func EncodeOps(ops []Op) ([]byte, error) { return encodeOps(ops) }
+
+// DecodeOps parses a payload produced by EncodeOps.
+func DecodeOps(b []byte) ([]Op, error) { return decodeOps(b) }
+
 // maxBatchOps bounds one committed batch. It is a decode-side sanity cap
 // (far above any real batch) that keeps a corrupt count field from driving
 // allocations.

@@ -44,6 +44,12 @@ type Options struct {
 	// CheckpointBytes is the WAL size that triggers an automatic checkpoint;
 	// 0 means DefaultCheckpointBytes, negative disables auto-checkpointing.
 	CheckpointBytes int64
+	// ExplicitIDs lets upserts address stable IDs this store has never
+	// assigned: an unknown non-zero ID inserts (bumping the ID counter past
+	// it) instead of failing with ErrUnknownID. Shard member stores run in
+	// this mode — the router owns ID assignment across the cluster, so a
+	// member must accept whatever IDs it is handed.
+	ExplicitIDs bool
 }
 
 // Disk is one live 2-D object of a view.
@@ -73,6 +79,11 @@ type View struct {
 	Index *filter.Index
 	// Disks holds the live 2-D objects in slot order.
 	Disks []Disk
+	// NextID is the stable ID the next ID-assigning insert would receive.
+	// It is durable (checkpointed and reconstructed from the WAL), so a
+	// shard router can recover its cluster-wide ID counter as the maximum
+	// NextID over its members.
+	NextID uint64
 }
 
 // ApplyResult reports a committed batch.
@@ -610,7 +621,7 @@ type staged struct {
 // state is untouched.
 func (s *Store) stageBatch(ops []Op, rec *deltaRec) (staged, error) {
 	st := s.st
-	assigned, ids, err := validateOps(st, ops)
+	assigned, ids, err := validateOps(st, ops, s.opt.ExplicitIDs)
 	if err != nil {
 		return staged{}, err
 	}
@@ -650,8 +661,10 @@ func (s *Store) stageBatch(ops []Op, rec *deltaRec) (staged, error) {
 }
 
 // validateOps checks a batch against the state plus in-batch effects and
-// returns the ops with assigned IDs alongside the per-op affected IDs.
-func validateOps(st *state, ops []Op) ([]Op, []uint64, error) {
+// returns the ops with assigned IDs alongside the per-op affected IDs. With
+// explicit set (Options.ExplicitIDs), an upsert addressing an unknown
+// non-zero ID is an insert under that ID rather than an error.
+func validateOps(st *state, ops []Op, explicit bool) ([]Op, []uint64, error) {
 	// Overlay of in-batch existence changes: +1/+2 = created or updated in
 	// family 1-D/2-D, -1 = deleted, 0 = consult the state.
 	overlay := map[uint64]int8{}
@@ -701,7 +714,12 @@ func validateOps(st *state, ops []Op) ([]Op, []uint64, error) {
 					return nil, nil, fmt.Errorf("ops[%d]: %w: object %d is 2-D, payload 1-D",
 						i, ErrInvalidOp, op.ID)
 				default:
-					return nil, nil, fmt.Errorf("ops[%d]: update: %w %d", i, ErrUnknownID, op.ID)
+					if !explicit {
+						return nil, nil, fmt.Errorf("ops[%d]: update: %w %d", i, ErrUnknownID, op.ID)
+					}
+					if op.ID >= nextID {
+						nextID = op.ID + 1
+					}
 				}
 			}
 			overlay[op.ID] = 1
@@ -721,7 +739,12 @@ func validateOps(st *state, ops []Op) ([]Op, []uint64, error) {
 					return nil, nil, fmt.Errorf("ops[%d]: %w: object %d is 1-D, payload 2-D",
 						i, ErrInvalidOp, op.ID)
 				default:
-					return nil, nil, fmt.Errorf("ops[%d]: update: %w %d", i, ErrUnknownID, op.ID)
+					if !explicit {
+						return nil, nil, fmt.Errorf("ops[%d]: update: %w %d", i, ErrUnknownID, op.ID)
+					}
+					if op.ID >= nextID {
+						nextID = op.ID + 1
+					}
 				}
 			}
 			overlay[op.ID] = 2
@@ -883,6 +906,7 @@ func (s *Store) materialize(prev *View, edits []filter.Edit, rebuild bool) (*Vie
 		IDs:     append([]uint64(nil), st.slots...),
 		Index:   ix,
 		Disks:   disks,
+		NextID:  st.nextID,
 	}, nil
 }
 

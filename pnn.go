@@ -43,6 +43,7 @@ import (
 	"repro/internal/pdf"
 	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
@@ -403,3 +404,50 @@ type (
 
 // New2D indexes planar uncertain objects and returns a 2-D query engine.
 func New2D(objs []Object2D) (*Engine2D, error) { return core.NewEngine2D(objs) }
+
+// Sharded scatter-gather serving (internal/shard): a store's domain split
+// into K spatial shards, writes routed by owning shard, queries fanned only
+// to shards whose extent intersects the candidate ball, and the merged
+// candidates verified by one exact single-engine pass — answers are
+// byte-identical to a single store's.
+type (
+	// ShardCluster is a set of locally-open member stores plus routing
+	// metadata. Create with CreateShardCluster or OpenShardCluster.
+	ShardCluster = shard.Cluster
+	// ShardMeta is the durable cluster layout (member count, routing cuts,
+	// cluster-wide ID counter).
+	ShardMeta = shard.Meta
+	// ShardRouter is the scatter-gather front of a shard cluster.
+	ShardRouter = shard.Router
+	// ShardRouterConfig assembles a ShardRouter over Members and Cuts.
+	ShardRouterConfig = shard.RouterConfig
+	// ShardMember is one shard in a router's view: a local store or a
+	// remote process speaking the wire protocol.
+	ShardMember = shard.Member
+	// ShardStats snapshots a router's fan-out, retry and skew counters.
+	ShardStats = shard.Stats
+	// ShardMonitor hosts standing queries over a cluster's member change
+	// feeds, answers always matching a scatter-gather read.
+	ShardMonitor = shard.Monitor
+)
+
+// ErrShardUnavailable marks a query or write that needed an unreachable
+// member; servers map it to 503 + Retry-After.
+var ErrShardUnavailable = shard.ErrUnavailable
+
+// CreateShardCluster partitions a store view's objects into k STR-packed
+// shards under dir, preserving every stable ID.
+func CreateShardCluster(dir string, k int, view *StoreView, opt StoreOptions) (*ShardCluster, error) {
+	return shard.CreateCluster(dir, k, view, opt)
+}
+
+// OpenShardCluster opens every member store of an existing cluster.
+func OpenShardCluster(dir string, opt StoreOptions) (*ShardCluster, error) {
+	return shard.OpenCluster(dir, opt)
+}
+
+// SplitStore partitions an existing single-store directory into a k-shard
+// cluster under dstDir, leaving the source untouched.
+func SplitStore(srcDir, dstDir string, k int, opt StoreOptions) (ShardMeta, error) {
+	return shard.SplitStore(srcDir, dstDir, k, opt)
+}
