@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
 )
@@ -73,7 +74,13 @@ func main() {
 
 		jsonOut = flag.String("json", "", "also write machine-readable results (replay/monitor modes) to this file")
 	)
+	var lo obs.LogOptions
+	lo.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := lo.Logger(os.Stderr, "cpnn-bench")
+	if err != nil {
+		fatal(err)
+	}
 
 	modes := 0
 	for _, on := range []bool{*replay != "", *mon, *repl, *shardOn} {
@@ -85,6 +92,7 @@ func main() {
 		fatal(fmt.Errorf("-replay, -monitor, -replica and -shard are mutually exclusive"))
 	}
 	if *replay != "" {
+		logger.Info("running workload replay", "file", *replay, "batch_sizes", *batchSizes)
 		if err := runReplay(*replay, *dataPath, *batchSizes, *workers, *n, *seed,
 			verify.Constraint{P: *p, Delta: *delta}, *jsonOut); err != nil {
 			fatal(err)
@@ -92,6 +100,8 @@ func main() {
 		return
 	}
 	if *mon {
+		logger.Info("running continuous-monitoring experiment",
+			"objects", *monObjects, "standing_queries", *monQueries, "commits", *monCommits)
 		if err := runMonitor(*batchSizes, *monObjects, *monQueries, *monCommits, *seed,
 			*monBaseline, *noCliff, *jsonOut); err != nil {
 			fatal(err)
@@ -99,12 +109,14 @@ func main() {
 		return
 	}
 	if *repl {
+		logger.Info("running replication experiment", "objects", *replObjects, "commits", *replCommits)
 		if err := runReplica(*batchSizes, *replObjects, *replCommits, *seed, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *shardOn {
+		logger.Info("running sharding experiment", "objects", *shardObjects, "queries", *shardQueries)
 		if err := runShard(*shardCounts, *shardObjects, *shardQueries, *seed, *jsonOut); err != nil {
 			fatal(err)
 		}

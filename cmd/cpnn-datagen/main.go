@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/uncertain"
 )
 
@@ -28,7 +29,13 @@ func main() {
 		histBars  = flag.Int("hist-bars", 8, "max bars for -pdf hist")
 		queries   = flag.Int("queries", 0, "emit a query workload of this many points instead of a dataset")
 	)
+	var lo obs.LogOptions
+	lo.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := lo.Logger(os.Stderr, "cpnn-datagen")
+	if err != nil {
+		fatal(err)
+	}
 
 	// A negative count is a typo, not a request for the Long Beach default;
 	// reject it before any generation work.
@@ -56,14 +63,11 @@ func main() {
 		if err := closeFn(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "cpnn-datagen: wrote %d query points\n", len(qs))
+		logger.Info("wrote query workload", "queries", len(qs), "out", *out)
 		return
 	}
 
-	var (
-		ds  *uncertain.Dataset
-		err error
-	)
+	var ds *uncertain.Dataset
 	switch *pdfKind {
 	case "uniform":
 		ds, err = uncertain.GenerateUniform(opt)
@@ -88,7 +92,7 @@ func main() {
 	if err := closeFn(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cpnn-datagen: wrote %d objects\n", ds.Len())
+	logger.Info("wrote dataset", "objects", ds.Len(), "pdf", *pdfKind, "out", *out)
 }
 
 // outWriter opens the output target: a file when path is non-empty, stdout

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/uncertain"
 	"repro/internal/verify"
 )
@@ -37,7 +38,13 @@ func main() {
 		workers  = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-phase statistics")
 	)
+	var lo obs.LogOptions
+	lo.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := lo.Logger(os.Stderr, "cpnn-query")
+	if err != nil {
+		fatal(err)
+	}
 
 	// Reject invalid user input before any dataset or engine work: a bad
 	// threshold should fail in microseconds, not after generating 53k objects.
@@ -65,6 +72,7 @@ func main() {
 		}
 	}
 
+	loadStart := time.Now()
 	ds, err := loadDataset(*dataPath, *gen, *seed)
 	if err != nil {
 		fatal(err)
@@ -73,6 +81,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	logger.Debug("engine ready",
+		"objects", ds.Len(), "build_ms", float64(time.Since(loadStart))/float64(time.Millisecond))
 
 	if *batch != "" {
 		br, err := eng.CPNNBatch(batchQs, c, core.BatchOptions{

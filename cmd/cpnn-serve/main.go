@@ -56,8 +56,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -65,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -126,9 +128,22 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 		monWorkers   = fs.Int("monitor-workers", 0, "continuous-query re-evaluation workers (0 = GOMAXPROCS; store mode only)")
 		monStateB    = fs.Int64("monitor-state-bytes", 0, "memory cap for per-query incremental evaluation states (0 = 64 MiB default, negative = uncapped; store mode only)")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this private address (empty = off)")
+		slowQueryMs  = fs.Int("slow-query-ms", 0, "record requests at or above this many milliseconds in GET /debug/slowlog (0 = off)")
 	)
+	var lo obs.LogOptions
+	lo.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := lo.Logger(os.Stderr, "cpnn-serve")
+	if err != nil {
+		return err
+	}
+	kit := obsKit{
+		log:    logger,
+		tracer: obs.NewTracer(0),
+		reg:    obs.NewRegistry(),
 	}
 
 	app, err := buildServer(serveOpts{
@@ -137,30 +152,55 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		follow: *follow, replicateAddr: *replAddr, advertiseHTTP: *advertise,
 		shards: *shards, shardOf: *shardOf, routerURLs: *routerURLs,
 	}, server.Config{
-		Quantum:           *quantum,
-		CacheEntries:      *cacheSize,
-		CacheShards:       *cacheShards,
-		MaxInFlight:       *maxInFlight,
-		QueueTimeout:      *queueTimeout,
-		MonitorWorkers:    *monWorkers,
-		MonitorStateBytes: *monStateB,
-	})
+		Quantum:            *quantum,
+		CacheEntries:       *cacheSize,
+		CacheShards:        *cacheShards,
+		MaxInFlight:        *maxInFlight,
+		QueueTimeout:       *queueTimeout,
+		MonitorWorkers:     *monWorkers,
+		MonitorStateBytes:  *monStateB,
+		Logger:             logger,
+		Tracer:             kit.tracer,
+		Metrics:            kit.reg,
+		SlowQueryThreshold: time.Duration(*slowQueryMs) * time.Millisecond,
+	}, kit)
 	if err != nil {
 		return err
 	}
 	srv, closeAll := app.srv, app.Close
 	switch {
 	case app.fol != nil:
-		log.Printf("cpnn-serve: replica of %s, serving on %s (reads 503 until caught up)", app.fol.Source(), *addr)
+		logger.Info("starting as replica (reads 503 until caught up)",
+			"primary", app.fol.Source(), "addr", *addr)
 	case app.router != nil:
-		log.Printf("cpnn-serve: scatter-gather over %d shards (%d objects, %s) on %s",
-			app.router.Shards(), app.router.Objects(), app.source, *addr)
+		logger.Info("starting scatter-gather router",
+			"shards", app.router.Shards(), "objects", app.router.Objects(),
+			"source", app.source, "addr", *addr)
 	default:
-		log.Printf("cpnn-serve: serving %d objects (%s, version %d) on %s",
-			srv.Snapshot().Objects, app.source, srv.Snapshot().Version, *addr)
+		logger.Info("starting",
+			"objects", srv.Snapshot().Objects, "source", app.source,
+			"snapshot_version", srv.Snapshot().Version, "addr", *addr)
 	}
 	if app.repl != nil {
-		log.Printf("cpnn-serve: replicating the WAL on %s", app.repl.Addr())
+		logger.Info("replicating the WAL", "replicate_addr", app.repl.Addr())
+	}
+	if *debugAddr != "" {
+		dln, err := listen(*debugAddr)
+		if err != nil {
+			closeAll()
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/traces", kit.tracer)
+		dbg := &http.Server{Handler: dmux}
+		go dbg.Serve(dln)
+		defer dbg.Close()
+		logger.Info("pprof listening", "debug_addr", dln.Addr().String())
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
@@ -187,18 +227,52 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	// Graceful drain: not-ready first, then stop accepting and wait for
 	// in-flight requests, then flush the store to disk.
-	log.Printf("cpnn-serve: draining (max %v)", *drainTimeout)
+	logger.Info("draining", "max", (*drainTimeout).String())
 	srv.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("cpnn-serve: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if err := closeAll(); err != nil && !errors.Is(err, store.ErrClosed) {
 		return fmt.Errorf("closing store: %w", err)
 	}
-	log.Printf("cpnn-serve: stopped cleanly")
+	logger.Info("stopped cleanly")
 	return nil
+}
+
+// obsKit bundles the process-wide observability sinks: the structured
+// logger, the trace ring behind /debug/traces, and the collector registry
+// the server appends to /metrics.
+type obsKit struct {
+	log    *slog.Logger
+	tracer *obs.Tracer
+	reg    *obs.Registry
+}
+
+// routerObs builds the router's observability hooks and registers its
+// histogram families (per-member hop latency by op and shard, gather
+// fan-out) for the /metrics scrape.
+func (k obsKit) routerObs() shard.Obs {
+	member := obs.NewHistogramVec("cpnn_server_shard_member_seconds",
+		"Per-member scatter-gather hop latency, by op and shard.",
+		[]string{"op", "shard"}, nil)
+	fanout := obs.NewHistogram("cpnn_server_shard_fanout_members",
+		"Members the gather phase actually read, per query.", obs.FanoutBuckets)
+	k.reg.Register(member)
+	k.reg.Register(fanout)
+	return shard.Obs{
+		Tracer:        k.tracer,
+		Logger:        k.log.With("subsystem", "shard"),
+		MemberSeconds: member,
+		Fanout:        fanout,
+	}
+}
+
+// storeOptions attaches the structured logger to a member/primary store.
+func (k obsKit) storeOptions(o store.Options) store.Options {
+	o.Logger = k.log.With("subsystem", "store")
+	return o
 }
 
 // serveApp is the assembled process: the HTTP server plus whichever
@@ -238,7 +312,12 @@ func (a *serveApp) Close() error {
 // buildServer validates flags, loads or recovers the dataset, attaches
 // replication or sharding, and assembles the server. All user input is
 // checked before any engine is built.
-func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
+func buildServer(o serveOpts, cfg server.Config, kit obsKit) (*serveApp, error) {
+	if kit.log == nil {
+		// Tests construct the app without an obsKit; every sink is nil-safe
+		// except the logger, which slog requires to be non-nil.
+		kit.log = obs.Discard()
+	}
 	a := &serveApp{}
 	var st *store.Store
 	fail := func(err error) (*serveApp, error) {
@@ -309,7 +388,10 @@ func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
 		for i, u := range urls {
 			members[i] = shard.NewHTTPMember(u, nil)
 		}
-		rt, err := shard.NewRouter(shard.RouterConfig{Members: members, Cuts: meta.Cuts, NextID: meta.NextID})
+		rt, err := shard.NewRouter(shard.RouterConfig{
+			Members: members, Cuts: meta.Cuts, NextID: meta.NextID,
+			Obs: kit.routerObs(),
+		})
 		if err != nil {
 			return fail(err)
 		}
@@ -330,7 +412,8 @@ func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
 		if o.shardOf >= meta.Shards {
 			return fail(fmt.Errorf("-shard-of %d: the cluster in %s has %d shards", o.shardOf, o.dataDir, meta.Shards))
 		}
-		st, err = store.Open(shard.Dir(o.dataDir, o.shardOf), store.Options{NoSync: o.noSync, ExplicitIDs: true})
+		st, err = store.Open(shard.Dir(o.dataDir, o.shardOf),
+			kit.storeOptions(store.Options{NoSync: o.noSync, ExplicitIDs: true}))
 		if err != nil {
 			return fail(err)
 		}
@@ -343,17 +426,17 @@ func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
 		// Single-process cluster: open an existing layout, or partition a
 		// seed dataset into a fresh one.
 		if _, err := os.Stat(filepath.Join(o.dataDir, shard.MetaFile)); err == nil {
-			cluster, err := shard.OpenCluster(o.dataDir, store.Options{NoSync: o.noSync})
+			cluster, err := shard.OpenCluster(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync}))
 			if err != nil {
 				return fail(err)
 			}
 			a.cluster = cluster
 			if cluster.Meta.Shards != o.shards {
-				log.Printf("cpnn-serve: cluster %s already holds %d shards; ignoring -shards %d",
-					o.dataDir, cluster.Meta.Shards, o.shards)
+				kit.log.Warn("cluster already laid out; ignoring -shards",
+					"dir", o.dataDir, "have", cluster.Meta.Shards, "flag", o.shards)
 			}
 			if o.gen || o.dataPath != "" {
-				log.Printf("cpnn-serve: cluster %s already exists; ignoring -gen/-data", o.dataDir)
+				kit.log.Warn("cluster already exists; ignoring -gen/-data", "dir", o.dataDir)
 			}
 		} else {
 			ds, _, err := loadDataset(o.dataPath, o.gen, o.seed)
@@ -367,13 +450,13 @@ func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
 				ids[i] = uint64(i + 1)
 			}
 			view := &store.View{Dataset: ds, IDs: ids, NextID: uint64(ds.Len()) + 1}
-			cluster, err := shard.CreateCluster(o.dataDir, o.shards, view, store.Options{NoSync: o.noSync})
+			cluster, err := shard.CreateCluster(o.dataDir, o.shards, view, kit.storeOptions(store.Options{NoSync: o.noSync}))
 			if err != nil {
 				return fail(err)
 			}
 			a.cluster = cluster
 		}
-		rt, err := a.cluster.Router()
+		rt, err := a.cluster.RouterObs(kit.routerObs())
 		if err != nil {
 			return fail(err)
 		}
@@ -391,12 +474,18 @@ func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
 			return fail(fmt.Errorf("-follow is mutually exclusive with -gen/-data: the dataset is replicated from the primary"))
 		}
 		var err error
-		st, err = store.OpenFollower(o.dataDir, store.Options{NoSync: o.noSync})
+		st, err = store.OpenFollower(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync}))
 		if err != nil {
 			return fail(err)
 		}
+		applyLag := obs.NewHistogram("cpnn_server_replica_apply_lag_seconds",
+			"Follower lag behind the primary, observed after each applied batch.", obs.LagBuckets)
+		kit.reg.Register(applyLag)
 		a.fol, err = replica.StartFollower(replica.FollowerConfig{
 			Store: st, Primary: o.follow, Dir: o.dataDir,
+			Logger:   kit.log.With("subsystem", "replica"),
+			Tracer:   kit.tracer,
+			ApplyLag: applyLag,
 		})
 		if err != nil {
 			return fail(err)
@@ -405,7 +494,7 @@ func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
 
 	case o.dataDir != "":
 		var err error
-		st, err = store.Open(o.dataDir, store.Options{NoSync: o.noSync})
+		st, err = store.Open(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync}))
 		if err != nil {
 			return fail(err)
 		}
@@ -436,8 +525,8 @@ func buildServer(o serveOpts, cfg server.Config) (*serveApp, error) {
 			// The durable contents win (disks-only stores count: seeding would
 			// truncate them); -gen/-data would have been only the seed.
 			if o.gen || o.dataPath != "" {
-				log.Printf("cpnn-serve: store %s already holds %d objects and %d disks; ignoring -gen/-data",
-					o.dataDir, st.View().Dataset.Len(), len(st.View().Disks))
+				kit.log.Warn("store already populated; ignoring -gen/-data",
+					"dir", o.dataDir, "objects", st.View().Dataset.Len(), "disks", len(st.View().Disks))
 			}
 			a.source = fmt.Sprintf("store:%s", o.dataDir)
 			cfg.Source = a.source

@@ -27,7 +27,7 @@ func writeDataset(t *testing.T, lines string) string {
 
 func TestBuildServerFromFile(t *testing.T) {
 	path := writeDataset(t, "1 2\n5 9\nhist 10 11 12 | 1 3\n")
-	app, err := buildServer(serveOpts{shardOf: -1, dataPath: path, seed: 1}, server.Config{})
+	app, err := buildServer(serveOpts{shardOf: -1, dataPath: path, seed: 1}, server.Config{}, obsKit{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,30 +46,30 @@ func TestBuildServerFromFile(t *testing.T) {
 }
 
 func TestBuildServerRejectsBadInput(t *testing.T) {
-	if _, err := buildServer(serveOpts{shardOf: -1, seed: 1}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, seed: 1}, server.Config{}, obsKit{}); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: "/nonexistent/ds", seed: 1}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: "/nonexistent/ds", seed: 1}, server.Config{}, obsKit{}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: "x", gen: true, seed: 1}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: "x", gen: true, seed: 1}, server.Config{}, obsKit{}); err == nil {
 		t.Error("-gen with -data accepted")
 	}
 	bad := writeDataset(t, "9 2\n")
-	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: bad, seed: 1}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: bad, seed: 1}, server.Config{}, obsKit{}); err == nil {
 		t.Error("inverted interval accepted")
 	}
 	good := writeDataset(t, "1 2\n")
-	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: good, seed: 1}, server.Config{Quantum: -2}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: good, seed: 1}, server.Config{Quantum: -2}, obsKit{}); err == nil {
 		t.Error("negative quantum accepted")
 	}
-	if _, err := buildServer(serveOpts{shardOf: -1, follow: "127.0.0.1:1"}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, follow: "127.0.0.1:1"}, server.Config{}, obsKit{}); err == nil {
 		t.Error("-follow without -data-dir accepted")
 	}
-	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: good, replicateAddr: "127.0.0.1:0"}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataPath: good, replicateAddr: "127.0.0.1:0"}, server.Config{}, obsKit{}); err == nil {
 		t.Error("-replicate-addr without -data-dir accepted")
 	}
-	if _, err := buildServer(serveOpts{shardOf: -1, dataDir: t.TempDir(), follow: "127.0.0.1:1", gen: true}, server.Config{}); err == nil {
+	if _, err := buildServer(serveOpts{shardOf: -1, dataDir: t.TempDir(), follow: "127.0.0.1:1", gen: true}, server.Config{}, obsKit{}); err == nil {
 		t.Error("-follow with -gen accepted")
 	}
 }
@@ -80,7 +80,7 @@ func TestBuildServerSeedsAndRecoversDataDir(t *testing.T) {
 	path := writeDataset(t, "1 2\n5 9\n")
 	dir := t.TempDir()
 
-	app, err := buildServer(serveOpts{shardOf: -1, dataPath: path, seed: 1, dataDir: dir, noSync: true}, server.Config{})
+	app, err := buildServer(serveOpts{shardOf: -1, dataPath: path, seed: 1, dataDir: dir, noSync: true}, server.Config{}, obsKit{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestBuildServerSeedsAndRecoversDataDir(t *testing.T) {
 
 	// Reopen with a DIFFERENT -data file: the store contents must win.
 	other := writeDataset(t, "100 101\n200 201\n300 301\n")
-	app, err = buildServer(serveOpts{shardOf: -1, dataPath: other, seed: 1, dataDir: dir, noSync: true}, server.Config{})
+	app, err = buildServer(serveOpts{shardOf: -1, dataPath: other, seed: 1, dataDir: dir, noSync: true}, server.Config{}, obsKit{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,11 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -49,7 +51,13 @@ func run(args []string, out io.Writer) error {
 	noSync := fs.Bool("no-fsync", false, "skip fsyncs (compact/split only; faster on scratch copies)")
 	into := fs.String("into", "", "split: destination cluster directory")
 	shards := fs.Int("shards", 0, "split: member count K")
+	var lo obs.LogOptions
+	lo.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := lo.Logger(os.Stderr, "cpnn-store")
+	if err != nil {
 		return err
 	}
 	if *dir == "" {
@@ -66,7 +74,8 @@ func run(args []string, out io.Writer) error {
 		if *into == "" || *shards < 1 {
 			return fmt.Errorf("split requires -into DIR and -shards K")
 		}
-		meta, err := shard.SplitStore(*dir, *into, *shards, store.Options{NoSync: *noSync})
+		logger.Info("splitting store", "src", *dir, "into", *into, "shards", *shards)
+		meta, err := shard.SplitStore(*dir, *into, *shards, store.Options{NoSync: *noSync, Logger: logger})
 		if err != nil {
 			return err
 		}
@@ -93,18 +102,20 @@ func run(args []string, out io.Writer) error {
 		}
 		for i := 0; i < meta.Shards; i++ {
 			fmt.Fprintf(out, "--- shard %d/%d: %s\n", i, meta.Shards, shard.Dir(*dir, i))
-			if err := runOne(shard.Dir(*dir, i), cmd, *noSync, out); err != nil {
+			if err := runOne(shard.Dir(*dir, i), cmd, *noSync, logger, out); err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)
 			}
 		}
 		return nil
 	}
-	return runOne(*dir, cmd, *noSync, out)
+	return runOne(*dir, cmd, *noSync, logger, out)
 }
 
-// runOne opens one store directory and applies cmd to it.
-func runOne(dir, cmd string, noSync bool, out io.Writer) error {
-	s, err := store.Open(dir, store.Options{NoSync: noSync})
+// runOne opens one store directory and applies cmd to it. Recovery events
+// (torn-tail truncation, replay progress) surface through the structured
+// logger; command output itself stays on out.
+func runOne(dir, cmd string, noSync bool, logger *slog.Logger, out io.Writer) error {
+	s, err := store.Open(dir, store.Options{NoSync: noSync, Logger: logger})
 	if err != nil {
 		return err
 	}

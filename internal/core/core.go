@@ -179,6 +179,15 @@ func (s Stats) Total() time.Duration {
 	return s.FilterTime + s.InitTime + s.VerifyTime + s.RefineTime
 }
 
+// PhaseDurations maps the four recorded timers onto the serving stack's
+// three observable phases: filter (candidate-set computation), derive
+// (pdf/cdf derivation and subregion setup), and verify (verifier chain plus
+// all refinement integration). This is the contract behind the
+// cpnn_query_phase_seconds{phase=...} histograms.
+func (s Stats) PhaseDurations() (filter, derive, verify time.Duration) {
+	return s.FilterTime, s.InitTime, s.VerifyTime + s.RefineTime
+}
+
 // Result is a C-PNN answer set with per-candidate detail and statistics.
 type Result struct {
 	// Answers holds the objects that satisfy the C-PNN, sorted by ID.

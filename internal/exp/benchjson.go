@@ -96,7 +96,12 @@ func (r *ReplayReport) Records() []BenchRecord {
 			P95Ms:       ms(row.P95),
 			P99Ms:       ms(row.P99),
 			AllocsPerOp: row.AllocsPerQuery,
-			Extra:       Extra{"ratio": row.Ratio},
+			Extra: Extra{
+				"ratio":           row.Ratio,
+				"phase_filter_ms": ms(row.FilterTime),
+				"phase_derive_ms": ms(row.DeriveTime),
+				"phase_verify_ms": ms(row.VerifyTime),
+			},
 		})
 	}
 	return out

@@ -45,6 +45,11 @@ type ReplayRow struct {
 	Ratio float64
 	// AllocsPerQuery counts heap allocations per query at this batch size.
 	AllocsPerQuery float64
+	// FilterTime, DeriveTime and VerifyTime split the engine time into the
+	// paper's evaluation phases (filtering, bound derivation,
+	// verification+refinement — core.Stats.PhaseDurations), summed over the
+	// whole workload at this batch size.
+	FilterTime, DeriveTime, VerifyTime time.Duration
 }
 
 // ReplayReport is the outcome of a workload replay.
@@ -95,6 +100,7 @@ func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 	// Baseline: sequential singles, timed per query.
 	var lat stats.Sample
 	var ms0, ms1 runtime.MemStats
+	var sFilter, sDerive, sVerify time.Duration
 	runtime.ReadMemStats(&ms0)
 	singleStart := time.Now()
 	baseAnswers := 0
@@ -106,6 +112,8 @@ func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 		}
 		lat.AddDuration(time.Since(qStart))
 		baseAnswers += len(res.Answers)
+		f, d, v := res.Stats.PhaseDurations()
+		sFilter, sDerive, sVerify = sFilter+f, sDerive+d, sVerify+v
 	}
 	singlesTotal := time.Since(singleStart)
 	runtime.ReadMemStats(&ms1)
@@ -122,10 +130,14 @@ func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 				P99:            msToDur(lat.Percentile(99)),
 				Ratio:          1,
 				AllocsPerQuery: singlesAllocs,
+				FilterTime:     sFilter,
+				DeriveTime:     sDerive,
+				VerifyTime:     sVerify,
 			})
 			continue
 		}
 		var batchLat stats.Sample
+		var bFilter, bDerive, bVerify time.Duration
 		answers := 0
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
@@ -145,6 +157,8 @@ func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 			for _, r := range br.Results {
 				answers += len(r.Answers)
 			}
+			f, d, v := br.Stats.Aggregate.PhaseDurations()
+			bFilter, bDerive, bVerify = bFilter+f, bDerive+d, bVerify+v
 		}
 		total := time.Since(start)
 		runtime.ReadMemStats(&ms1)
@@ -160,6 +174,9 @@ func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 			P99:            msToDur(batchLat.Percentile(99)),
 			Ratio:          float64(singlesTotal) / float64(total),
 			AllocsPerQuery: float64(ms1.Mallocs-ms0.Mallocs) / float64(len(cfg.Queries)),
+			FilterTime:     bFilter,
+			DeriveTime:     bDerive,
+			VerifyTime:     bVerify,
 		})
 	}
 	return report, nil
@@ -172,13 +189,16 @@ func msToDur(ms float64) time.Duration {
 // Print renders the replay report as an aligned table.
 func (r *ReplayReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "# Workload replay: %d queries, %d answers\n", r.Queries, r.Answers)
-	fmt.Fprintf(w, "%10s %12s %12s %12s %12s %12s %8s\n",
-		"batch", "total", "queries/s", "p50", "p95", "p99", "ratio")
+	fmt.Fprintf(w, "%10s %12s %12s %12s %12s %12s %8s %24s\n",
+		"batch", "total", "queries/s", "p50", "p95", "p99", "ratio", "filter/derive/verify")
 	for _, row := range r.Rows {
 		qps := float64(r.Queries) / row.Total.Seconds()
-		fmt.Fprintf(w, "%10d %12s %12.0f %12s %12s %12s %8.2f\n",
+		phases := fmt.Sprintf("%s/%s/%s",
+			row.FilterTime.Round(time.Microsecond), row.DeriveTime.Round(time.Microsecond),
+			row.VerifyTime.Round(time.Microsecond))
+		fmt.Fprintf(w, "%10d %12s %12.0f %12s %12s %12s %8.2f %24s\n",
 			row.BatchSize, row.Total.Round(time.Microsecond), qps,
 			row.P50.Round(time.Microsecond), row.P95.Round(time.Microsecond),
-			row.P99.Round(time.Microsecond), row.Ratio)
+			row.P99.Round(time.Microsecond), row.Ratio, phases)
 	}
 }

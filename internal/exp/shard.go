@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -144,7 +145,7 @@ func runShardCount(dir string, k int, ds *uncertain.Dataset, cfg ShardConfig) (*
 	for q := 0; q < cfg.Queries; q++ {
 		pt := dom.Lo + rng.Float64()*(dom.Hi-dom.Lo)
 		t0 := time.Now()
-		g, err := rt.Gather(pt, 1)
+		g, err := rt.Gather(context.Background(), pt, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -163,13 +164,13 @@ func runShardCount(dir string, k int, ds *uncertain.Dataset, cfg ShardConfig) (*
 
 	st := rt.Stats()
 	row := &ShardRow{
-		Shards:    k,
-		SplitTime: split,
-		OpsPerSec: float64(cfg.Queries) / total.Seconds(),
-		P50:       msToDur(lat.Percentile(50)),
-		P95:       msToDur(lat.Percentile(95)),
-		P99:       msToDur(lat.Percentile(99)),
-		Retries:   st.Retries,
+		Shards:     k,
+		SplitTime:  split,
+		OpsPerSec:  float64(cfg.Queries) / total.Seconds(),
+		P50:        msToDur(lat.Percentile(50)),
+		P95:        msToDur(lat.Percentile(95)),
+		P99:        msToDur(lat.Percentile(99)),
+		Retries:    st.Retries,
 		Candidates: cand.Mean(),
 	}
 	if st.Queries > 0 {

@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -36,12 +37,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 	"repro/internal/store"
 )
 
 // ErrClosed is returned by operations on a closed monitor.
 var ErrClosed = errors.New("monitor: closed")
+
+// logger returns the configured structured logger, or a discard logger.
+func (m *Monitor) logger() *slog.Logger { return obs.Or(m.cfg.Logger) }
 
 // ErrUnknownMonitor marks operations addressing an unregistered monitor ID.
 var ErrUnknownMonitor = errors.New("monitor: unknown monitor id")
@@ -78,6 +83,13 @@ type Config struct {
 	// path and retains no per-query state — the baseline the benchmark's
 	// incremental-vs-scratch comparison runs against.
 	DisableIncremental bool
+	// Logger receives structured monitor events (evaluation errors); nil
+	// discards them.
+	Logger *slog.Logger
+	// PushLatency, when set, observes commit-to-push latency in seconds:
+	// the time from the store commit that dirtied a standing query to the
+	// push of its updated answer.
+	PushLatency *obs.Histogram
 }
 
 // standing is one registered query.
@@ -99,6 +111,9 @@ type standing struct {
 	// by the monitor mutex; an evaluating worker owns a snapshot.
 	pending map[uint64]int
 	full    bool
+	// dirtyAt is when the oldest unserviced dirtying commit landed (zero
+	// when clean) — the start point of the push-latency measurement.
+	dirtyAt time.Time
 
 	// state is the persistent incremental-evaluation state (nil until the
 	// first worker evaluation, and while evicted). The owning worker touches
@@ -316,6 +331,7 @@ func (m *Monitor) Register(spec Spec) (*State, error) {
 	// one catch-up evaluation.
 	if m.cur.Version != view.Version {
 		m.dirty[q.id] = struct{}{}
+		q.dirtyAt = time.Now()
 		m.cond.Broadcast()
 	}
 	return &State{ID: q.id, Spec: spec, Version: q.version, Answer: q.body}, nil
@@ -477,9 +493,13 @@ func (m *Monitor) feedLoop() {
 			}
 			// The changed-ID set is unknowable (gap) or "everything"
 			// (truncation): every query re-derives from scratch.
+			now := time.Now()
 			for id, q := range m.queries {
 				m.dirty[id] = struct{}{}
 				q.full = true
+				if q.dirtyAt.IsZero() {
+					q.dirtyAt = now
+				}
 			}
 			affected = len(m.queries)
 		} else {
@@ -517,8 +537,12 @@ func (m *Monitor) feedLoop() {
 					m.qix.Search(ch.NewRect, collect)
 				}
 			}
+			now := time.Now()
 			for id := range hit {
 				m.dirty[id] = struct{}{}
+				if q := m.queries[id]; q != nil && q.dirtyAt.IsZero() {
+					q.dirtyAt = now
+				}
 			}
 			affected = len(hit)
 		}
@@ -561,6 +585,8 @@ func (m *Monitor) worker() {
 		}
 		q.evaluating = true
 		m.inflight++
+		dirtyAt := q.dirtyAt
+		q.dirtyAt = time.Time{}
 		view, eng, spec := m.cur, m.curEng, q.spec
 		// Take ownership of the changed-ID snapshot; changes landing during
 		// the evaluation start a fresh set (and set redo).
@@ -591,6 +617,8 @@ func (m *Monitor) worker() {
 		m.nIncDerived += uint64(inc.Derived)
 		if err != nil {
 			m.nErrors++
+			m.logger().Warn("standing-query evaluation failed",
+				"monitor_id", q.id, "kind", spec.Kind.String(), "err", err)
 			if state != nil {
 				state.Invalidate()
 			}
@@ -630,6 +658,9 @@ func (m *Monitor) worker() {
 			q.redo = false
 			if live {
 				m.dirty[q.id] = struct{}{}
+				if q.dirtyAt.IsZero() {
+					q.dirtyAt = time.Now()
+				}
 				if racedGrowth {
 					// The wrongly-pruned annulus changes never reached
 					// q.pending; only a full re-derivation is sound.
@@ -652,6 +683,9 @@ func (m *Monitor) worker() {
 			} else if !bytes.Equal(body, q.body) {
 				q.body = body
 				m.nPushes++
+				if !dirtyAt.IsZero() {
+					m.cfg.PushLatency.Observe(time.Since(dirtyAt).Seconds())
+				}
 				m.pushLocked(Update{
 					ID: q.id, Version: view.Version, Kind: spec.Kind.String(),
 					Q: spec.Q, Answer: body,

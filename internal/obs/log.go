@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogOptions is the flag surface every binary shares.
+type LogOptions struct {
+	// Format is "text" or "json".
+	Format string
+	// Level is "debug", "info", "warn" or "error".
+	Level string
+}
+
+// RegisterFlags wires -log-format and -log-level into a flag set with the
+// conventional defaults.
+func (o *LogOptions) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.Format, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&o.Level, "log-level", "info", "minimum log level: debug, info, warn, error")
+}
+
+// Logger builds the binary's root logger writing to w. Every line carries
+// the component and the build version, satisfying the fleet-wide contract
+// that a log line is attributable to a subsystem and a deploy.
+func (o LogOptions) Logger(w io.Writer, component string) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(o.Level) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error)", o.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(o.Format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text, json)", o.Format)
+	}
+	return slog.New(h).With("component", component, "version", Version), nil
+}
+
+// Discard returns a logger that drops everything — the default when a
+// component is constructed without one, so library code can log
+// unconditionally.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// Or returns l, or a discard logger when l is nil.
+func Or(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Discard()
+	}
+	return l
+}
+
+// TraceID returns the active trace ID as hex for log correlation, or ""
+// when the context carries no trace.
+func TraceID(ctx context.Context) string {
+	if sc, ok := SpanFromContext(ctx); ok {
+		return sc.TraceHex()
+	}
+	return ""
+}

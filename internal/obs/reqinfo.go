@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// ReqInfo accumulates per-request annotations (phase timings, cache label,
+// fan-out) from wherever in the evaluation stack they become known; the
+// ingress middleware copies them onto the ingress span and the slow-query
+// entry when the request completes. Safe on nil.
+type ReqInfo struct {
+	mu    sync.Mutex
+	attrs map[string]string
+}
+
+type reqInfoKey struct{}
+
+// WithReqInfo attaches a fresh carrier to the context.
+func WithReqInfo(ctx context.Context) (context.Context, *ReqInfo) {
+	ri := &ReqInfo{}
+	return context.WithValue(ctx, reqInfoKey{}, ri), ri
+}
+
+// ReqInfoFrom returns the context's carrier, or nil.
+func ReqInfoFrom(ctx context.Context) *ReqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*ReqInfo)
+	return ri
+}
+
+// Set records one annotation. Safe on nil.
+func (ri *ReqInfo) Set(key, value string) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	if ri.attrs == nil {
+		ri.attrs = make(map[string]string, 8)
+	}
+	ri.attrs[key] = value
+	ri.mu.Unlock()
+}
+
+// Attrs returns a copy of the recorded annotations (nil when none).
+func (ri *ReqInfo) Attrs() map[string]string {
+	if ri == nil {
+		return nil
+	}
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	if len(ri.attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(ri.attrs))
+	for k, v := range ri.attrs {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultSlowLogEntries is the ring capacity binaries use unless told
+// otherwise.
+const DefaultSlowLogEntries = 128
+
+// SlowEntry is one admitted slow request.
+type SlowEntry struct {
+	Time       time.Time `json:"time"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	Endpoint   string    `json:"endpoint"`
+	Query      string    `json:"query,omitempty"`
+	Status     int       `json:"status"`
+	DurationMs float64   `json:"duration_ms"`
+	// Attrs carries the phase breakdown and cache/fan-out labels captured
+	// during evaluation.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring of the most recent requests slower than
+// a threshold, served at GET /debug/slowlog. A zero threshold disables
+// admission. Safe on nil.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []SlowEntry
+	next      int
+	n         int
+	total     uint64
+}
+
+// NewSlowLog returns a slow log holding the last capacity entries
+// (DefaultSlowLogEntries when <= 0) at or above threshold.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogEntries
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, capacity)}
+}
+
+// Threshold returns the admission threshold (0 = disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe admits the entry when the log is enabled and the request met the
+// threshold, reporting whether it was admitted.
+func (l *SlowLog) Observe(e SlowEntry) bool {
+	if l == nil || l.threshold <= 0 {
+		return false
+	}
+	if time.Duration(e.DurationMs*float64(time.Millisecond)) < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+	return true
+}
+
+// Entries returns up to n admitted entries, newest first (n <= 0 means
+// all retained).
+func (l *SlowLog) Entries(n int) []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > l.n {
+		n = l.n
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Total returns how many entries were ever admitted (including those the
+// ring has since overwritten).
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// ServeHTTP serves GET /debug/slowlog?n= as JSON, newest entry first.
+func (l *SlowLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		if p, err := strconv.Atoi(v); err == nil {
+			n = p
+		}
+	}
+	entries := l.Entries(n)
+	if entries == nil {
+		entries = []SlowEntry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"threshold_ms": float64(l.Threshold()) / float64(time.Millisecond),
+		"total":        l.Total(),
+		"entries":      entries,
+	})
+}

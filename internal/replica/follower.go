@@ -5,11 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -36,6 +39,16 @@ type FollowerConfig struct {
 	// BatchMax caps how many already-received records one ApplyReplicated
 	// call (one follower fsync) absorbs; 0 means 64.
 	BatchMax int
+	// Logger receives structured replication-stream events (connects,
+	// snapshot bootstraps, stream errors); nil discards them.
+	Logger *slog.Logger
+	// Tracer, when set, records one "wal.replay" span per applied record
+	// batch, under follower-local traces.
+	Tracer *obs.Tracer
+	// ApplyLag, when set, observes the follower's seconds-behind after each
+	// applied batch — the histogram behind the replica lag alerts (the lag
+	// gauges only sample at scrape time).
+	ApplyLag *obs.Histogram
 }
 
 // Lag is the follower's distance behind the primary, three ways.
@@ -134,6 +147,7 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 64
 	}
+	cfg.Logger = obs.Or(cfg.Logger)
 	f := &Follower{
 		cfg:        cfg,
 		closed:     make(chan struct{}),
@@ -260,6 +274,7 @@ func (f *Follower) run() {
 func (f *Follower) setErr(err error) {
 	if err != nil {
 		f.lastErr.Store(err.Error())
+		f.cfg.Logger.Warn("replication stream error", "primary", f.cfg.Primary, "err", err)
 	}
 }
 
@@ -327,6 +342,8 @@ func (f *Follower) stream() (welcomed bool) {
 				return welcomed
 			}
 			f.snapshotBootstraps.Add(1)
+			f.cfg.Logger.Info("snapshot bootstrap installed",
+				"primary", f.cfg.Primary, "seq", sm.Seq, "version", sm.Version)
 			f.appliedWAL.Store(sm.WALAppended)
 			f.notePrimary(positionMsg{Seq: sm.Seq, Version: sm.Version, WALAppended: sm.WALAppended})
 			f.maybeCaughtUp(syncTarget)
@@ -390,11 +407,18 @@ func (f *Follower) applyRecords(recs []store.LogRecord, syncTarget uint64) bool 
 	for _, rec := range recs {
 		bytes += uint64(len(rec.Payload))
 	}
+	_, sp := f.cfg.Tracer.StartSpan(context.Background(), "replica", "wal.replay")
+	sp.SetAttr("records", strconv.Itoa(len(recs)))
+	sp.SetAttr("bytes", strconv.FormatUint(bytes, 10))
+	sp.SetAttr("seq_first", strconv.FormatUint(recs[0].Seq, 10))
+	sp.SetAttr("seq_last", strconv.FormatUint(recs[len(recs)-1].Seq, 10))
 	if _, err := f.cfg.Store.ApplyReplicated(recs); err != nil {
 		// Out-of-sync: reconnect resyncs from the store's actual position.
 		// Anything else (closed, broken) also ends the stream; the reconnect
 		// loop keeps trying until Close.
 		f.setErr(err)
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return false
 	}
 	last := recs[len(recs)-1]
@@ -404,6 +428,8 @@ func (f *Follower) applyRecords(recs []store.LogRecord, syncTarget uint64) bool 
 	f.notePrimary(positionMsg{Seq: last.Seq, Version: last.Version, WALAppended: last.WALOffset})
 	f.maybeCaughtUp(syncTarget)
 	f.writeState(false)
+	sp.End()
+	f.cfg.ApplyLag.Observe(f.Lag().Seconds)
 	return true
 }
 
@@ -467,6 +493,8 @@ func (f *Follower) maybeCaughtUp(syncTarget uint64) {
 	if f.cfg.Store.View().Seq >= syncTarget {
 		f.caughtUp.Store(true)
 		f.caughtUpOnce.Do(func() { close(f.caughtUpCh) })
+		f.cfg.Logger.Info("caught up with primary",
+			"primary", f.cfg.Primary, "seq", f.cfg.Store.View().Seq)
 		f.writeState(true)
 	}
 }

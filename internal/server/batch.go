@@ -170,7 +170,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(qq float64, out *outcome) {
 			defer wg.Done()
-			out.body, out.src, out.err = s.cpnnBody(r.Context(), snap, qq, c, strat, req.All)
+			out.body, out.src, out.err = s.cpnnBody(r.Context(), epBatch, snap, qq, c, strat, req.All)
 		}(qq, slot[qq])
 	}
 	wg.Wait()

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -56,6 +58,33 @@ func (e endpoint) String() string {
 	}
 }
 
+// sseReason classifies why an SSE subscription stream ended, for the
+// cpnn_server_sse_closed_total{reason=...} counter and the close log line.
+type sseReason int
+
+const (
+	sseDrain      sseReason = iota // server shutdown drained the stream
+	sseClientGone                  // client disconnected (request context done)
+	sseLagged                      // subscriber fell behind and was cut
+	sseClosed                      // subscription closed (monitor unregistered)
+	numSSEReasons
+)
+
+func (r sseReason) String() string {
+	switch r {
+	case sseDrain:
+		return "drain"
+	case sseClientGone:
+		return "client_gone"
+	case sseLagged:
+		return "lagged"
+	case sseClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
 // metrics holds the server's operational counters. All fields are atomics so
 // the serving path never takes a lock to account for itself; /metrics renders
 // them in the Prometheus text exposition format without external
@@ -75,6 +104,9 @@ type metrics struct {
 	// not complete — a non-zero value means the served snapshot may lag the
 	// durable store (store mode only).
 	followerErrors atomic.Int64
+
+	// sseClosed counts ended SSE subscription streams by close reason.
+	sseClosed [numSSEReasons]atomic.Int64
 }
 
 // write renders every counter plus the cache, snapshot and (when a store is
@@ -117,6 +149,12 @@ func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats, 
 	fmt.Fprintf(w, "# TYPE %ssnapshot_reloads_total counter\n", p)
 	fmt.Fprintf(w, "%ssnapshot_reloads_total %d\n", p, m.reloads.Load())
 
+	fmt.Fprintf(w, "# HELP %ssse_closed_total SSE subscription streams ended, by close reason.\n", p)
+	fmt.Fprintf(w, "# TYPE %ssse_closed_total counter\n", p)
+	for r := sseReason(0); r < numSSEReasons; r++ {
+		fmt.Fprintf(w, "%ssse_closed_total{reason=%q} %d\n", p, r.String(), m.sseClosed[r].Load())
+	}
+
 	if st == nil {
 		return
 	}
@@ -136,6 +174,18 @@ func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats, 
 	fmt.Fprintf(w, "%sstore_checkpoints_total %d\n", p, st.Checkpoints)
 	fmt.Fprintf(w, "# TYPE %sstore_checkpoint_seconds_total counter\n", p)
 	fmt.Fprintf(w, "%sstore_checkpoint_seconds_total %g\n", p, float64(st.CheckpointNanos)/1e9)
+	if st.LastCheckpointUnixNano > 0 {
+		age := time.Since(time.Unix(0, st.LastCheckpointUnixNano)).Seconds()
+		if age < 0 {
+			age = 0
+		}
+		fmt.Fprintf(w, "# HELP %sstore_checkpoint_age_seconds Seconds since the last completed checkpoint.\n", p)
+		fmt.Fprintf(w, "# TYPE %sstore_checkpoint_age_seconds gauge\n", p)
+		fmt.Fprintf(w, "%sstore_checkpoint_age_seconds %g\n", p, age)
+	}
+	fmt.Fprintf(w, "# HELP %sstore_wal_tail_bytes WAL bytes a reopen would replay (compaction debt since the last checkpoint).\n", p)
+	fmt.Fprintf(w, "# TYPE %sstore_wal_tail_bytes gauge\n", p)
+	fmt.Fprintf(w, "%sstore_wal_tail_bytes %d\n", p, st.WALBytes)
 	fmt.Fprintf(w, "# TYPE %sstore_objects_2d gauge\n", p)
 	fmt.Fprintf(w, "%sstore_objects_2d %d\n", p, st.Objects2D)
 	fmt.Fprintf(w, "# TYPE %sstore_feed_subscribers gauge\n", p)
@@ -193,4 +243,17 @@ func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats, 
 	fmt.Fprintf(w, "%smonitor_state_queries %d\n", p, ms.StateQueries)
 	fmt.Fprintf(w, "# TYPE %smonitor_state_evictions_total counter\n", p)
 	fmt.Fprintf(w, "%smonitor_state_evictions_total %d\n", p, ms.StateEvictions)
+}
+
+// writeObsMetrics renders the build-info gauge, process uptime, the
+// per-phase latency histograms, and every collector the binary registered
+// (router member/fan-out, replica apply-lag, monitor push-latency). Appended
+// by both the single-store and router-mode /metrics handlers.
+func (s *Server) writeObsMetrics(w io.Writer) {
+	obs.WriteBuildInfo(w)
+	fmt.Fprintf(w, "# HELP cpnn_server_uptime_seconds Seconds since the server was constructed.\n")
+	fmt.Fprintf(w, "# TYPE cpnn_server_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "cpnn_server_uptime_seconds %g\n", time.Since(s.started).Seconds())
+	s.phase.WritePrometheus(w)
+	s.extra.WritePrometheus(w)
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/verify"
 )
@@ -250,6 +251,26 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sub.Close()
 
+	// Structured close accounting: every stream ends for exactly one reason,
+	// counted in cpnn_server_sse_closed_total and logged with the trace ID.
+	reason := sseClosed
+	sawLag := false
+	start := time.Now()
+	defer func() {
+		if sawLag && reason == sseClosed {
+			// A lagged subscriber is cut by the monitor; attribute the close
+			// to the lag rather than a plain unsubscribe.
+			reason = sseLagged
+		}
+		s.m.sseClosed[reason].Add(1)
+		s.log.Info("sse stream closed",
+			"reason", reason.String(),
+			"trace_id", obs.TraceID(r.Context()),
+			"ids", len(ids),
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond))
+		obs.ReqInfoFrom(r.Context()).Set("sse_close_reason", reason.String())
+	}()
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
@@ -274,8 +295,10 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			reason = sseClientGone
 			return
 		case <-s.drainCh:
+			reason = sseDrain
 			return
 		case <-ping.C:
 			fmt.Fprint(w, ": ping\n\n")
@@ -288,6 +311,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			case monitor.EventUpdate:
 				writeSSE(w, "update", ev.Update)
 			case monitor.EventLagged:
+				sawLag = true
 				writeSSE(w, "lagged", struct {
 					Dropped bool `json:"dropped"`
 				}{true})

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -38,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -136,6 +138,21 @@ type Config struct {
 	// incremental evaluation states; 0 means the monitor's default, negative
 	// disables the cap.
 	MonitorStateBytes int64
+
+	// Logger receives the server's structured logs; nil discards them.
+	Logger *slog.Logger
+	// Tracer records request spans and serves GET /debug/traces; nil means a
+	// private tracer with the default capacity (tracing is always on — its
+	// cost is one bounded ring).
+	Tracer *obs.Tracer
+	// Metrics is an extra collector registry appended to /metrics — binaries
+	// register router/follower histograms here so one scrape covers the
+	// whole process. nil means a private registry.
+	Metrics *obs.Registry
+	// SlowQueryThreshold enables the slow-query ring served at GET
+	// /debug/slowlog: requests at or above it are recorded with their phase
+	// breakdown, cache/fan-out labels and trace ID. 0 disables.
+	SlowQueryThreshold time.Duration
 }
 
 // storeHasData reports whether an attached store holds any durable objects
@@ -264,6 +281,21 @@ type Server struct {
 	shardMon *shard.Monitor
 	member   *shard.Local
 
+	// Observability: structured logs, the span ring behind /debug/traces,
+	// the slow-query ring behind /debug/slowlog, and the per-phase latency
+	// histograms fed from core.Stats.
+	log     *slog.Logger
+	tracer  *obs.Tracer
+	slowlog *obs.SlowLog
+	phase   *obs.HistogramVec
+	extra   *obs.Registry
+	started time.Time
+	// traceSample counts headerless requests for 1-in-N trace sampling;
+	// phaseObs holds the pre-resolved {filter,derive,verify} histogram
+	// children per evaluating endpoint.
+	traceSample atomic.Uint64
+	phaseObs    [numEndpoints][3]*obs.Histogram
+
 	reloadMu sync.Mutex // serializes snapshot swaps, not reads
 }
 
@@ -279,6 +311,31 @@ func New(cfg Config) (*Server, error) {
 		cc:      newCache(cfg.CacheEntries, cfg.CacheShards),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		drainCh: make(chan struct{}),
+		log:     obs.Or(cfg.Logger),
+		tracer:  cfg.Tracer,
+		slowlog: obs.NewSlowLog(0, cfg.SlowQueryThreshold),
+		phase: obs.NewHistogramVec("cpnn_query_phase_seconds",
+			"Per-phase query evaluation latency, from core.Stats.",
+			[]string{"phase", "endpoint"}, nil),
+		extra:   cfg.Metrics,
+		started: time.Now(),
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(0)
+	}
+	if s.extra == nil {
+		s.extra = obs.NewRegistry()
+	}
+	// Resolve the per-endpoint phase children once: the query hot path then
+	// observes through three pointer-stable histograms instead of building
+	// a label key per request. Only the evaluating endpoints have phases.
+	for _, e := range []endpoint{epCPNN, epPNN, epKNN, epBatch} {
+		name := e.String()
+		s.phaseObs[e] = [3]*obs.Histogram{
+			s.phase.With("filter", name),
+			s.phase.With("derive", name),
+			s.phase.With("verify", name),
+		}
 	}
 	switch {
 	case cfg.ShardRouter != nil:
@@ -323,9 +380,14 @@ func New(cfg Config) (*Server, error) {
 	s.m.reloads.Store(0) // the initial load is not a reload
 	if cfg.Store != nil {
 		// The continuous-query subsystem rides the store's change feed.
+		pushLat := obs.NewHistogram("cpnn_server_monitor_push_latency_seconds",
+			"Commit-to-push latency for standing-query updates.", obs.LagBuckets)
+		s.extra.Register(pushLat)
 		mon, err := monitor.New(monitor.Config{
 			Store: cfg.Store, Workers: cfg.MonitorWorkers,
 			MaxStateBytes: cfg.MonitorStateBytes,
+			Logger:        s.log.With("subsystem", "monitor"),
+			PushLatency:   pushLat,
 		})
 		if err != nil {
 			return nil, err
@@ -468,8 +530,10 @@ func (s *Server) Reload(ds *uncertain.Dataset, source string) (*Snapshot, error)
 	return snap, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the mux wrapped in the ingress
+// middleware that mints/adopts the request's trace span, collects per-request
+// annotations, and feeds the slow-query log.
+func (s *Server) Handler() http.Handler { return s.ingress(s.mux) }
 
 func (s *Server) buildMux() {
 	s.mux = http.NewServeMux()
@@ -487,6 +551,8 @@ func (s *Server) buildMux() {
 		s.mux.HandleFunc("/v1/objects", s.handleShardObjects)
 		s.mux.HandleFunc("/healthz", s.handleShardHealthz)
 		s.mux.HandleFunc("/metrics", s.handleShardMetrics)
+		s.mux.Handle("/debug/traces", s.tracer)
+		s.mux.Handle("/debug/slowlog", s.slowlog)
 		return
 	}
 	s.mux.HandleFunc("/v1/cpnn", s.handleCPNN)
@@ -497,6 +563,8 @@ func (s *Server) buildMux() {
 	s.mux.HandleFunc("/v1/objects", s.handleObjects)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/traces", s.tracer)
+	s.mux.Handle("/debug/slowlog", s.slowlog)
 	if s.cfg.ShardMember {
 		s.member = shard.NewLocal(s.cfg.Store)
 		s.mux.HandleFunc("/internal/shard/info", s.handleShardInfo)
@@ -671,7 +739,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
 }
 
-func (s *Server) writeCached(w http.ResponseWriter, body []byte, src Source) {
+func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, body []byte, src Source) {
+	obs.ReqInfoFrom(r.Context()).Set("cache", src.String())
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", src.String())
 	w.Write(body)
@@ -786,12 +855,12 @@ func (s *Server) handleCPNN(w http.ResponseWriter, r *http.Request) {
 	all := r.URL.Query().Get("all") == "1"
 
 	snap := s.snap.Load()
-	body, src, err := s.cpnnBody(r.Context(), snap, s.snapPoint(q), c, strat, all)
+	body, src, err := s.cpnnBody(r.Context(), epCPNN, snap, s.snapPoint(q), c, strat, all)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeCached(w, body, src)
+	s.writeCached(w, r, body, src)
 }
 
 // cpnnBody serves one (already quantized) C-PNN evaluation through the
@@ -799,12 +868,16 @@ func (s *Server) handleCPNN(w http.ResponseWriter, r *http.Request) {
 // evaluation, or evaluate under the worker pool. Both the single-query
 // endpoint and every point of a batch request route through here, so they
 // share keys — a batch warms the cache for singles and vice versa.
-func (s *Server) cpnnBody(ctx context.Context, snap *Snapshot, qq float64, c verify.Constraint, strat core.Strategy, all bool) ([]byte, Source, error) {
+func (s *Server) cpnnBody(ctx context.Context, ep endpoint, snap *Snapshot, qq float64, c verify.Constraint, strat core.Strategy, all bool) ([]byte, Source, error) {
 	key := fmt.Sprintf("cpnn|%d|%x|%x|%x|%d|%t",
 		snap.Version, math.Float64bits(qq), math.Float64bits(c.P), math.Float64bits(c.Delta), strat, all)
 	return s.cc.Do(ctx, key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			return cpnnPayload(snap, qq, c, strat, all)
+			body, st, err := cpnnPayload(snap, qq, c, strat, all)
+			if err == nil {
+				s.observePhases(ctx, ep, st)
+			}
+			return body, err
 		})
 	})
 }
@@ -813,10 +886,10 @@ func (s *Server) cpnnBody(ctx context.Context, snap *Snapshot, qq float64, c ver
 // response body. Both the snapshot-backed and the scatter-gather serving
 // paths route through here, so a sharded server's body differs from a
 // single server's only in the version field.
-func cpnnPayload(snap *Snapshot, qq float64, c verify.Constraint, strat core.Strategy, all bool) ([]byte, error) {
+func cpnnPayload(snap *Snapshot, qq float64, c verify.Constraint, strat core.Strategy, all bool) ([]byte, core.Stats, error) {
 	res, err := snap.Engine.CPNN(qq, c, core.Options{Strategy: strat})
 	if err != nil {
-		return nil, err
+		return nil, core.Stats{}, err
 	}
 	resp := cpnnResponse{
 		Query:    qq,
@@ -838,7 +911,8 @@ func cpnnPayload(snap *Snapshot, qq float64, c verify.Constraint, strat core.Str
 	if all {
 		resp.Candidates = toAnswers(res.Candidates, snap)
 	}
-	return json.Marshal(resp)
+	body, err := json.Marshal(resp)
+	return body, res.Stats, err
 }
 
 func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
@@ -857,28 +931,32 @@ func (s *Server) handlePNN(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("pnn|%d|%x", snap.Version, math.Float64bits(qq))
 	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			return pnnPayload(snap, qq)
+			body, st, err := pnnPayload(snap, qq)
+			if err == nil {
+				s.observePhases(r.Context(), epPNN, st)
+			}
+			return body, err
 		})
 	})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeCached(w, body, src)
+	s.writeCached(w, r, body, src)
 }
 
 // pnnPayload evaluates one PNN query against a snapshot and renders the
 // response body (shared by the snapshot and scatter-gather paths).
-func pnnPayload(snap *Snapshot, qq float64) ([]byte, error) {
+func pnnPayload(snap *Snapshot, qq float64) ([]byte, core.Stats, error) {
 	probs, st, err := snap.Engine.PNN(qq, core.Options{})
 	if err != nil {
-		return nil, err
+		return nil, core.Stats{}, err
 	}
 	out := make([]probabilityJSON, len(probs))
 	for i, pr := range probs {
 		out[i] = probabilityJSON{ID: snap.oid(pr.ID), P: pr.P}
 	}
-	return json.Marshal(pnnResponse{
+	body, err := json.Marshal(pnnResponse{
 		Query:         qq,
 		Version:       snap.Version,
 		Probabilities: out,
@@ -889,6 +967,7 @@ func pnnPayload(snap *Snapshot, qq float64) ([]byte, error) {
 			Refined:    st.RefinedObjects,
 		},
 	})
+	return body, st, err
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -939,14 +1018,18 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		k, samples, seed, all)
 	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			return knnPayload(snap, qq, c, k, samples, int64(seed), all, nil)
+			body, st, err := knnPayload(snap, qq, c, k, samples, int64(seed), all, nil)
+			if err == nil {
+				s.observePhases(r.Context(), epKNN, st)
+			}
+			return body, err
 		})
 	})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeCached(w, body, src)
+	s.writeCached(w, r, body, src)
 }
 
 // knnPayload evaluates one C-kNN query against a snapshot and renders the
@@ -955,15 +1038,15 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 // it so answers are invariant to how the data is sharded (at the price of
 // diverging from a single snapshot server's dense streams for the same
 // seed).
-func knnPayload(snap *Snapshot, qq float64, c verify.Constraint, k, samples int, seed int64, all bool, ids []uint64) ([]byte, error) {
-	answers, _, err := snap.Engine.CKNN(qq, c, core.KNNOptions{
+func knnPayload(snap *Snapshot, qq float64, c verify.Constraint, k, samples int, seed int64, all bool, ids []uint64) ([]byte, core.Stats, error) {
+	answers, st, err := snap.Engine.CKNN(qq, c, core.KNNOptions{
 		K:       k,
 		Samples: samples,
 		Seed:    seed,
 		IDs:     ids,
 	})
 	if err != nil {
-		return nil, err
+		return nil, core.Stats{}, err
 	}
 	resp := knnResponse{
 		Query:   qq,
@@ -982,7 +1065,8 @@ func knnPayload(snap *Snapshot, qq float64, c verify.Constraint, k, samples int,
 		resp.Answers = append(resp.Answers,
 			answerJSON{ID: snap.oid(a.ID), L: a.Bounds.L, U: a.Bounds.U, Status: a.Status.String()})
 	}
-	return json.Marshal(resp)
+	body, err := json.Marshal(resp)
+	return body, st, err
 }
 
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
@@ -1050,9 +1134,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epHealthz].Add(1)
 	snap := s.snap.Load()
 	body := map[string]any{
-		"status":  "ok",
-		"version": snap.Version,
-		"objects": snap.Objects,
+		"status":         "ok",
+		"version":        snap.Version,
+		"objects":        snap.Objects,
+		"build":          obs.Version,
+		"uptime_seconds": time.Since(s.started).Seconds(),
 	}
 	if s.cfg.Store != nil {
 		// The store's own version/seq can briefly run ahead of the served
@@ -1110,6 +1196,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ms = &v
 	}
 	s.m.write(w, s.cc, s.snap.Load(), st, ms)
+	s.writeObsMetrics(w)
 	var fs *replica.FollowerStats
 	var rs *replica.ServerStats
 	if s.cfg.Replica != nil {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/uncertain"
@@ -116,22 +117,34 @@ func shardSnapshot(g *shard.Gathered) (*Snapshot, error) {
 // in router mode. Keys embed the member version vector (not its sum — two
 // distinct cuts may share a sum) observed at admission; any committed write
 // bumps a member version and so invalidates every key.
-func (s *Server) shardCPNNBody(ctx context.Context, vk string, qq float64, c verify.Constraint, strat core.Strategy, all bool) ([]byte, Source, error) {
+func (s *Server) shardCPNNBody(ctx context.Context, ep endpoint, vk string, qq float64, c verify.Constraint, strat core.Strategy, all bool) ([]byte, Source, error) {
 	key := fmt.Sprintf("cpnn|%s|%x|%x|%x|%d|%t",
 		vk, math.Float64bits(qq), math.Float64bits(c.P), math.Float64bits(c.Delta), strat, all)
 	return s.cc.Do(ctx, key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			g, err := s.cfg.ShardRouter.Gather(qq, 1)
+			g, err := s.cfg.ShardRouter.Gather(ctx, qq, 1)
 			if err != nil {
 				return nil, shardError(err)
 			}
+			s.annotateFanout(ctx, g)
 			snap, err := shardSnapshot(g)
 			if err != nil {
 				return nil, err
 			}
-			return cpnnPayload(snap, qq, c, strat, all)
+			body, st, err := cpnnPayload(snap, qq, c, strat, all)
+			if err == nil {
+				s.observePhases(ctx, ep, st)
+			}
+			return body, err
 		})
 	})
+}
+
+// annotateFanout records how many shards the gather phase actually read.
+func (s *Server) annotateFanout(ctx context.Context, g *shard.Gathered) {
+	if ri := obs.ReqInfoFrom(ctx); ri != nil {
+		ri.Set("fanout", strconv.Itoa(g.Fanout))
+	}
 }
 
 func (s *Server) handleShardCPNN(w http.ResponseWriter, r *http.Request) {
@@ -152,13 +165,13 @@ func (s *Server) handleShardCPNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	all := r.URL.Query().Get("all") == "1"
-	body, src, err := s.shardCPNNBody(r.Context(), s.cfg.ShardRouter.VersionsKey(),
+	body, src, err := s.shardCPNNBody(r.Context(), epCPNN, s.cfg.ShardRouter.VersionsKey(),
 		s.snapPoint(q), c, strat, all)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeCached(w, body, src)
+	s.writeCached(w, r, body, src)
 }
 
 func (s *Server) handleShardBatch(w http.ResponseWriter, r *http.Request) {
@@ -205,7 +218,7 @@ func (s *Server) handleShardBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(qq float64, out *outcome) {
 			defer wg.Done()
-			out.body, out.src, out.err = s.shardCPNNBody(r.Context(), vk, qq, c, strat, req.All)
+			out.body, out.src, out.err = s.shardCPNNBody(r.Context(), epBatch, vk, qq, c, strat, req.All)
 		}(qq, slot[qq])
 	}
 	wg.Wait()
@@ -251,22 +264,27 @@ func (s *Server) handleShardPNN(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("pnn|%s|%x", s.cfg.ShardRouter.VersionsKey(), math.Float64bits(qq))
 	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			g, err := s.cfg.ShardRouter.Gather(qq, 1)
+			g, err := s.cfg.ShardRouter.Gather(r.Context(), qq, 1)
 			if err != nil {
 				return nil, shardError(err)
 			}
+			s.annotateFanout(r.Context(), g)
 			snap, err := shardSnapshot(g)
 			if err != nil {
 				return nil, err
 			}
-			return pnnPayload(snap, qq)
+			body, st, err := pnnPayload(snap, qq)
+			if err == nil {
+				s.observePhases(r.Context(), epPNN, st)
+			}
+			return body, err
 		})
 	})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeCached(w, body, src)
+	s.writeCached(w, r, body, src)
 }
 
 func (s *Server) handleShardKNN(w http.ResponseWriter, r *http.Request) {
@@ -312,24 +330,29 @@ func (s *Server) handleShardKNN(w http.ResponseWriter, r *http.Request) {
 		math.Float64bits(c.P), math.Float64bits(c.Delta), k, samples, seed, all)
 	body, src, err := s.cc.Do(r.Context(), key, func() ([]byte, error) {
 		return s.evaluate(func() ([]byte, error) {
-			g, err := s.cfg.ShardRouter.Gather(qq, k)
+			g, err := s.cfg.ShardRouter.Gather(r.Context(), qq, k)
 			if err != nil {
 				return nil, shardError(err)
 			}
+			s.annotateFanout(r.Context(), g)
 			snap, err := shardSnapshot(g)
 			if err != nil {
 				return nil, err
 			}
 			// Stable-ID RNG streams: the answer must not depend on how the
 			// candidates happen to be sharded.
-			return knnPayload(snap, qq, c, k, samples, int64(seed), all, g.View.IDs)
+			body, st, err := knnPayload(snap, qq, c, k, samples, int64(seed), all, g.View.IDs)
+			if err == nil {
+				s.observePhases(r.Context(), epKNN, st)
+			}
+			return body, err
 		})
 	})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeCached(w, body, src)
+	s.writeCached(w, r, body, src)
 }
 
 func (s *Server) handleShardDataset(w http.ResponseWriter, r *http.Request) {
@@ -365,7 +388,7 @@ func (s *Server) handleShardDataset(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, badRequest("invalid dataset: %v", err))
 			return
 		}
-		res, err := rt.Reload(ds)
+		res, err := rt.Reload(r.Context(), ds)
 		if err != nil {
 			s.writeError(w, shardError(err))
 			return
@@ -420,7 +443,7 @@ func (s *Server) handleShardObjects(w http.ResponseWriter, r *http.Request) {
 			}
 			ops[i] = op
 		}
-		res, err := rt.Apply(ops)
+		res, err := rt.Apply(r.Context(), ops)
 		if err != nil {
 			s.writeError(w, shardError(err))
 			return
@@ -459,7 +482,7 @@ func (s *Server) handleShardObjects(w http.ResponseWriter, r *http.Request) {
 		for i, id := range ids {
 			ops[i] = store.Delete(id)
 		}
-		res, err := rt.Apply(ops)
+		res, err := rt.Apply(r.Context(), ops)
 		if err != nil {
 			s.writeError(w, shardError(err))
 			return
@@ -511,6 +534,7 @@ func (s *Server) handleShardMetrics(w http.ResponseWriter, r *http.Request) {
 		ms = &v
 	}
 	writeShardMetrics(w, rt.Stats(), ms)
+	s.writeObsMetrics(w)
 }
 
 // writeShardMetrics renders the cpnn_server_shard_* metric families from
@@ -615,7 +639,7 @@ func (s *Server) handleShardBound(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("parameter \"k\" must be >= 1, got %d", k))
 		return
 	}
-	b, err := s.member.Bound(q, k)
+	b, err := s.member.Bound(r.Context(), q, k)
 	if err != nil {
 		s.writeError(w, storeError(err))
 		return
@@ -639,7 +663,7 @@ func (s *Server) handleShardGather(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("parameter %q: %q is not a number", "bound", raw))
 		return
 	}
-	items, ver, err := s.member.Gather(q, bound)
+	items, ver, err := s.member.Gather(r.Context(), q, bound)
 	if err != nil {
 		s.writeError(w, storeError(err))
 		return
@@ -667,7 +691,7 @@ func (s *Server) handleShardApply(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	res, err := s.member.Apply(payload)
+	res, err := s.member.Apply(r.Context(), payload)
 	if err != nil {
 		s.writeError(w, storeError(err))
 		return

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -215,7 +216,7 @@ func TestShardServerMonitors(t *testing.T) {
 
 	spec := monitor.Spec{Kind: monitor.KindCPNN, Q: 150,
 		Constraint: verify.Constraint{P: 0.3, Delta: 0.01}}
-	wantBody, _, _, err := rt.Evaluate(spec, nil)
+	wantBody, _, _, err := rt.Evaluate(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

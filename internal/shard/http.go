@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -157,12 +159,19 @@ func (h *HTTPMember) observe(resp *http.Response) uint64 {
 	}
 }
 
-func (h *HTTPMember) get(path string, q url.Values) (*http.Response, error) {
+func (h *HTTPMember) get(ctx context.Context, path string, q url.Values) (*http.Response, error) {
 	u := h.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := h.hc.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sc, ok := obs.SpanFromContext(ctx); ok && sc.Sampled {
+		req.Header.Set(obs.TraceHeader, sc.Header())
+	}
+	resp, err := h.hc.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +186,7 @@ func (h *HTTPMember) get(path string, q url.Values) (*http.Response, error) {
 
 // Info implements Member.
 func (h *HTTPMember) Info() (MemberInfo, error) {
-	resp, err := h.get("/internal/shard/info", nil)
+	resp, err := h.get(context.Background(), "/internal/shard/info", nil)
 	if err != nil {
 		return MemberInfo{}, err
 	}
@@ -190,11 +199,11 @@ func (h *HTTPMember) Info() (MemberInfo, error) {
 }
 
 // Bound implements Member.
-func (h *HTTPMember) Bound(q float64, k int) (BoundInfo, error) {
+func (h *HTTPMember) Bound(ctx context.Context, q float64, k int) (BoundInfo, error) {
 	vals := url.Values{}
 	vals.Set("q", strconv.FormatFloat(q, 'g', -1, 64))
 	vals.Set("k", strconv.Itoa(k))
-	resp, err := h.get("/internal/shard/bound", vals)
+	resp, err := h.get(ctx, "/internal/shard/bound", vals)
 	if err != nil {
 		return BoundInfo{}, err
 	}
@@ -207,11 +216,11 @@ func (h *HTTPMember) Bound(q float64, k int) (BoundInfo, error) {
 }
 
 // Gather implements Member.
-func (h *HTTPMember) Gather(q, bound float64) ([]Item, uint64, error) {
+func (h *HTTPMember) Gather(ctx context.Context, q, bound float64) ([]Item, uint64, error) {
 	vals := url.Values{}
 	vals.Set("q", strconv.FormatFloat(q, 'g', -1, 64))
 	vals.Set("bound", strconv.FormatFloat(bound, 'g', -1, 64))
-	resp, err := h.get("/internal/shard/gather", vals)
+	resp, err := h.get(ctx, "/internal/shard/gather", vals)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -232,9 +241,17 @@ func (h *HTTPMember) Gather(q, bound float64) ([]Item, uint64, error) {
 }
 
 // Apply implements Member.
-func (h *HTTPMember) Apply(payload []byte) (store.ApplyResult, error) {
-	resp, err := h.hc.Post(h.base+"/internal/shard/apply", "application/octet-stream",
-		bytes.NewReader(payload))
+func (h *HTTPMember) Apply(ctx context.Context, payload []byte) (store.ApplyResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		h.base+"/internal/shard/apply", bytes.NewReader(payload))
+	if err != nil {
+		return store.ApplyResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if sc, ok := obs.SpanFromContext(ctx); ok && sc.Sampled {
+		req.Header.Set(obs.TraceHeader, sc.Header())
+	}
+	resp, err := h.hc.Do(req)
 	if err != nil {
 		return store.ApplyResult{}, err
 	}

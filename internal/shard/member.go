@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -55,14 +56,16 @@ type Member interface {
 	// Info snapshots the shard's identity (owner-map boot and recovery).
 	Info() (MemberInfo, error)
 	// Bound answers the scatter phase for query point q with filter depth k.
-	Bound(q float64, k int) (BoundInfo, error)
+	// The context carries cancellation and the active trace span; remote
+	// members forward it on the wire (obs.TraceHeader).
+	Bound(ctx context.Context, q float64, k int) (BoundInfo, error)
 	// Gather returns every 1-D object whose near point lies within bound of
 	// q (all of them when bound is +Inf), plus the version it read.
-	Gather(q, bound float64) ([]Item, uint64, error)
+	Gather(ctx context.Context, q, bound float64) ([]Item, uint64, error)
 	// Apply commits an op batch encoded with store.EncodeOps — the raw WAL
 	// payload bytes, shipped verbatim so a remote apply is bit-identical to
 	// a local one.
-	Apply(payload []byte) (store.ApplyResult, error)
+	Apply(ctx context.Context, payload []byte) (store.ApplyResult, error)
 	// Version is the member's latest known store version (exact for Local,
 	// last-observed for HTTPMember). Used for cache keys, never correctness.
 	Version() uint64
@@ -88,8 +91,8 @@ func (l *Local) Store() *store.Store { return l.st }
 func (l *Local) Info() (MemberInfo, error) {
 	v := l.st.View()
 	info := MemberInfo{
-		IDs1D:  append([]uint64(nil), v.IDs...),
-		NextID: v.NextID,
+		IDs1D:   append([]uint64(nil), v.IDs...),
+		NextID:  v.NextID,
 		Version: v.Version,
 	}
 	for _, d := range v.Disks {
@@ -100,7 +103,7 @@ func (l *Local) Info() (MemberInfo, error) {
 }
 
 // Bound implements Member.
-func (l *Local) Bound(q float64, k int) (BoundInfo, error) {
+func (l *Local) Bound(_ context.Context, q float64, k int) (BoundInfo, error) {
 	v := l.st.View()
 	eng, err := core.NewEngineWithIndex(v.Dataset, v.Index)
 	if err != nil {
@@ -112,7 +115,7 @@ func (l *Local) Bound(q float64, k int) (BoundInfo, error) {
 }
 
 // Gather implements Member.
-func (l *Local) Gather(q, bound float64) ([]Item, uint64, error) {
+func (l *Local) Gather(_ context.Context, q, bound float64) ([]Item, uint64, error) {
 	v := l.st.View()
 	items := gatherView(v, q, bound)
 	return items, v.Version, nil
@@ -137,7 +140,7 @@ func gatherView(v *store.View, q, bound float64) []Item {
 
 // Apply implements Member: decode + commit, the same bytes recovery would
 // replay.
-func (l *Local) Apply(payload []byte) (store.ApplyResult, error) {
+func (l *Local) Apply(_ context.Context, payload []byte) (store.ApplyResult, error) {
 	ops, err := store.DecodeOps(payload)
 	if err != nil {
 		return store.ApplyResult{}, fmt.Errorf("%w: %v", store.ErrInvalidOp, err)

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -41,7 +42,7 @@ type Monitor struct {
 
 	subs map[*Subscription]struct{}
 
-	nDeltas, nGaps, nAffected, nPruned  uint64
+	nDeltas, nGaps, nAffected, nPruned   uint64
 	nReEvals, nPushes, nErrors, nDropped uint64
 	nTwoDSkips                           uint64
 
@@ -136,7 +137,7 @@ func (m *Monitor) Register(spec monitor.Spec) (*monitor.State, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	body, radius, g, err := m.r.Evaluate(spec, nil)
+	body, radius, g, err := m.r.Evaluate(context.Background(), spec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +350,7 @@ func (m *Monitor) worker() {
 		spec := q.spec
 		m.mu.Unlock()
 
-		body, radius, g, err := m.r.Evaluate(spec, sc)
+		body, radius, g, err := m.r.Evaluate(context.Background(), spec, sc)
 
 		m.mu.Lock()
 		m.inflight--

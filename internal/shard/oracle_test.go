@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -121,7 +122,7 @@ func runShardSeed(t *testing.T, seed int64, k int) Stats {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, _, g, err := r.Evaluate(sp, nil)
+			got, _, g, err := r.Evaluate(context.Background(), sp, nil)
 			if err != nil {
 				t.Fatalf("step %d spec %d: router: %v", step, si, err)
 			}
@@ -168,7 +169,7 @@ func runShardSeed(t *testing.T, seed int64, k int) Stats {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rres, err := r.Apply(batch)
+		rres, err := r.Apply(context.Background(), batch)
 		if err != nil {
 			t.Fatalf("step %d: router apply: %v", step, err)
 		}

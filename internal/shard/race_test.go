@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -26,11 +27,11 @@ import (
 // matches, and no push ever carried an unchanged body.
 func TestShardConcurrency(t *testing.T) {
 	const (
-		k        = 4
-		domain   = 1000.0
-		writers  = 3
-		iters    = 40
-		nSpecs   = 8
+		k       = 4
+		domain  = 1000.0
+		writers = 3
+		iters   = 40
+		nSpecs  = 8
 	)
 	rng := rand.New(rand.NewSource(7))
 	randIv := func(rng *rand.Rand) (float64, float64) {
@@ -56,7 +57,7 @@ func TestShardConcurrency(t *testing.T) {
 		lo, hi := randIv(rng)
 		seedOps = append(seedOps, store.InsertObject(pdf.MustUniform(lo, hi)))
 	}
-	res, err := r.Apply(seedOps)
+	res, err := r.Apply(context.Background(), seedOps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestShardConcurrency(t *testing.T) {
 					lo, hi := randIv(wrng)
 					batch = append(batch, store.UpdateObject(id, pdf.MustUniform(lo, hi)))
 				}
-				res, err := r.Apply(batch)
+				res, err := r.Apply(context.Background(), batch)
 				if err != nil {
 					errCh <- fmt.Errorf("writer %d iter %d: %v", w, it, err)
 					return
@@ -154,7 +155,7 @@ func TestShardConcurrency(t *testing.T) {
 			qrng := rand.New(rand.NewSource(int64(200 + g)))
 			for it := 0; it < 60; it++ {
 				sp := specs[qrng.Intn(len(specs))]
-				if _, _, _, err := r.Evaluate(sp, nil); err != nil {
+				if _, _, _, err := r.Evaluate(context.Background(), sp, nil); err != nil {
 					errCh <- fmt.Errorf("query %d iter %d: %v", g, it, err)
 					return
 				}

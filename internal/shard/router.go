@@ -1,7 +1,9 @@
 package shard
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"strconv"
@@ -13,10 +15,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/pdf"
 	"repro/internal/store"
 	"repro/internal/uncertain"
 )
+
+// Obs bundles the router's optional observability sinks. Every field may be
+// nil (or the whole struct zero): instrumentation degrades to a no-op.
+type Obs struct {
+	// Tracer records one child span per member Bound/Gather/Apply hop; the
+	// child's context rides the wire on obs.TraceHeader, so remote member
+	// servers join the same trace.
+	Tracer *obs.Tracer
+	// Logger receives structured router events (member failures, retries).
+	Logger *slog.Logger
+	// MemberSeconds observes per-member hop latency, labeled
+	// {phase=bound|gather|apply, shard}.
+	MemberSeconds *obs.HistogramVec
+	// Fanout observes members read per gather (the fan-out distribution).
+	Fanout *obs.Histogram
+}
 
 // RouterConfig assembles a Router.
 type RouterConfig struct {
@@ -27,6 +46,8 @@ type RouterConfig struct {
 	// NextID seeds the cluster-wide ID counter; the router uses the max of
 	// this and every member's durable counter.
 	NextID uint64
+	// Obs wires tracing, logging and histograms; zero disables all three.
+	Obs Obs
 }
 
 // Router is the scatter-gather front of a shard cluster. It owns stable-ID
@@ -37,6 +58,8 @@ type RouterConfig struct {
 type Router struct {
 	members []Member
 	cuts    []float64
+	obs     Obs
+	log     *slog.Logger
 
 	// wmu serializes writes: owner map, ID counter, per-shard counts.
 	wmu      sync.Mutex
@@ -51,9 +74,9 @@ type Router struct {
 	emu     sync.Mutex
 	extents []extentCache
 
-	queries, retries, unavailable  atomic.Uint64
-	boundContacts, gatherContacts  atomic.Uint64
-	mergeNanos                     atomic.Int64
+	queries, retries, unavailable atomic.Uint64
+	boundContacts, gatherContacts atomic.Uint64
+	mergeNanos                    atomic.Int64
 }
 
 type ownerRef struct {
@@ -82,6 +105,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	r := &Router{
 		members:  cfg.Members,
 		cuts:     append([]float64(nil), cfg.Cuts...),
+		obs:      cfg.Obs,
+		log:      obs.Or(cfg.Obs.Logger),
 		owner:    map[uint64]ownerRef{},
 		nextID:   cfg.NextID,
 		perShard: make([]int, len(cfg.Members)),
@@ -173,7 +198,7 @@ func (r *Router) VersionsKey() string {
 // reached committed (per-shard atomicity, not global) and returns
 // ErrUnavailable. The result's Version is the cluster version sum; Seq is
 // meaningless across shards and reported as 0.
-func (r *Router) Apply(ops []store.Op) (store.ApplyResult, error) {
+func (r *Router) Apply(ctx context.Context, ops []store.Op) (store.ApplyResult, error) {
 	r.wmu.Lock()
 	defer r.wmu.Unlock()
 	routed, ids, err := r.validate(ops)
@@ -192,8 +217,8 @@ func (r *Router) Apply(ops []store.Op) (store.ApplyResult, error) {
 			if err != nil {
 				return fmt.Errorf("%w: %v", store.ErrInvalidOp, err)
 			}
-			if _, err := r.members[i].Apply(payload); err != nil {
-				return fmt.Errorf("shard %d: apply: %w: %v", i, ErrUnavailable, err)
+			if err := r.applyMember(ctx, i, payload); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -216,8 +241,8 @@ func (r *Router) Apply(ops []store.Op) (store.ApplyResult, error) {
 				if err != nil {
 					return commitErr(fmt.Errorf("%w: %v", store.ErrInvalidOp, err))
 				}
-				if _, err := r.members[i].Apply(payload); err != nil {
-					return commitErr(fmt.Errorf("shard %d: truncate: %w: %v", i, ErrUnavailable, err))
+				if err := r.applyMember(ctx, i, payload); err != nil {
+					return commitErr(err)
 				}
 			}
 			r.owner = map[uint64]ownerRef{}
@@ -260,6 +285,24 @@ func (r *Router) Apply(ops []store.Op) (store.ApplyResult, error) {
 		return commitErr(err)
 	}
 	return store.ApplyResult{Version: r.VersionSum(), IDs: ids}, nil
+}
+
+// applyMember commits one encoded segment on one member under a traced,
+// timed hop.
+func (r *Router) applyMember(ctx context.Context, i int, payload []byte) error {
+	mctx, sp := r.obs.Tracer.StartSpan(ctx, "shard", "member.apply")
+	sp.SetAttr("shard", strconv.Itoa(i))
+	start := time.Now()
+	_, err := r.members[i].Apply(mctx, payload)
+	r.obs.MemberSeconds.With("apply", strconv.Itoa(i)).Observe(time.Since(start).Seconds())
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		r.log.Warn("member apply failed", "shard", i, "err", err, "trace_id", obs.TraceID(ctx))
+		return fmt.Errorf("shard %d: apply: %w: %v", i, ErrUnavailable, err)
+	}
+	sp.End()
+	return nil
 }
 
 // validate mirrors the store's batch validation against the cluster-wide
@@ -409,13 +452,13 @@ func (r *Router) refreshOwnersLocked() {
 // Reload replaces the cluster's contents with a dataset: one truncate
 // barrier, then routed bulk inserts with fresh stable IDs in dataset order
 // (matching a single store's DatasetOps assignment).
-func (r *Router) Reload(ds *uncertain.Dataset) (store.ApplyResult, error) {
+func (r *Router) Reload(ctx context.Context, ds *uncertain.Dataset) (store.ApplyResult, error) {
 	ops := make([]store.Op, 0, ds.Len()+1)
 	ops = append(ops, store.Truncate())
 	for _, o := range ds.Objects() {
 		ops = append(ops, store.InsertObject(o.PDF))
 	}
-	return r.Apply(ops)
+	return r.Apply(ctx, ops)
 }
 
 // ---- queries -----------------------------------------------------------
@@ -450,7 +493,7 @@ type Gathered struct {
 // exactly the candidate set of the returned consistency cut. A member
 // failure fails the query with ErrUnavailable unless its last-known extent
 // provably misses the ball.
-func (r *Router) Gather(q float64, k int) (*Gathered, error) {
+func (r *Router) Gather(ctx context.Context, q float64, k int) (*Gathered, error) {
 	if math.IsNaN(q) || math.IsInf(q, 0) {
 		return nil, fmt.Errorf("shard: non-finite query point %g", q)
 	}
@@ -468,7 +511,15 @@ func (r *Router) Gather(q float64, k int) (*Gathered, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			infos[i], errs[i] = r.members[i].Bound(q, k)
+			mctx, sp := r.obs.Tracer.StartSpan(ctx, "shard", "member.bound")
+			sp.SetAttr("shard", strconv.Itoa(i))
+			start := time.Now()
+			infos[i], errs[i] = r.members[i].Bound(mctx, q, k)
+			r.obs.MemberSeconds.With("bound", strconv.Itoa(i)).Observe(time.Since(start).Seconds())
+			if errs[i] != nil {
+				sp.SetAttr("error", errs[i].Error())
+			}
+			sp.End()
 		}(i)
 	}
 	wg.Wait()
@@ -488,6 +539,7 @@ func (r *Router) Gather(q float64, k int) (*Gathered, error) {
 	r.boundContacts.Add(uint64(contacted))
 	if contacted == 0 {
 		r.unavailable.Add(1)
+		r.log.Warn("no member answered the bound phase", "trace_id", obs.TraceID(ctx))
 		return nil, fmt.Errorf("shard: %w: no member answered the bound phase", ErrUnavailable)
 	}
 	sort.Float64s(fars)
@@ -535,7 +587,16 @@ func (r *Router) Gather(q float64, k int) (*Gathered, error) {
 			gw.Add(1)
 			go func(i int) {
 				defer gw.Done()
-				res[i].items, res[i].ver, res[i].err = r.members[i].Gather(q, bound)
+				mctx, sp := r.obs.Tracer.StartSpan(ctx, "shard", "member.gather")
+				sp.SetAttr("shard", strconv.Itoa(i))
+				start := time.Now()
+				res[i].items, res[i].ver, res[i].err = r.members[i].Gather(mctx, q, bound)
+				r.obs.MemberSeconds.With("gather", strconv.Itoa(i)).Observe(time.Since(start).Seconds())
+				if res[i].err != nil {
+					sp.SetAttr("error", res[i].err.Error())
+				}
+				sp.SetAttr("items", strconv.Itoa(len(res[i].items)))
+				sp.End()
 			}(i)
 		}
 		gw.Wait()
@@ -581,6 +642,8 @@ func (r *Router) Gather(q float64, k int) (*Gathered, error) {
 		}
 		if !done {
 			r.retries.Add(1)
+			r.log.Debug("gather bound moved; retrying wider",
+				"attempt", attempt, "trace_id", obs.TraceID(ctx))
 			if attempt >= 2 {
 				bound = math.Inf(1)
 			} else {
@@ -614,6 +677,7 @@ func (r *Router) Gather(q float64, k int) (*Gathered, error) {
 			TotalN:    totalN,
 		}
 		r.mergeNanos.Add(time.Since(mstart).Nanoseconds())
+		r.obs.Fanout.Observe(float64(fanout))
 		return g, nil
 	}
 }
@@ -645,7 +709,7 @@ func (r *Router) extent(i int) extentCache {
 // merged mini-view. The body is byte-identical to monitor.Evaluate over a
 // single store holding the same objects; the radius is the query's influence
 // radius under the returned consistency cut.
-func (r *Router) Evaluate(spec monitor.Spec, sc *core.Scratch) (body []byte, radius float64, g *Gathered, err error) {
+func (r *Router) Evaluate(ctx context.Context, spec monitor.Spec, sc *core.Scratch) (body []byte, radius float64, g *Gathered, err error) {
 	if err := spec.Validate(); err != nil {
 		return nil, 0, nil, err
 	}
@@ -653,7 +717,7 @@ func (r *Router) Evaluate(spec monitor.Spec, sc *core.Scratch) (body []byte, rad
 	if spec.Kind == monitor.KindKNN {
 		k = spec.K
 	}
-	g, err = r.Gather(spec.Q, k)
+	g, err = r.Gather(ctx, spec.Q, k)
 	if err != nil {
 		return nil, 0, nil, err
 	}

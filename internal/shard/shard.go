@@ -268,7 +268,12 @@ func (c *Cluster) Members() []Member {
 
 // Router builds a scatter-gather router over the cluster's members.
 func (c *Cluster) Router() (*Router, error) {
-	return NewRouter(RouterConfig{Members: c.Members(), Cuts: c.Meta.Cuts, NextID: c.Meta.NextID})
+	return c.RouterObs(Obs{})
+}
+
+// RouterObs is Router with observability sinks wired in.
+func (c *Cluster) RouterObs(ob Obs) (*Router, error) {
+	return NewRouter(RouterConfig{Members: c.Members(), Cuts: c.Meta.Cuts, NextID: c.Meta.NextID, Obs: ob})
 }
 
 // Close closes every member store, returning the first error.

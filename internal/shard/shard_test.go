@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -116,7 +117,7 @@ func TestSplitStoreReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, err := r.Evaluate(spec, nil)
+	got, _, _, err := r.Evaluate(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSplitStoreReopen(t *testing.T) {
 		t.Fatalf("post-split answer diverged:\n got %s\nwant %s", got, want)
 	}
 	// The ID sequence continues where the single store left off.
-	res, err := r.Apply([]store.Op{store.InsertObject(pdf.MustUniform(0, 1))})
+	res, err := r.Apply(context.Background(), []store.Op{store.InsertObject(pdf.MustUniform(0, 1))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestRouterValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.Apply([]store.Op{
+	res, err := r.Apply(context.Background(), []store.Op{
 		store.InsertObject(pdf.MustUniform(0, 1)),
 		store.InsertDisk(geom.Circle{Center: geom.Point{X: 1, Y: 1}, Radius: 1}),
 	})
@@ -169,16 +170,16 @@ func TestRouterValidation(t *testing.T) {
 		"update after truncate": {[]store.Op{store.Truncate(),
 			store.UpdateObject(oid, pdf.MustUniform(0, 1))}, store.ErrUnknownID},
 	} {
-		if _, err := r.Apply(tc.ops); !errors.Is(err, tc.want) {
+		if _, err := r.Apply(context.Background(), tc.ops); !errors.Is(err, tc.want) {
 			t.Fatalf("%s: got %v, want %v", name, err, tc.want)
 		}
 	}
 	// Failed batches must not have committed anything: the object is alive.
-	if _, err := r.Apply([]store.Op{store.UpdateObject(oid, pdf.MustUniform(5, 6))}); err != nil {
+	if _, err := r.Apply(context.Background(), []store.Op{store.UpdateObject(oid, pdf.MustUniform(5, 6))}); err != nil {
 		t.Fatal(err)
 	}
 	// In-batch visibility: delete then update the same ID fails.
-	if _, err := r.Apply([]store.Op{store.Delete(oid),
+	if _, err := r.Apply(context.Background(), []store.Op{store.Delete(oid),
 		store.UpdateObject(oid, pdf.MustUniform(0, 1))}); !errors.Is(err, store.ErrUnknownID) {
 		t.Fatalf("delete-then-update: %v", err)
 	}
@@ -210,25 +211,25 @@ func (f *flakyMember) Info() (MemberInfo, error) {
 	return f.Member.Info()
 }
 
-func (f *flakyMember) Bound(q float64, k int) (BoundInfo, error) {
+func (f *flakyMember) Bound(ctx context.Context, q float64, k int) (BoundInfo, error) {
 	if f.fail() {
 		return BoundInfo{}, errors.New("injected: down")
 	}
-	return f.Member.Bound(q, k)
+	return f.Member.Bound(ctx, q, k)
 }
 
-func (f *flakyMember) Gather(q, bound float64) ([]Item, uint64, error) {
+func (f *flakyMember) Gather(ctx context.Context, q, bound float64) ([]Item, uint64, error) {
 	if f.fail() {
 		return nil, 0, errors.New("injected: down")
 	}
-	return f.Member.Gather(q, bound)
+	return f.Member.Gather(ctx, q, bound)
 }
 
-func (f *flakyMember) Apply(payload []byte) (store.ApplyResult, error) {
+func (f *flakyMember) Apply(ctx context.Context, payload []byte) (store.ApplyResult, error) {
 	if f.fail() {
 		return store.ApplyResult{}, errors.New("injected: down")
 	}
-	return f.Member.Apply(payload)
+	return f.Member.Apply(ctx, payload)
 }
 
 // TestRouterDeadShard checks partial availability: with one member down, a
@@ -254,7 +255,7 @@ func TestRouterDeadShard(t *testing.T) {
 		lo = 1000 + float64(i)
 		ops = append(ops, store.InsertObject(pdf.MustUniform(lo, lo+0.5)))
 	}
-	if _, err := r0.Apply(ops); err != nil {
+	if _, err := r0.Apply(context.Background(), ops); err != nil {
 		t.Fatal(err)
 	}
 
@@ -276,7 +277,7 @@ func TestRouterDeadShard(t *testing.T) {
 	farShard := ShardFor(1000, c.Meta.Cuts)
 	nearSpec := monitor.Spec{Kind: monitor.KindPNN, Q: 4}
 	farSpec := monitor.Spec{Kind: monitor.KindPNN, Q: 1004}
-	wantNear, _, _, err := r.Evaluate(nearSpec, nil)
+	wantNear, _, _, err := r.Evaluate(context.Background(), nearSpec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestRouterDeadShard(t *testing.T) {
 	// The near query survives: the dead shard's cached extent misses its
 	// candidate ball.
 	if ShardFor(4, c.Meta.Cuts) != farShard {
-		got, _, g, err := r.Evaluate(nearSpec, nil)
+		got, _, g, err := r.Evaluate(context.Background(), nearSpec, nil)
 		if err != nil {
 			t.Fatalf("near query with dead far shard: %v", err)
 		}
@@ -298,11 +299,11 @@ func TestRouterDeadShard(t *testing.T) {
 		}
 	}
 	// The far query needs the dead shard and must say so.
-	if _, _, _, err := r.Evaluate(farSpec, nil); !errors.Is(err, ErrUnavailable) {
+	if _, _, _, err := r.Evaluate(context.Background(), farSpec, nil); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("far query: got %v, want ErrUnavailable", err)
 	}
 	// A write routed to the dead shard fails unavailable.
-	if _, err := r.Apply([]store.Op{store.InsertObject(pdf.MustUniform(1000, 1001))}); !errors.Is(err, ErrUnavailable) {
+	if _, err := r.Apply(context.Background(), []store.Op{store.InsertObject(pdf.MustUniform(1000, 1001))}); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("write to dead shard: got %v, want ErrUnavailable", err)
 	}
 
@@ -311,7 +312,7 @@ func TestRouterDeadShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, err := r.Evaluate(farSpec, nil)
+	got, _, _, err := r.Evaluate(context.Background(), farSpec, nil)
 	if err != nil {
 		t.Fatalf("far query after recovery: %v", err)
 	}

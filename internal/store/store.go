@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -50,6 +51,9 @@ type Options struct {
 	// this mode — the router owns ID assignment across the cluster, so a
 	// member must accept whatever IDs it is handed.
 	ExplicitIDs bool
+	// Logger receives structured recovery and checkpoint events; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Disk is one live 2-D object of a view.
@@ -110,6 +114,11 @@ type Stats struct {
 	// WALRecords counts WAL records written since the last checkpoint (the
 	// batches a reopen would replay right now).
 	WALRecords uint64
+	// LastCheckpointUnixNano is when the latest checkpoint was written (the
+	// on-disk file's mtime for checkpoints inherited from a previous
+	// process); 0 when the store has never checkpointed. WALBytes measures
+	// how much compaction debt has accrued since then.
+	LastCheckpointUnixNano int64
 	// TornTailDropped reports whether recovery discarded a torn WAL tail.
 	TornTailDropped bool
 	// FeedSubscribers counts live change-feed subscriptions; FeedDropped
@@ -180,6 +189,7 @@ type Store struct {
 	checkpoints atomic.Uint64
 	ckptNanos   atomic.Uint64
 	ckptSeq     atomic.Uint64 // WAL seq covered by the latest checkpoint
+	ckptTime    atomic.Int64  // unix nanos of the latest checkpoint write
 	tornTail    bool
 
 	st *state // owned by the committer goroutine (and by Open/Close around it)
@@ -277,6 +287,11 @@ func openStore(dir string, opt Options, role Role) (*Store, error) {
 	s.walSize.Store(uint64(w.size))
 	if haveCkpt {
 		s.ckptSeq.Store(cs.Seq)
+		// The inherited checkpoint's age starts from when the previous
+		// process wrote it, not from this boot.
+		if info, serr := os.Stat(filepath.Join(dir, checkpointName)); serr == nil {
+			s.ckptTime.Store(info.ModTime().UnixNano())
+		}
 	}
 	view, err := s.materialize(nil, nil, true)
 	if err != nil {
@@ -284,10 +299,27 @@ func openStore(dir string, opt Options, role Role) (*Store, error) {
 		return nil, err
 	}
 	s.view.Store(view)
+	if torn {
+		s.logger().Warn("recovery dropped a torn WAL tail", "dir", dir)
+	}
+	s.logger().Info("store recovered",
+		"dir", dir, "version", view.Version, "seq", view.Seq,
+		"objects_1d", view.Dataset.Len(), "objects_2d", len(view.Disks),
+		"wal_records", len(recs), "checkpoint", haveCkpt)
 	go s.committer()
 	ok = true
 	return s, nil
 }
+
+// logger returns the configured structured logger, or a discard logger.
+func (s *Store) logger() *slog.Logger {
+	if s.opt.Logger != nil {
+		return s.opt.Logger
+	}
+	return discardLogger
+}
+
+var discardLogger = slog.New(slog.DiscardHandler)
 
 // maxAssigned keeps nextID above every ID a replayed batch assigned.
 func maxAssigned(next uint64, ops []Op) uint64 {
@@ -316,23 +348,24 @@ func (s *Store) Stats() Stats {
 		walRecs = v.Seq - ck
 	}
 	return Stats{
-		FeedSubscribers:  subs,
-		FeedDropped:      s.watchDropped.Load(),
-		Role:             s.role,
-		LogSubscribers:   logSubs,
-		LogDropped:       s.logDropped.Load(),
-		OpsApplied:       s.opsApplied.Load(),
-		Commits:          s.commits.Load(),
-		WALBytes:         s.walSize.Load(),
-		WALAppendedBytes: s.walAppended.Load(),
-		Checkpoints:      s.checkpoints.Load(),
-		CheckpointNanos:  s.ckptNanos.Load(),
-		WALRecords:       walRecs,
-		TornTailDropped:  s.tornTail,
-		Version:          v.Version,
-		Seq:              v.Seq,
-		Objects1D:        v.Dataset.Len(),
-		Objects2D:        len(v.Disks),
+		FeedSubscribers:        subs,
+		FeedDropped:            s.watchDropped.Load(),
+		Role:                   s.role,
+		LogSubscribers:         logSubs,
+		LogDropped:             s.logDropped.Load(),
+		OpsApplied:             s.opsApplied.Load(),
+		Commits:                s.commits.Load(),
+		WALBytes:               s.walSize.Load(),
+		WALAppendedBytes:       s.walAppended.Load(),
+		Checkpoints:            s.checkpoints.Load(),
+		CheckpointNanos:        s.ckptNanos.Load(),
+		WALRecords:             walRecs,
+		LastCheckpointUnixNano: s.ckptTime.Load(),
+		TornTailDropped:        s.tornTail,
+		Version:                v.Version,
+		Seq:                    v.Seq,
+		Objects1D:              v.Dataset.Len(),
+		Objects2D:              len(v.Disks),
 	}
 }
 
@@ -941,8 +974,12 @@ func (s *Store) checkpointLocked() error {
 	}
 	s.walSize.Store(0)
 	s.ckptSeq.Store(cs.Seq)
+	s.ckptTime.Store(time.Now().UnixNano())
 	s.checkpoints.Add(1)
 	s.ckptNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	s.logger().Debug("checkpoint written",
+		"seq", cs.Seq, "version", cs.Version, "objects", len(cs.Ops),
+		"elapsed", time.Since(start))
 	return nil
 }
 
