@@ -17,6 +17,9 @@
 //	cpnn-bench -replica -json BENCH_replica.json
 //	cpnn-bench -shard -shard-counts 1,2,4,8    # scatter-gather sharding fan-out
 //	cpnn-bench -shard -json BENCH_shard.json
+//	cpnn-bench -capacity -capacity-sizes 10000,100000
+//	                                           # paged base vs small page cache
+//	cpnn-bench -capacity -assert-commit-flat -json BENCH_capacity.json
 //
 // -json additionally writes the replay/monitor/replica series as machine-readable
 // records (name, ops/s, p50/p95/p99 latency, allocs per op) — the format of
@@ -32,6 +35,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/obs"
@@ -65,6 +69,14 @@ func main() {
 		shardQueries = flag.Int("shard-queries", 400, "sharding experiment C-PNN queries per shard count")
 		shardCounts  = flag.String("shard-counts", "", "comma-separated shard counts (default 1,2,4,8)")
 
+		capOn      = flag.Bool("capacity", false, "run the capacity experiment (paged base + small page cache) instead of a figure")
+		capSizes   = flag.String("capacity-sizes", "", "comma-separated dataset sizes (default 10000,30000,100000)")
+		capCommits = flag.Int("capacity-commits", 200, "capacity experiment update commits per size")
+		capBatch   = flag.Int("capacity-batch", 8, "capacity experiment updates per commit (the Δ in O(Δ))")
+		capQueries = flag.Int("capacity-queries", 50, "capacity experiment C-PNN probes per size")
+		capCache   = flag.Int64("capacity-cache", 256<<10, "capacity experiment page-cache budget in bytes")
+		capFlat    = flag.Bool("assert-commit-flat", false, "exit non-zero if the largest size's commit p50 exceeds 4x the smallest's (regression gate)")
+
 		mon         = flag.Bool("monitor", false, "run the continuous-monitoring experiment instead of a figure")
 		monObjects  = flag.Int("monitor-objects", 10000, "monitoring experiment dataset size")
 		monQueries  = flag.Int("monitor-queries", 200, "monitoring experiment standing-query count")
@@ -83,13 +95,13 @@ func main() {
 	}
 
 	modes := 0
-	for _, on := range []bool{*replay != "", *mon, *repl, *shardOn} {
+	for _, on := range []bool{*replay != "", *mon, *repl, *shardOn, *capOn} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(fmt.Errorf("-replay, -monitor, -replica and -shard are mutually exclusive"))
+		fatal(fmt.Errorf("-replay, -monitor, -replica, -shard and -capacity are mutually exclusive"))
 	}
 	if *replay != "" {
 		logger.Info("running workload replay", "file", *replay, "batch_sizes", *batchSizes)
@@ -122,8 +134,20 @@ func main() {
 		}
 		return
 	}
+	if *capOn {
+		logger.Info("running capacity experiment",
+			"sizes", *capSizes, "cache_bytes", *capCache, "commits", *capCommits)
+		if err := runCapacity(*capSizes, *capCommits, *capBatch, *capQueries, *capCache,
+			*seed, *capFlat, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *noCliff {
 		fatal(fmt.Errorf("-assert-no-cliff applies to -monitor mode"))
+	}
+	if *capFlat {
+		fatal(fmt.Errorf("-assert-commit-flat applies to -capacity mode"))
 	}
 	if *jsonOut != "" {
 		fatal(fmt.Errorf("-json applies to -replay, -monitor and -replica modes"))
@@ -250,6 +274,57 @@ func runShard(countsCSV string, objects, queries int, seed int64, jsonOut string
 	if jsonOut != "" {
 		return exp.WriteBenchJSON(jsonOut, report.Records())
 	}
+	return nil
+}
+
+// runCapacity runs the capacity experiment (datasets behind a pinned-small
+// page cache; commit and query latency vs dataset size) and prints (and
+// optionally records) its table.
+func runCapacity(sizesCSV string, commits, batch, queries int, cacheBytes, seed int64, assertFlat bool, jsonOut string) error {
+	sizes, err := parseSizes(sizesCSV, []int{10000, 30000, 100000})
+	if err != nil {
+		return err
+	}
+	report, err := exp.RunCapacity(exp.CapacityConfig{
+		Sizes:      sizes,
+		Commits:    commits,
+		BatchSize:  batch,
+		Queries:    queries,
+		CacheBytes: cacheBytes,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	report.Print(os.Stdout)
+	if jsonOut != "" {
+		if err := exp.WriteBenchJSON(jsonOut, report.Records()); err != nil {
+			return err
+		}
+	}
+	if assertFlat {
+		return assertCommitFlat(report)
+	}
+	return nil
+}
+
+// assertCommitFlat is the bench-regression gate for O(Δ) commits: the commit
+// p50 at the largest dataset size must stay within a small factor of the
+// smallest size's. A linear-in-n cost anywhere on the commit path (an O(n)
+// copy in view materialization, an accidental flatten, a full index rebuild)
+// blows well past 4x between 10k and 100k objects; honest noise does not.
+func assertCommitFlat(report *exp.CapacityReport) error {
+	if len(report.Rows) < 2 {
+		return fmt.Errorf("-assert-commit-flat needs at least two dataset sizes")
+	}
+	lo, hi := report.Rows[0], report.Rows[len(report.Rows)-1]
+	const factor = 4.0
+	if hi.CommitP50 > time.Duration(factor*float64(lo.CommitP50)) {
+		return fmt.Errorf("commit cost scales with n: p50 %v at n=%d vs %v at n=%d (limit %gx)",
+			hi.CommitP50, hi.Objects, lo.CommitP50, lo.Objects, factor)
+	}
+	fmt.Printf("commit flat: p50 %v at n=%d within %gx of %v at n=%d\n",
+		hi.CommitP50, hi.Objects, factor, lo.CommitP50, lo.Objects)
 	return nil
 }
 

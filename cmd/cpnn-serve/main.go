@@ -87,11 +87,12 @@ func main() {
 // serveOpts collects the data-source and replication flags that decide how
 // the server is assembled.
 type serveOpts struct {
-	dataPath string
-	gen      bool
-	seed     int64
-	dataDir  string
-	noSync   bool
+	dataPath   string
+	gen        bool
+	seed       int64
+	dataDir    string
+	noSync     bool
+	cacheBytes int64
 
 	follow        string // replica mode: primary's replication address
 	replicateAddr string // primary mode: replication listen address
@@ -114,6 +115,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		seed         = fs.Int64("seed", 1, "generator seed for -gen")
 		dataDir      = fs.String("data-dir", "", "durable store directory (enables /v1/objects, WAL, crash recovery)")
 		noSync       = fs.Bool("no-fsync", false, "skip the per-commit fsync (faster, loses recent batches on crash)")
+		cacheBytes   = fs.Int64("cache-bytes", 0, "page-cache budget for faulting object payloads from the base checkpoint (0 = 64 MiB default; store mode only)")
 		replAddr     = fs.String("replicate-addr", "", "replication listen address: stream the WAL to followers (requires -data-dir)")
 		follow       = fs.String("follow", "", "run as a read replica of this primary replication address (requires -data-dir)")
 		advertise    = fs.String("advertise-http", "", "HTTP URL advertised to followers as the write-redirect target (with -replicate-addr)")
@@ -148,7 +150,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	app, err := buildServer(serveOpts{
 		dataPath: *dataPath, gen: *gen, seed: *seed,
-		dataDir: *dataDir, noSync: *noSync,
+		dataDir: *dataDir, noSync: *noSync, cacheBytes: *cacheBytes,
 		follow: *follow, replicateAddr: *replAddr, advertiseHTTP: *advertise,
 		shards: *shards, shardOf: *shardOf, routerURLs: *routerURLs,
 	}, server.Config{
@@ -413,7 +415,7 @@ func buildServer(o serveOpts, cfg server.Config, kit obsKit) (*serveApp, error) 
 			return fail(fmt.Errorf("-shard-of %d: the cluster in %s has %d shards", o.shardOf, o.dataDir, meta.Shards))
 		}
 		st, err = store.Open(shard.Dir(o.dataDir, o.shardOf),
-			kit.storeOptions(store.Options{NoSync: o.noSync, ExplicitIDs: true}))
+			kit.storeOptions(store.Options{NoSync: o.noSync, CacheBytes: o.cacheBytes, ExplicitIDs: true}))
 		if err != nil {
 			return fail(err)
 		}
@@ -426,7 +428,7 @@ func buildServer(o serveOpts, cfg server.Config, kit obsKit) (*serveApp, error) 
 		// Single-process cluster: open an existing layout, or partition a
 		// seed dataset into a fresh one.
 		if _, err := os.Stat(filepath.Join(o.dataDir, shard.MetaFile)); err == nil {
-			cluster, err := shard.OpenCluster(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync}))
+			cluster, err := shard.OpenCluster(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync, CacheBytes: o.cacheBytes}))
 			if err != nil {
 				return fail(err)
 			}
@@ -450,7 +452,7 @@ func buildServer(o serveOpts, cfg server.Config, kit obsKit) (*serveApp, error) 
 				ids[i] = uint64(i + 1)
 			}
 			view := &store.View{Dataset: ds, IDs: ids, NextID: uint64(ds.Len()) + 1}
-			cluster, err := shard.CreateCluster(o.dataDir, o.shards, view, kit.storeOptions(store.Options{NoSync: o.noSync}))
+			cluster, err := shard.CreateCluster(o.dataDir, o.shards, view, kit.storeOptions(store.Options{NoSync: o.noSync, CacheBytes: o.cacheBytes}))
 			if err != nil {
 				return fail(err)
 			}
@@ -474,7 +476,7 @@ func buildServer(o serveOpts, cfg server.Config, kit obsKit) (*serveApp, error) 
 			return fail(fmt.Errorf("-follow is mutually exclusive with -gen/-data: the dataset is replicated from the primary"))
 		}
 		var err error
-		st, err = store.OpenFollower(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync}))
+		st, err = store.OpenFollower(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync, CacheBytes: o.cacheBytes}))
 		if err != nil {
 			return fail(err)
 		}
@@ -494,7 +496,7 @@ func buildServer(o serveOpts, cfg server.Config, kit obsKit) (*serveApp, error) 
 
 	case o.dataDir != "":
 		var err error
-		st, err = store.Open(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync}))
+		st, err = store.Open(o.dataDir, kit.storeOptions(store.Options{NoSync: o.noSync, CacheBytes: o.cacheBytes}))
 		if err != nil {
 			return fail(err)
 		}

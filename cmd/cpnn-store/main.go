@@ -156,6 +156,13 @@ func inspect(out io.Writer, dir string, s *store.Store) error {
 	} else {
 		fmt.Fprintf(out, "checkpoint:   none\n")
 	}
+	// On-disk vs in-memory footprint: how much of the dataset lives behind
+	// the page cache, and how deep the MVCC overlay has grown since the last
+	// flatten (each overlay slot holds a decoded payload in memory).
+	fmt.Fprintf(out, "base pages:   %d (%d bytes on disk)\n", st.BasePages, st.BasePages*4096)
+	fmt.Fprintf(out, "cache budget: %d bytes (%d resident pages, %d hits, %d misses, %d evictions)\n",
+		st.CacheBytes, st.PageCache.ResidentPages, st.PageCache.Hits, st.PageCache.Misses, st.PageCache.Evictions)
+	fmt.Fprintf(out, "overlay:      %d slots resident, %d served from base\n", st.OverlaySlots, st.BaseSlots)
 	// A replica.json marks the dir as a replication follower's: report where
 	// the data came from and the stream state as of the last update.
 	rs, ok, err := replica.ReadState(dir)

@@ -43,6 +43,26 @@ func TestInspect(t *testing.T) {
 			t.Fatalf("inspect output missing %q:\n%s", want, out)
 		}
 	}
+	// Footprint lines: pre-checkpoint everything is overlay, nothing on disk.
+	for _, want := range []string{"base pages:   0", "cache budget:", "overlay:      3 slots resident, 0 served from base"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing footprint %q:\n%s", want, out)
+		}
+	}
+
+	// After compaction the picture inverts: payloads live behind the page
+	// cache, the overlay is empty.
+	sb.Reset()
+	if err := run([]string{"-dir", dir, "-no-fsync", "compact"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	if !strings.Contains(out, "overlay:      0 slots resident, 3 served from base") {
+		t.Fatalf("post-compact inspect footprint:\n%s", out)
+	}
+	if strings.Contains(out, "base pages:   0") {
+		t.Fatalf("post-compact inspect reports no base pages:\n%s", out)
+	}
 }
 
 func TestCompactThenVerify(t *testing.T) {

@@ -1,0 +1,121 @@
+package chunked
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	var s Slice[int]
+	const n = 3*ChunkSize + 17
+	for i := 0; i < n; i++ {
+		s.Append(i)
+	}
+	if s.Len() != n {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := 0; i < n; i += 31 {
+		if s.At(i) != i {
+			t.Fatalf("At(%d) = %d", i, s.At(i))
+		}
+	}
+	s.Set(5, -5)
+	s.Set(ChunkSize+1, -1)
+	if s.At(5) != -5 || s.At(ChunkSize+1) != -1 {
+		t.Fatal("Set did not stick")
+	}
+	s.Truncate(ChunkSize + 2)
+	if s.Len() != ChunkSize+2 || s.At(ChunkSize+1) != -1 {
+		t.Fatal("truncate lost data")
+	}
+	s.Append(99)
+	if s.At(ChunkSize+2) != 99 {
+		t.Fatal("append after truncate")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var s Slice[int]
+	for i := 0; i < 2*ChunkSize+50; i++ {
+		s.Append(i)
+	}
+	snap := s.Snapshot()
+
+	// Mutate every chunk after the snapshot.
+	for i := 0; i < s.Len(); i += 7 {
+		s.Set(i, -s.At(i))
+	}
+	s.Truncate(ChunkSize / 2)
+	for i := 0; i < ChunkSize; i++ {
+		s.Append(1000 + i)
+	}
+
+	if snap.Len() != 2*ChunkSize+50 {
+		t.Fatalf("snap len = %d", snap.Len())
+	}
+	for i := 0; i < snap.Len(); i++ {
+		if snap.At(i) != i {
+			t.Fatalf("snap.At(%d) = %d after churn", i, snap.At(i))
+		}
+	}
+}
+
+func TestSnapshotChain(t *testing.T) {
+	// The store's pattern: snapshot per commit, small delta in between.
+	rng := rand.New(rand.NewSource(3))
+	var s Slice[int]
+	want := []int{}
+	type frozen struct {
+		snap Snap[int]
+		vals []int
+	}
+	var gens []frozen
+	for g := 0; g < 30; g++ {
+		for d := 0; d < 20; d++ {
+			switch {
+			case len(want) > 0 && rng.Intn(3) == 0:
+				i := rng.Intn(len(want))
+				want[i] = g*1000 + d
+				s.Set(i, g*1000+d)
+			case len(want) > ChunkSize && rng.Intn(10) == 0:
+				want = want[:len(want)-ChunkSize/2]
+				s.Truncate(len(want))
+			default:
+				want = append(want, g*1000+500+d)
+				s.Append(g*1000 + 500 + d)
+			}
+		}
+		gens = append(gens, frozen{s.Snapshot(), append([]int(nil), want...)})
+	}
+	for g, fr := range gens {
+		if fr.snap.Len() != len(fr.vals) {
+			t.Fatalf("gen %d: len %d want %d", g, fr.snap.Len(), len(fr.vals))
+		}
+		for i, v := range fr.vals {
+			if fr.snap.At(i) != v {
+				t.Fatalf("gen %d: At(%d) = %d want %d", g, i, fr.snap.At(i), v)
+			}
+		}
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	var s Slice[int]
+	s.Append(1)
+	for _, f := range []func(){
+		func() { s.At(1) },
+		func() { s.At(-1) },
+		func() { s.Set(1, 0) },
+		func() { s.Truncate(2) },
+		func() { s.Snapshot().At(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}

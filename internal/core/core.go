@@ -540,9 +540,9 @@ func (e *Engine) cknnFilter(q float64, k int) (float64, []int) {
 	fars := e.FarBounds(q, k)
 	fk := fars[len(fars)-1]
 	var ids []int
-	for _, o := range e.ds.Objects() {
-		if o.Region().MinDist(q) <= fk {
-			ids = append(ids, o.ID)
+	for i, n := 0, e.ds.Len(); i < n; i++ {
+		if e.ds.Region(i).MinDist(q) <= fk {
+			ids = append(ids, i)
 		}
 	}
 	return fk, ids
@@ -561,8 +561,8 @@ func (e *Engine) FarBounds(q float64, k int) []float64 {
 		return nil
 	}
 	fars := make([]float64, n)
-	for i, o := range e.ds.Objects() {
-		fars[i] = o.Region().MaxDist(q)
+	for i := range fars {
+		fars[i] = e.ds.Region(i).MaxDist(q)
 	}
 	sort.Float64s(fars)
 	if k < n {

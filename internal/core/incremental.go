@@ -271,7 +271,7 @@ func (e *Engine) replayFilter(q float64, st *EvalState, ids []uint64, changed ma
 		if !ok {
 			continue // deleted
 		}
-		if far := e.ds.Object(d).Region().MaxDist(q); far < fmin {
+		if far := e.ds.Region(d).MaxDist(q); far < fmin {
 			fmin, fminStable = far, s
 		}
 	}
@@ -294,7 +294,7 @@ func (e *Engine) replayFilter(q float64, st *EvalState, ids []uint64, changed ma
 		if !ok {
 			continue
 		}
-		if e.ds.Object(d).Region().MinDist(q) <= fmin {
+		if e.ds.Region(d).MinDist(q) <= fmin {
 			out = append(out, d)
 		}
 	}
@@ -315,7 +315,7 @@ func (e *Engine) incrementalFilter(q float64, st *EvalState, ids []uint64, chang
 	}
 	fr := e.ix.Candidates(q)
 	for _, d := range fr.IDs {
-		if e.ds.Object(d).Region().MaxDist(q) == fr.FMin {
+		if e.ds.Region(d).MaxDist(q) == fr.FMin {
 			return fr, ids[d], true
 		}
 	}
@@ -404,7 +404,7 @@ func (e *Engine) incrementalPrepare(q float64, bins int, buildTable bool, st *Ev
 					st.foldBytes -= cf.h.MemBytes()
 				}
 				cf.h, cf.gen, cf.dense = h, gen, upDense
-				cf.near = e.ds.Object(upDense).Region().MinDist(q)
+				cf.near = e.ds.Region(upDense).MinDist(q)
 				st.foldBytes += h.MemBytes()
 				inc.Derived++
 				up = &subregion.Candidate{ID: upDense, Dist: h}
@@ -470,7 +470,7 @@ func (e *Engine) incrementalPrepare(q float64, bins int, buildTable bool, st *Ev
 				st.foldBytes -= cf.h.MemBytes()
 			}
 			cf.h, cf.gen, cf.dense = h, gen, d
-			cf.near = e.ds.Object(d).Region().MinDist(q)
+			cf.near = e.ds.Region(d).MinDist(q)
 			st.foldBytes += h.MemBytes()
 			inc.Derived++
 		}
@@ -658,7 +658,7 @@ func (e *Engine) KNNIncremental(q float64, c verify.Constraint, opt KNNOptions, 
 				st.foldBytes -= cf.h.MemBytes()
 			}
 			cf.h, cf.gen, cf.dense = h, gen, d
-			cf.near = e.ds.Object(d).Region().MinDist(q)
+			cf.near = e.ds.Region(d).MinDist(q)
 			st.foldBytes += h.MemBytes()
 			inc.Derived++
 		}

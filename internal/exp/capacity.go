@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pager"
+	"repro/internal/pdf"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/verify"
+)
+
+// CapacityConfig drives the capacity experiment: datasets of increasing size
+// are loaded into a store whose page-cache budget is pinned small, flattened
+// into the paged base checkpoint, and then measured under update commits and
+// C-PNN queries. The claim under test is twofold — the store serves datasets
+// whose base file exceeds the cache budget (payloads fault in and out on
+// demand), and commit latency tracks the batch size Δ, not the dataset size n.
+type CapacityConfig struct {
+	// Sizes lists dataset sizes n; empty means 10000, 30000, 100000.
+	Sizes []int
+	// Commits is the number of update commits measured per size; 0 means 200.
+	Commits int
+	// BatchSize is the updates per commit (the Δ in O(Δ)); 0 means 8.
+	BatchSize int
+	// Queries is the number of C-PNN probe queries per size; 0 means 50.
+	Queries int
+	// CacheBytes is the fixed page-cache budget shared by every size; 0 means
+	// 256 KiB (64 pages), far below the base file of the larger sizes.
+	CacheBytes int64
+	// Seed makes the workload deterministic (sub-seeded per size).
+	Seed int64
+	// Dir is the working directory; empty means a temp dir removed
+	// afterwards. Each size gets a fresh subdir.
+	Dir string
+}
+
+// CapacityRow is the measured outcome of one dataset size.
+type CapacityRow struct {
+	// Objects is the dataset size n.
+	Objects int
+	// BasePages and BaseBytes describe the paged checkpoint after load: the
+	// on-disk footprint the cache budget must serve from.
+	BasePages int
+	BaseBytes int64
+	// CacheBytes is the effective page-cache budget.
+	CacheBytes int64
+	// LoadTime covers inserting all n objects; CheckpointTime is the flatten
+	// that moved them behind the page cache.
+	LoadTime, CheckpointTime time.Duration
+	// CommitOpsPerSec is update throughput (BatchSize ops per commit); the
+	// percentiles are per-commit Apply latencies. Flatness of CommitP50
+	// across rows is the O(Δ) commit claim.
+	CommitOpsPerSec      float64
+	CommitP50, CommitP95 time.Duration
+	// QueryP50 and QueryP95 are C-PNN probe latencies against the cold-ish
+	// cache (queries fault candidate payloads from the base file).
+	QueryP50, QueryP95 time.Duration
+	// Hits, Misses and Evictions are the page-cache totals for the whole
+	// run at this size; Misses and Evictions must be non-zero once the base
+	// outgrows the budget.
+	Hits, Misses, Evictions uint64
+}
+
+// CapacityReport is the outcome of the capacity experiment.
+type CapacityReport struct {
+	Commits, BatchSize, Queries int
+	CacheBytes                  int64
+	Rows                        []CapacityRow
+}
+
+// RunCapacity runs the capacity experiment.
+func RunCapacity(cfg CapacityConfig) (*CapacityReport, error) {
+	sizes := cfg.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{10000, 30000, 100000}
+	}
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("exp: dataset size %d < 1", n)
+		}
+	}
+	if cfg.Commits == 0 {
+		cfg.Commits = 200
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 50
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 256 << 10
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "cpnn-capacity-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	report := &CapacityReport{
+		Commits: cfg.Commits, BatchSize: cfg.BatchSize,
+		Queries: cfg.Queries, CacheBytes: cfg.CacheBytes,
+	}
+	for _, n := range sizes {
+		row, err := runCapacitySize(dir, n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: n=%d: %w", n, err)
+		}
+		report.Rows = append(report.Rows, *row)
+	}
+	return report, nil
+}
+
+func runCapacitySize(dir string, n int, cfg CapacityConfig) (*CapacityRow, error) {
+	s, err := store.Open(fmt.Sprintf("%s/cap-%d", dir, n), store.Options{
+		NoSync:          true,
+		CheckpointBytes: -1, // flatten only when this harness says so
+		CacheBytes:      cfg.CacheBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	const domain = 100000.0
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+	iv := func() (float64, float64) {
+		lo := rng.Float64() * domain
+		return lo, lo + 1 + rng.Float64()*24
+	}
+
+	// Load: n objects in bulk batches, then one flatten so every payload
+	// lives behind the page cache and the overlay is empty. Histogram pdfs
+	// keep the per-object payload non-trivial (a uniform is 17 bytes).
+	loadStart := time.Now()
+	var ids []uint64
+	for off := 0; off < n; off += 512 {
+		batch := make([]store.Op, min(512, n-off))
+		for i := range batch {
+			lo, hi := iv()
+			w := make([]float64, 7)
+			for j := range w {
+				w[j] = 1 + rng.Float64()
+			}
+			batch[i] = store.InsertObject(pdf.MustHistogram(
+				[]float64{lo, lo + (hi-lo)/4, lo + (hi-lo)/2, lo + 3*(hi-lo)/4,
+					lo + 7*(hi-lo)/8, hi - (hi-lo)/16, hi - (hi-lo)/32, hi}, w))
+		}
+		res, err := s.Apply(batch)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, res.IDs...)
+	}
+	loadTime := time.Since(loadStart)
+
+	ckptStart := time.Now()
+	if err := s.Checkpoint(); err != nil {
+		return nil, err
+	}
+	ckptTime := time.Since(ckptStart)
+
+	// Commit phase: the same Δ-sized update batches at every n. Each commit
+	// pays the WAL append plus an O(Δ log n) view materialization; nothing
+	// here may scale with n. The unmeasured warm-up commits absorb the
+	// post-flatten transient (allocator and GC churn from dropping n resident
+	// payloads) so the percentiles describe steady state.
+	var commitLat stats.Sample
+	for c := 0; c < 32; c++ {
+		batch := make([]store.Op, cfg.BatchSize)
+		for i := range batch {
+			lo, hi := iv()
+			batch[i] = store.UpdateObject(ids[rng.Intn(len(ids))], pdf.MustUniform(lo, hi))
+		}
+		if _, err := s.Apply(batch); err != nil {
+			return nil, err
+		}
+	}
+	commitStart := time.Now()
+	for c := 0; c < cfg.Commits; c++ {
+		batch := make([]store.Op, cfg.BatchSize)
+		for i := range batch {
+			lo, hi := iv()
+			batch[i] = store.UpdateObject(ids[rng.Intn(len(ids))], pdf.MustUniform(lo, hi))
+		}
+		t0 := time.Now()
+		if _, err := s.Apply(batch); err != nil {
+			return nil, err
+		}
+		commitLat.AddDuration(time.Since(t0))
+	}
+	commitTotal := time.Since(commitStart)
+
+	// Query phase: C-PNN probes at random points. Candidate payloads fault
+	// from the base file through the (small) page cache.
+	var queryLat stats.Sample
+	for q := 0; q < cfg.Queries; q++ {
+		v := s.View()
+		eng, err := core.NewEngineWithIndex(v.Dataset, v.Index)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := eng.CPNN(rng.Float64()*domain, verify.Constraint{P: 0.3, Delta: 0.01}, core.Options{}); err != nil {
+			return nil, err
+		}
+		queryLat.AddDuration(time.Since(t0))
+	}
+
+	st := s.Stats()
+	return &CapacityRow{
+		Objects:         n,
+		BasePages:       st.BasePages,
+		BaseBytes:       int64(st.BasePages) * pager.PageSize,
+		CacheBytes:      st.CacheBytes,
+		LoadTime:        loadTime,
+		CheckpointTime:  ckptTime,
+		CommitOpsPerSec: float64(cfg.BatchSize*cfg.Commits) / commitTotal.Seconds(),
+		CommitP50:       msToDur(commitLat.Percentile(50)),
+		CommitP95:       msToDur(commitLat.Percentile(95)),
+		QueryP50:        msToDur(queryLat.Percentile(50)),
+		QueryP95:        msToDur(queryLat.Percentile(95)),
+		Hits:            st.PageCache.Hits,
+		Misses:          st.PageCache.Misses,
+		Evictions:       st.PageCache.Evictions,
+	}, nil
+}
+
+// Print renders the capacity report as an aligned table.
+func (r *CapacityReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "# capacity: page cache pinned at %d bytes; %d commits of %d updates and %d C-PNN probes per size (fsync off)\n",
+		r.CacheBytes, r.Commits, r.BatchSize, r.Queries)
+	fmt.Fprintf(w, "%10s %12s %12s %12s %14s %12s %12s %12s %12s %10s\n",
+		"n", "base bytes", "load", "flatten", "commit ops/s", "commit p50", "commit p95",
+		"query p50", "query p95", "evictions")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d %12d %12s %12s %14.0f %12s %12s %12s %12s %10d\n",
+			row.Objects, row.BaseBytes,
+			row.LoadTime.Round(time.Millisecond), row.CheckpointTime.Round(time.Millisecond),
+			row.CommitOpsPerSec,
+			row.CommitP50.Round(10*time.Microsecond), row.CommitP95.Round(10*time.Microsecond),
+			row.QueryP50.Round(10*time.Microsecond), row.QueryP95.Round(10*time.Microsecond),
+			row.Evictions)
+	}
+}
+
+// Records converts a capacity report to bench records.
+func (r *CapacityReport) Records() []BenchRecord {
+	out := make([]BenchRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, BenchRecord{
+			Name:      fmt.Sprintf("capacity/n=%d", row.Objects),
+			OpsPerSec: row.CommitOpsPerSec,
+			P50Ms:     ms(row.CommitP50),
+			P95Ms:     ms(row.CommitP95),
+			Extra: Extra{
+				"base_pages":         float64(row.BasePages),
+				"base_bytes":         float64(row.BaseBytes),
+				"cache_budget_bytes": float64(row.CacheBytes),
+				"load_ms":            ms(row.LoadTime),
+				"flatten_ms":         ms(row.CheckpointTime),
+				"query_p50_ms":       ms(row.QueryP50),
+				"query_p95_ms":       ms(row.QueryP95),
+				"cache_hits":         float64(row.Hits),
+				"cache_misses":       float64(row.Misses),
+				"cache_evictions":    float64(row.Evictions),
+			},
+		})
+	}
+	return out
+}

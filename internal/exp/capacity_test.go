@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunCapacitySmall runs the capacity experiment end to end at toy sizes:
+// the point is the plumbing (paged base built, cache stats plumbed through,
+// records shaped for BENCH json), not the timings.
+func TestRunCapacitySmall(t *testing.T) {
+	report, err := RunCapacity(CapacityConfig{
+		Sizes:      []int{200, 600},
+		Commits:    6,
+		BatchSize:  4,
+		Queries:    4,
+		CacheBytes: 1, // clamps up to the pool's minimum budget
+		Seed:       7,
+		Dir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(report.Rows))
+	}
+	for _, row := range report.Rows {
+		if row.BasePages == 0 || row.BaseBytes == 0 {
+			t.Errorf("n=%d: no paged base after flatten (%d pages)", row.Objects, row.BasePages)
+		}
+		if row.CacheBytes < 1 {
+			t.Errorf("n=%d: cache budget %d", row.Objects, row.CacheBytes)
+		}
+		if row.CommitP50 <= 0 || row.QueryP50 <= 0 {
+			t.Errorf("n=%d: empty latency samples (commit %v, query %v)",
+				row.Objects, row.CommitP50, row.QueryP50)
+		}
+	}
+	// 600 histogram payloads overflow the minimum 8-page budget, so the
+	// larger size must have faulted and evicted.
+	last := report.Rows[1]
+	if last.BaseBytes <= last.CacheBytes {
+		t.Fatalf("n=%d base (%d bytes) fits the budget (%d bytes); test needs overflow",
+			last.Objects, last.BaseBytes, last.CacheBytes)
+	}
+	if last.Misses == 0 || last.Evictions == 0 {
+		t.Errorf("n=%d: base beyond budget but misses=%d evictions=%d",
+			last.Objects, last.Misses, last.Evictions)
+	}
+
+	report.Print(io.Discard)
+	recs := report.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if !strings.HasPrefix(recs[0].Name, "capacity/n=") {
+		t.Errorf("record name %q", recs[0].Name)
+	}
+	for _, key := range []string{"base_bytes", "cache_budget_bytes", "query_p50_ms", "cache_evictions"} {
+		if _, ok := recs[1].Extra[key]; !ok {
+			t.Errorf("record extra missing %q", key)
+		}
+	}
+}
+
+func TestRunCapacityRejectsBadSize(t *testing.T) {
+	if _, err := RunCapacity(CapacityConfig{Sizes: []int{0}}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}

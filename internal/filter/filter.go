@@ -26,14 +26,27 @@ type Index struct {
 }
 
 // NewIndex bulk-loads the dataset's uncertainty regions into an R-tree.
+// Only regions are read, never pdf payloads, so indexing a disk-backed
+// dataset does not fault it in.
 func NewIndex(ds *uncertain.Dataset) (*Index, error) {
 	inputs := make([]rtree.Input[int], ds.Len())
-	for i, o := range ds.Objects() {
-		inputs[i] = rtree.Input[int]{Rect: geom.RectFromInterval(o.Region()), Item: o.ID}
+	for i := range inputs {
+		inputs[i] = rtree.Input[int]{Rect: geom.RectFromInterval(ds.Region(i)), Item: i}
 	}
 	tree, err := rtree.BulkLoad(inputs, rtree.DefaultMinEntries, rtree.DefaultMaxEntries)
 	if err != nil {
 		return nil, fmt.Errorf("filter: building index: %w", err)
+	}
+	return &Index{tree: tree, ds: ds}, nil
+}
+
+// FromTree wraps an already-built tree (e.g. one reloaded from a paged
+// checkpoint) as an index over ds. The tree must hold exactly the dense IDs
+// 0..ds.Len()-1 under the dataset's current regions.
+func FromTree(tree *rtree.Tree[int], ds *uncertain.Dataset) (*Index, error) {
+	if tree.Len() != ds.Len() {
+		return nil, fmt.Errorf("filter: tree holds %d entries, dataset %d objects",
+			tree.Len(), ds.Len())
 	}
 	return &Index{tree: tree, ds: ds}, nil
 }
@@ -144,7 +157,25 @@ func (ix *Index) Apply(ds *uncertain.Dataset, edits []Edit) (*Index, error) {
 	if ix == nil || float64(len(edits)) >= rebuildFraction*float64(ds.Len())+1 {
 		return NewIndex(ds)
 	}
-	tree := ix.tree.Clone()
+	return applyEdits(ix.tree.Clone(), ds, edits)
+}
+
+// ApplyTree replays edits directly onto tree (consuming it — the caller must
+// not keep using it) and binds the result to ds. Store recovery uses it to
+// carry the checkpoint's paged tree forward through the WAL's edit stream
+// without an O(n) rebuild.
+func ApplyTree(tree *rtree.Tree[int], ds *uncertain.Dataset, edits []Edit) (*Index, error) {
+	if float64(len(edits)) >= rebuildFraction*float64(ds.Len())+1 {
+		return NewIndex(ds)
+	}
+	return applyEdits(tree, ds, edits)
+}
+
+// Tree returns the underlying R-tree. The store's paged checkpoint dumps it
+// node by node; callers must treat it as read-only.
+func (ix *Index) Tree() *rtree.Tree[int] { return ix.tree }
+
+func applyEdits(tree *rtree.Tree[int], ds *uncertain.Dataset, edits []Edit) (*Index, error) {
 	for _, e := range edits {
 		if e.Delete {
 			if !tree.Delete(e.Rect, func(id int) bool { return id == e.ID }) {
@@ -168,16 +199,16 @@ func LinearCandidates(ds *uncertain.Dataset, q float64) Result {
 	if ds.Len() == 0 {
 		return Result{}
 	}
-	fMin := ds.Object(0).Region().MaxDist(q)
-	for _, o := range ds.Objects()[1:] {
-		if d := o.Region().MaxDist(q); d < fMin {
+	fMin := ds.Region(0).MaxDist(q)
+	for i, n := 1, ds.Len(); i < n; i++ {
+		if d := ds.Region(i).MaxDist(q); d < fMin {
 			fMin = d
 		}
 	}
 	var ids []int
-	for _, o := range ds.Objects() {
-		if o.Region().MinDist(q) <= fMin {
-			ids = append(ids, o.ID)
+	for i, n := 0, ds.Len(); i < n; i++ {
+		if ds.Region(i).MinDist(q) <= fMin {
+			ids = append(ids, i)
 		}
 	}
 	return Result{IDs: ids, FMin: fMin}

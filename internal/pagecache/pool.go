@@ -1,0 +1,253 @@
+// Package pagecache is the buffer-pool layer between the store and the 4 KiB
+// pager: a concurrency-safe page cache with a configurable byte budget, CLOCK
+// eviction, pinned page handles and dirty-page write-back, plus an
+// append-only record log and a paged R-tree reader built on top of it.
+//
+// Every page carries a CRC-32C of its payload in its first four bytes, so a
+// torn or bit-rotted page is detected at fault time with its page number and
+// byte offset — the page-granular analogue of the WAL's record checksums.
+// The store's paged checkpoints write object records and index nodes through
+// a Pool (dirty pages stream back to disk as the budget fills) and serve
+// queries from datasets larger than memory by faulting pages back on demand.
+package pagecache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/pager"
+)
+
+// PayloadSize is the number of usable bytes per page: the page minus the
+// leading CRC-32C.
+const PayloadSize = pager.PageSize - 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// MinBudget is the smallest accepted pool budget: enough pages that a single
+// record spanning a handful of pages can be walked while older pages stay
+// resident.
+const MinBudget = 8 * pager.PageSize
+
+// Stats counts pool activity. Hits and Misses count Fetch calls served from
+// memory versus from disk; Evictions counts frames recycled under budget
+// pressure; Writebacks counts dirty pages flushed to disk (on eviction or
+// Flush). ResidentPages and BudgetBytes describe the current footprint.
+type Stats struct {
+	Hits, Misses, Evictions, Writebacks uint64
+	ResidentPages                       int
+	BudgetBytes                         int64
+}
+
+// Pool caches pages of a pager.File under a byte budget with CLOCK eviction.
+// It is safe for concurrent use; readers pin pages through Handles while
+// decoding and release them immediately after.
+type Pool struct {
+	mu     sync.Mutex
+	f      *pager.File
+	budget int // max resident frames
+	frames map[pager.PageID]*frame
+	clock  []*frame // eviction ring; hand sweeps it
+	hand   int
+	stats  Stats
+}
+
+type frame struct {
+	id    pager.PageID
+	data  [pager.PageSize]byte
+	pins  int
+	ref   bool // CLOCK reference bit
+	dirty bool
+}
+
+// NewPool wraps f with a pool holding at most budgetBytes of pages.
+// Budgets below MinBudget are raised to it.
+func NewPool(f *pager.File, budgetBytes int64) *Pool {
+	if budgetBytes < MinBudget {
+		budgetBytes = MinBudget
+	}
+	return &Pool{
+		f:      f,
+		budget: int(budgetBytes / pager.PageSize),
+		frames: map[pager.PageID]*frame{},
+	}
+}
+
+// Handle is a pinned page. Its payload stays valid (and its frame resident)
+// until Release.
+type Handle struct {
+	p  *Pool
+	fr *frame
+}
+
+// Data returns the page payload (PayloadSize bytes, excluding the CRC).
+// Mutating it requires MarkDirty before Release.
+func (h *Handle) Data() []byte { return h.fr.data[4:] }
+
+// ID returns the page number.
+func (h *Handle) ID() pager.PageID { return h.fr.id }
+
+// MarkDirty schedules the page for write-back (on eviction or Flush).
+func (h *Handle) MarkDirty() {
+	h.p.mu.Lock()
+	h.fr.dirty = true
+	h.p.mu.Unlock()
+}
+
+// Release unpins the page. The Handle must not be used afterwards.
+func (h *Handle) Release() {
+	h.p.mu.Lock()
+	if h.fr.pins > 0 {
+		h.fr.pins--
+	}
+	h.p.mu.Unlock()
+}
+
+// Fetch pins page id, faulting it from disk (and verifying its checksum) on
+// a miss.
+func (p *Pool) Fetch(id pager.PageID) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		fr.pins++
+		fr.ref = true
+		return &Handle{p: p, fr: fr}, nil
+	}
+	p.stats.Misses++
+	fr, err := p.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.f.ReadPage(id, fr.data[:]); err != nil {
+		p.dropLocked(fr)
+		return nil, err
+	}
+	want := binary.LittleEndian.Uint32(fr.data[:4])
+	if got := crc32.Checksum(fr.data[4:], crcTable); got != want {
+		p.dropLocked(fr)
+		return nil, fmt.Errorf(
+			"pagecache: page %d (byte offset %d): checksum mismatch (stored %08x, computed %08x)",
+			id, int64(id)*pager.PageSize, want, got)
+	}
+	fr.pins, fr.ref = 1, true
+	return &Handle{p: p, fr: fr}, nil
+}
+
+// Allocate appends a fresh zeroed page to the file and pins it dirty, so the
+// checksum is computed when the page is written back.
+func (p *Pool) Allocate() (*Handle, error) {
+	id, err := p.f.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr, err := p.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	fr.pins, fr.ref, fr.dirty = 1, true, true
+	return &Handle{p: p, fr: fr}, nil
+}
+
+// newFrameLocked inserts a frame for id, evicting under budget pressure.
+func (p *Pool) newFrameLocked(id pager.PageID) (*frame, error) {
+	for len(p.frames) >= p.budget {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{id: id}
+	p.frames[id] = fr
+	p.clock = append(p.clock, fr)
+	return fr, nil
+}
+
+// evictLocked runs the CLOCK hand: pinned frames are skipped, referenced
+// frames get a second chance, and the first cold unpinned frame is written
+// back (if dirty) and recycled.
+func (p *Pool) evictLocked() error {
+	if len(p.clock) == 0 {
+		return fmt.Errorf("pagecache: empty pool cannot evict")
+	}
+	// Two full sweeps: the first clears reference bits, the second must find
+	// a victim unless every frame is pinned.
+	for sweep := 0; sweep < 2*len(p.clock); sweep++ {
+		if p.hand >= len(p.clock) {
+			p.hand = 0
+		}
+		fr := p.clock[p.hand]
+		if fr.pins > 0 {
+			p.hand++
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			p.hand++
+			continue
+		}
+		if fr.dirty {
+			if err := p.writebackLocked(fr); err != nil {
+				return err
+			}
+		}
+		delete(p.frames, fr.id)
+		p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+		p.stats.Evictions++
+		return nil
+	}
+	return fmt.Errorf("pagecache: all %d pages pinned; cannot evict", len(p.clock))
+}
+
+// dropLocked discards a frame whose fault failed (never written back).
+func (p *Pool) dropLocked(fr *frame) {
+	delete(p.frames, fr.id)
+	for i, c := range p.clock {
+		if c == fr {
+			p.clock = append(p.clock[:i], p.clock[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			break
+		}
+	}
+}
+
+// writebackLocked stamps the payload checksum and writes the page.
+func (p *Pool) writebackLocked(fr *frame) error {
+	binary.LittleEndian.PutUint32(fr.data[:4], crc32.Checksum(fr.data[4:], crcTable))
+	if err := p.f.WritePage(fr.id, fr.data[:]); err != nil {
+		return err
+	}
+	fr.dirty = false
+	p.stats.Writebacks++
+	return nil
+}
+
+// Flush writes back every dirty page without evicting anything. A durable
+// checkpoint flushes, then syncs the underlying file.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.clock {
+		if fr.dirty {
+			if err := p.writebackLocked(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.ResidentPages = len(p.frames)
+	s.BudgetBytes = int64(p.budget) * pager.PageSize
+	return s
+}

@@ -89,11 +89,12 @@ func (pf *File) ReadPage(id PageID, buf []byte) error {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
 	if uint32(id) >= pf.pages {
-		return fmt.Errorf("pager: page %d beyond end (%d pages)", id, pf.pages)
+		return fmt.Errorf("pager: read of page %d (byte offset %d) beyond end (%d pages)",
+			id, int64(id)*PageSize, pf.pages)
 	}
 	_, err := pf.f.ReadAt(buf, int64(id)*PageSize)
 	if err != nil {
-		return fmt.Errorf("pager: %w", err)
+		return fmt.Errorf("pager: reading page %d (byte offset %d): %w", id, int64(id)*PageSize, err)
 	}
 	return nil
 }
@@ -106,10 +107,11 @@ func (pf *File) WritePage(id PageID, buf []byte) error {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
 	if uint32(id) >= pf.pages {
-		return fmt.Errorf("pager: page %d beyond end (%d pages)", id, pf.pages)
+		return fmt.Errorf("pager: write of page %d (byte offset %d) beyond end (%d pages)",
+			id, int64(id)*PageSize, pf.pages)
 	}
 	if _, err := pf.f.WriteAt(buf, int64(id)*PageSize); err != nil {
-		return fmt.Errorf("pager: %w", err)
+		return fmt.Errorf("pager: writing page %d (byte offset %d): %w", id, int64(id)*PageSize, err)
 	}
 	return nil
 }

@@ -1,9 +1,11 @@
 package pager
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/dist"
@@ -60,6 +62,43 @@ func TestFileBoundsChecks(t *testing.T) {
 	}
 	if err := pf.ReadPage(0, make([]byte, 10)); err == nil {
 		t.Error("short buffer accepted")
+	}
+}
+
+// Read-path errors must name the page and its byte offset: a corruption
+// report that says only "read failed" is useless when diagnosing which
+// checkpoint page rotted.
+func TestReadErrorsNamePageAndOffset(t *testing.T) {
+	pf := newFile(t)
+	for i := 0; i < 3; i++ {
+		if _, err := pf.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, PageSize)
+	err := pf.ReadPage(7, buf)
+	if err == nil {
+		t.Fatal("read beyond end succeeded")
+	}
+	for _, want := range []string{"page 7", fmt.Sprintf("byte offset %d", 7*PageSize)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// A read that fails at the OS layer (file truncated underneath the
+	// pager) must also locate the page.
+	if err := pf.f.Truncate(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	err = pf.ReadPage(2, buf)
+	if err == nil {
+		t.Fatal("read of truncated-away page succeeded")
+	}
+	for _, want := range []string{"page 2", fmt.Sprintf("byte offset %d", 2*PageSize)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 

@@ -34,12 +34,22 @@ type Tree[T any] struct {
 	maxEntries int
 	minEntries int
 
+	// owner tags the nodes this tree may mutate in place. Nodes carrying any
+	// other tag are shared with a Clone and are copied on first write (path
+	// copying), which makes Clone O(1) and a commit's index maintenance O(Δ·
+	// height) instead of O(n).
+	owner *cowOwner
+
 	// nnPool recycles nearest-neighbor traversal queues across ScanNearest /
 	// MinMaxDist calls (both run once per filtering pass — hot enough that
 	// a fresh queue per call shows up in allocation profiles). sync.Pool is
 	// safe under the tree's concurrent-readers contract.
 	nnPool sync.Pool
 }
+
+// cowOwner is an identity token; it must not be zero-sized, since pointers
+// to distinct zero-size allocations may compare equal.
+type cowOwner struct{ _ byte }
 
 type entry[T any] struct {
 	rect  geom.Rect
@@ -49,7 +59,17 @@ type entry[T any] struct {
 
 type node[T any] struct {
 	leaf    bool
+	owner   *cowOwner
 	entries []entry[T]
+}
+
+// mutable returns n if this tree owns it, or a shallow copy stamped with the
+// tree's tag otherwise. The caller re-links the copy into its parent.
+func (t *Tree[T]) mutable(n *node[T]) *node[T] {
+	if n.owner == t.owner {
+		return n
+	}
+	return &node[T]{leaf: n.leaf, owner: t.owner, entries: append([]entry[T](nil), n.entries...)}
 }
 
 // New returns an empty tree with the given node capacities. maxEntries must
@@ -61,10 +81,12 @@ func New[T any](minEntries, maxEntries int) (*Tree[T], error) {
 	if minEntries < 2 || minEntries > maxEntries/2 {
 		return nil, fmt.Errorf("rtree: minEntries %d outside [2, %d]", minEntries, maxEntries/2)
 	}
+	owner := &cowOwner{}
 	return &Tree[T]{
-		root:       &node[T]{leaf: true},
+		root:       &node[T]{leaf: true, owner: owner},
 		maxEntries: maxEntries,
 		minEntries: minEntries,
+		owner:      owner,
 	}, nil
 }
 
@@ -80,28 +102,25 @@ func NewDefault[T any]() *Tree[T] {
 // Len returns the number of stored items.
 func (t *Tree[T]) Len() int { return t.size }
 
-// Clone returns a structurally independent deep copy of the tree: mutating
-// either tree never affects the other. It is the copy-on-write primitive of
-// the store's MVCC index maintenance — a committed batch clones the current
-// index and applies its inserts/deletes to the copy while readers keep
-// traversing the original.
+// Clone returns a structurally independent copy of the tree: mutating either
+// tree never affects the other. It is the copy-on-write primitive of the
+// store's MVCC index maintenance — a committed batch clones the current index
+// and applies its inserts/deletes to the copy while readers keep traversing
+// the original.
+//
+// Clone is O(1): both trees share every node and receive fresh ownership
+// tags, so the first mutation of a shared node (by either tree) copies just
+// the root-to-node path. Clone itself counts as a write for the tree's
+// single-writer/concurrent-readers contract.
 func (t *Tree[T]) Clone() *Tree[T] {
+	t.owner = &cowOwner{}
 	return &Tree[T]{
-		root:       cloneNode(t.root),
+		root:       t.root,
 		size:       t.size,
 		maxEntries: t.maxEntries,
 		minEntries: t.minEntries,
+		owner:      &cowOwner{},
 	}
-}
-
-func cloneNode[T any](n *node[T]) *node[T] {
-	c := &node[T]{leaf: n.leaf, entries: append([]entry[T](nil), n.entries...)}
-	if !n.leaf {
-		for i := range c.entries {
-			c.entries[i].child = cloneNode(c.entries[i].child)
-		}
-	}
-	return c
 }
 
 // Height returns the number of levels in the tree; an empty tree has height 1.
@@ -118,46 +137,65 @@ func (t *Tree[T]) Insert(rect geom.Rect, item T) error {
 	if !rect.IsValid() {
 		return fmt.Errorf("rtree: invalid rect %+v", rect)
 	}
-	leaf := t.chooseLeaf(t.root, rect)
+	leaf, path := t.chooseLeaf(rect)
 	leaf.entries = append(leaf.entries, entry[T]{rect: rect, item: item})
 	t.size++
 	if len(leaf.entries) > t.maxEntries {
-		t.splitAndPropagate(leaf)
+		t.splitAndPropagate(path)
 	}
 	return nil
 }
 
-// chooseLeaf descends to the leaf whose MBR needs the least enlargement.
-func (t *Tree[T]) chooseLeaf(n *node[T], rect geom.Rect) *node[T] {
+// measure is the metric the insertion heuristics compare nodes by: area plus
+// margin. Pure area breaks down on degenerate rectangles — every 1-D interval
+// embeds with zero height (geom.RectFromInterval), so all areas and therefore
+// all enlargements are zero, and the heuristics stop discriminating entirely:
+// chooseLeaf falls through to its first entry on every descent and
+// quadraticSplit distributes entries arbitrarily, growing a tree whose
+// internal boxes all overlap each other (deletes and searches then visit a
+// constant fraction of the tree). Adding the margin keeps the metric strictly
+// increasing under union in any single dimension, so 1-D data orders by
+// interval length and 2-D behavior is unchanged in all but exact-area ties.
+func measure(r geom.Rect) float64 {
+	return (r.MaxX-r.MinX)*(r.MaxY-r.MinY) + (r.MaxX - r.MinX) + (r.MaxY - r.MinY)
+}
+
+// enlarge returns the measure growth needed for r to absorb other.
+func enlarge(r, other geom.Rect) float64 { return measure(r.Union(other)) - measure(r) }
+
+// chooseLeaf descends from the root to the leaf whose MBR needs the least
+// enlargement, copying any shared node on the way down (the descent widens
+// MBRs in place, so every node on the path must be owned). It returns the
+// chosen leaf and the root-to-leaf path, which splitAndPropagate walks back
+// up — re-deriving the path afterwards would cost a full-tree search per
+// split and make insert cost track the tree size.
+func (t *Tree[T]) chooseLeaf(rect geom.Rect) (*node[T], []*node[T]) {
+	t.root = t.mutable(t.root)
+	n := t.root
+	path := []*node[T]{n}
 	for !n.leaf {
 		best := 0
 		bestEnl := math.Inf(1)
 		bestArea := math.Inf(1)
 		for i := range n.entries {
-			enl := n.entries[i].rect.Enlargement(rect)
-			area := n.entries[i].rect.Area()
+			enl := enlarge(n.entries[i].rect, rect)
+			area := measure(n.entries[i].rect)
 			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 				best, bestEnl, bestArea = i, enl, area
 			}
 		}
 		n.entries[best].rect = n.entries[best].rect.Union(rect)
-		n = n.entries[best].child
+		child := t.mutable(n.entries[best].child)
+		n.entries[best].child = child
+		n = child
+		path = append(path, n)
 	}
-	return n
+	return n, path
 }
 
-// splitAndPropagate splits an overflowing node and walks splits upward.
-// Because nodes do not store parent pointers, we re-descend from the root.
-func (t *Tree[T]) splitAndPropagate(target *node[T]) {
-	if target == t.root {
-		t.splitRoot()
-		return
-	}
-	// Find the path from root to target.
-	path := t.pathTo(target)
-	if path == nil {
-		return // node no longer in tree (should not happen)
-	}
+// splitAndPropagate splits the overflowing node at the end of path (a
+// root-to-node chain as returned by chooseLeaf) and walks splits upward.
+func (t *Tree[T]) splitAndPropagate(path []*node[T]) {
 	for i := len(path) - 1; i >= 0; i-- {
 		n := path[i]
 		if len(n.entries) <= t.maxEntries {
@@ -183,38 +221,13 @@ func (t *Tree[T]) splitAndPropagate(target *node[T]) {
 func (t *Tree[T]) splitRoot() {
 	a, b := t.quadraticSplit(t.root)
 	t.root = &node[T]{
-		leaf: false,
+		leaf:  false,
+		owner: t.owner,
 		entries: []entry[T]{
 			{rect: mbr(a), child: a},
 			{rect: mbr(b), child: b},
 		},
 	}
-}
-
-// pathTo returns the chain of nodes from root down to target (exclusive of
-// target at the end: path[len-1] == target).
-func (t *Tree[T]) pathTo(target *node[T]) []*node[T] {
-	var path []*node[T]
-	var dfs func(n *node[T]) bool
-	dfs = func(n *node[T]) bool {
-		path = append(path, n)
-		if n == target {
-			return true
-		}
-		if !n.leaf {
-			for i := range n.entries {
-				if dfs(n.entries[i].child) {
-					return true
-				}
-			}
-		}
-		path = path[:len(path)-1]
-		return false
-	}
-	if dfs(t.root) {
-		return path
-	}
-	return nil
 }
 
 // quadraticSplit splits n's entries into two nodes using Guttman's quadratic
@@ -226,15 +239,15 @@ func (t *Tree[T]) quadraticSplit(n *node[T]) (*node[T], *node[T]) {
 	worst := math.Inf(-1)
 	for i := 0; i < len(ents); i++ {
 		for j := i + 1; j < len(ents); j++ {
-			waste := ents[i].rect.Union(ents[j].rect).Area() -
-				ents[i].rect.Area() - ents[j].rect.Area()
+			waste := measure(ents[i].rect.Union(ents[j].rect)) -
+				measure(ents[i].rect) - measure(ents[j].rect)
 			if waste > worst {
 				worst, s1, s2 = waste, i, j
 			}
 		}
 	}
-	a := &node[T]{leaf: n.leaf, entries: []entry[T]{ents[s1]}}
-	b := &node[T]{leaf: n.leaf, entries: []entry[T]{ents[s2]}}
+	a := &node[T]{leaf: n.leaf, owner: t.owner, entries: []entry[T]{ents[s1]}}
+	b := &node[T]{leaf: n.leaf, owner: t.owner, entries: []entry[T]{ents[s2]}}
 	ra, rb := ents[s1].rect, ents[s2].rect
 
 	rest := make([]entry[T], 0, len(ents)-2)
@@ -263,18 +276,18 @@ func (t *Tree[T]) quadraticSplit(n *node[T]) (*node[T], *node[T]) {
 		// Pick the entry with the strongest preference for one group.
 		bestIdx, bestDiff := 0, -1.0
 		for i, e := range rest {
-			d1 := ra.Enlargement(e.rect)
-			d2 := rb.Enlargement(e.rect)
+			d1 := enlarge(ra, e.rect)
+			d2 := enlarge(rb, e.rect)
 			if diff := math.Abs(d1 - d2); diff > bestDiff {
 				bestDiff, bestIdx = diff, i
 			}
 		}
 		e := rest[bestIdx]
 		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
-		d1, d2 := ra.Enlargement(e.rect), rb.Enlargement(e.rect)
+		d1, d2 := enlarge(ra, e.rect), enlarge(rb, e.rect)
 		toA := d1 < d2 ||
-			(d1 == d2 && ra.Area() < rb.Area()) ||
-			(d1 == d2 && ra.Area() == rb.Area() && len(a.entries) <= len(b.entries))
+			(d1 == d2 && measure(ra) < measure(rb)) ||
+			(d1 == d2 && measure(ra) == measure(rb) && len(a.entries) <= len(b.entries))
 		if toA {
 			a.entries = append(a.entries, e)
 			ra = ra.Union(e.rect)
@@ -301,6 +314,26 @@ func (t *Tree[T]) Delete(rect geom.Rect, match func(T) bool) bool {
 	leafPath, idx := t.findLeaf(t.root, nil, rect, match)
 	if leafPath == nil {
 		return false
+	}
+	// Copy-on-write: replace every shared node on the path with an owned
+	// copy, re-linking each copy into its (already owned) parent.
+	for i, old := range leafPath {
+		m := t.mutable(old)
+		if m == old {
+			continue
+		}
+		if i == 0 {
+			t.root = m
+		} else {
+			parent := leafPath[i-1]
+			for j := range parent.entries {
+				if parent.entries[j].child == old {
+					parent.entries[j].child = m
+					break
+				}
+			}
+		}
+		leafPath[i] = m
 	}
 	leaf := leafPath[len(leafPath)-1]
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
@@ -335,7 +368,7 @@ func (t *Tree[T]) Delete(rect geom.Rect, match func(T) bool) bool {
 		t.root = t.root.entries[0].child
 	}
 	if !t.root.leaf && len(t.root.entries) == 0 {
-		t.root = &node[T]{leaf: true}
+		t.root = &node[T]{leaf: true, owner: t.owner}
 	}
 	// Reinsert orphaned subtrees leaf-by-leaf.
 	for _, o := range orphans {
@@ -347,10 +380,10 @@ func (t *Tree[T]) Delete(rect geom.Rect, match func(T) bool) bool {
 func (t *Tree[T]) reinsert(e entry[T]) {
 	if e.child == nil {
 		// Leaf entry: plain insert (rect already validated on the way in).
-		leaf := t.chooseLeaf(t.root, e.rect)
+		leaf, path := t.chooseLeaf(e.rect)
 		leaf.entries = append(leaf.entries, e)
 		if len(leaf.entries) > t.maxEntries {
-			t.splitAndPropagate(leaf)
+			t.splitAndPropagate(path)
 		}
 		return
 	}
@@ -370,7 +403,12 @@ func (t *Tree[T]) reinsert(e entry[T]) {
 }
 
 // findLeaf locates a leaf containing a matching entry, returning the root
-// path and the entry index.
+// path and the entry index. The descent prunes on containment only: a node's
+// entry rect is (a superset of) the MBR of its subtree, so a leaf entry equal
+// to rect can live only under ancestors whose rects contain rect. Descending
+// into merely-intersecting siblings — tempting as a safety net — turns every
+// delete into a near-full scan on overlap-heavy interval data and makes
+// commit cost track the dataset size instead of the batch size.
 func (t *Tree[T]) findLeaf(n *node[T], path []*node[T], rect geom.Rect, match func(T) bool) ([]*node[T], int) {
 	path = append(path, n)
 	if n.leaf {
@@ -382,7 +420,7 @@ func (t *Tree[T]) findLeaf(n *node[T], path []*node[T], rect geom.Rect, match fu
 		return nil, -1
 	}
 	for i := range n.entries {
-		if n.entries[i].rect.Contains(rect) || n.entries[i].rect.Intersects(rect) {
+		if n.entries[i].rect.Contains(rect) {
 			if p, idx := t.findLeaf(n.entries[i].child, path, rect, match); p != nil {
 				return p, idx
 			}
@@ -717,7 +755,18 @@ func BulkLoad[T any](inputs []Input[T], minEntries, maxEntries int) (*Tree[T], e
 		t.root = level[0].child
 	}
 	t.size = len(inputs)
+	stampOwner(t.root, t.owner)
 	return t, nil
+}
+
+// stampOwner claims every node of a freshly built subtree for owner.
+func stampOwner[T any](n *node[T], owner *cowOwner) {
+	n.owner = owner
+	if !n.leaf {
+		for i := range n.entries {
+			stampOwner(n.entries[i].child, owner)
+		}
+	}
 }
 
 // strPack tiles leaf inputs into leaf nodes.
@@ -788,6 +837,93 @@ func strPackEntries[T any](ents []entry[T], capPerNode int) []*node[T] {
 		}
 	}
 	return out
+}
+
+// Dump serializes the tree bottom-up: emit is called once per node, children
+// before parents (post-order), and returns a stable reference for the node —
+// for the paged checkpoint, the record offset its encoding landed at. Child
+// references are passed to the parent's emit call, and Dump returns the
+// root's reference. The layout round-trips exactly through Rebuild, so a
+// recovered tree is structurally identical to the dumped one and yields
+// byte-identical traversal orders.
+func (t *Tree[T]) Dump(emit func(leaf bool, rects []geom.Rect, items []T, children []int64) (int64, error)) (int64, error) {
+	var walk func(n *node[T]) (int64, error)
+	walk = func(n *node[T]) (int64, error) {
+		rects := make([]geom.Rect, len(n.entries))
+		if n.leaf {
+			items := make([]T, len(n.entries))
+			for i := range n.entries {
+				rects[i] = n.entries[i].rect
+				items[i] = n.entries[i].item
+			}
+			return emit(true, rects, items, nil)
+		}
+		children := make([]int64, len(n.entries))
+		for i := range n.entries {
+			rects[i] = n.entries[i].rect
+			ref, err := walk(n.entries[i].child)
+			if err != nil {
+				return 0, err
+			}
+			children[i] = ref
+		}
+		return emit(false, rects, nil, children)
+	}
+	return walk(t.root)
+}
+
+// rebuildMaxDepth bounds Rebuild's recursion so a corrupted checkpoint with
+// a reference cycle fails instead of recursing forever. With fan-out >= 2 a
+// depth-64 tree already exceeds any representable size.
+const rebuildMaxDepth = 64
+
+// Rebuild reconstructs a tree previously serialized with Dump: load resolves
+// one node reference to its contents, starting from root. size is the stored
+// item count. The rebuilt tree owns all its nodes.
+func Rebuild[T any](root int64, size, minEntries, maxEntries int,
+	load func(ref int64) (leaf bool, rects []geom.Rect, items []T, children []int64, err error)) (*Tree[T], error) {
+	t, err := New[T](minEntries, maxEntries)
+	if err != nil {
+		return nil, err
+	}
+	var build func(ref int64, depth int) (*node[T], error)
+	build = func(ref int64, depth int) (*node[T], error) {
+		if depth > rebuildMaxDepth {
+			return nil, fmt.Errorf("rtree: node nesting beyond depth %d (corrupt dump?)", rebuildMaxDepth)
+		}
+		leaf, rects, items, children, err := load(ref)
+		if err != nil {
+			return nil, err
+		}
+		n := &node[T]{leaf: leaf, owner: t.owner, entries: make([]entry[T], 0, len(rects))}
+		if leaf {
+			if len(items) != len(rects) {
+				return nil, fmt.Errorf("rtree: leaf node %d has %d rects, %d items", ref, len(rects), len(items))
+			}
+			for i := range rects {
+				n.entries = append(n.entries, entry[T]{rect: rects[i], item: items[i]})
+			}
+			return n, nil
+		}
+		if len(children) != len(rects) {
+			return nil, fmt.Errorf("rtree: node %d has %d rects, %d children", ref, len(rects), len(children))
+		}
+		for i := range rects {
+			c, err := build(children[i], depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.entries = append(n.entries, entry[T]{rect: rects[i], child: c})
+		}
+		return n, nil
+	}
+	n, err := build(root, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = n
+	t.size = size
+	return t, nil
 }
 
 // CheckInvariants validates structural invariants for tests: every internal

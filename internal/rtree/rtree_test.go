@@ -422,3 +422,48 @@ func TestOneDimensionalEmbedding(t *testing.T) {
 		t.Errorf("1-D f_min = %g, want %g", got, want)
 	}
 }
+
+// TestDegenerateRectTreeQuality pins the insertion heuristics' behavior on
+// zero-area rects. 1-D intervals embed with zero height, so a pure-area
+// metric makes every enlargement zero and the tree degenerates into nodes
+// that all overlap each other — a containment descent (what Delete runs)
+// then visits a constant fraction of the tree and commit cost scales with
+// the dataset instead of the batch. The area+margin measure keeps the tree
+// discriminating; this asserts the descent stays narrow on a tree built
+// purely by incremental inserts.
+func TestDegenerateRectTreeQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	tr := NewDefault[int]()
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		lo := rng.Float64() * 100000
+		rects[i] = geom.RectFromInterval(geom.Interval{Lo: lo, Hi: lo + 1 + rng.Float64()*20})
+		if err := tr.Insert(rects[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visits func(nd *node[int], rect geom.Rect) int
+	visits = func(nd *node[int], rect geom.Rect) int {
+		c := 1
+		if nd.leaf {
+			return c
+		}
+		for i := range nd.entries {
+			if nd.entries[i].rect.Contains(rect) {
+				c += visits(nd.entries[i].child, rect)
+			}
+		}
+		return c
+	}
+	total := 0
+	const probes = 500
+	for i := 0; i < probes; i++ {
+		total += visits(tr.root, rects[rng.Intn(n)])
+	}
+	// A healthy tree visits O(height * small-overlap-factor) nodes; the
+	// degenerate one visited ~10% of all ~21k nodes per descent.
+	if avg := total / probes; avg > 8*tr.Height() {
+		t.Fatalf("containment descent visits %d nodes on average (height %d): insertion heuristics degenerated", avg, tr.Height())
+	}
+}

@@ -195,6 +195,30 @@ func (m *metrics) write(w io.Writer, c *cache, snap *Snapshot, st *store.Stats, 
 	fmt.Fprintf(w, "# TYPE %ssnapshot_follower_errors_total counter\n", p)
 	fmt.Fprintf(w, "%ssnapshot_follower_errors_total %d\n", p, m.followerErrors.Load())
 
+	// Page-cache counters: how the disk-backed dataset is being served.
+	const pc = "cpnn_pagecache_"
+	fmt.Fprintf(w, "# HELP %shits_total Page reads served from the buffer pool.\n", pc)
+	fmt.Fprintf(w, "# TYPE %shits_total counter\n", pc)
+	fmt.Fprintf(w, "%shits_total %d\n", pc, st.PageCache.Hits)
+	fmt.Fprintf(w, "# TYPE %smisses_total counter\n", pc)
+	fmt.Fprintf(w, "%smisses_total %d\n", pc, st.PageCache.Misses)
+	fmt.Fprintf(w, "# TYPE %sevictions_total counter\n", pc)
+	fmt.Fprintf(w, "%sevictions_total %d\n", pc, st.PageCache.Evictions)
+	fmt.Fprintf(w, "# TYPE %swritebacks_total counter\n", pc)
+	fmt.Fprintf(w, "%swritebacks_total %d\n", pc, st.PageCache.Writebacks)
+	fmt.Fprintf(w, "# TYPE %sresident_pages gauge\n", pc)
+	fmt.Fprintf(w, "%sresident_pages %d\n", pc, st.PageCache.ResidentPages)
+	fmt.Fprintf(w, "# TYPE %sbudget_bytes gauge\n", pc)
+	fmt.Fprintf(w, "%sbudget_bytes %d\n", pc, st.CacheBytes)
+	fmt.Fprintf(w, "# HELP %sbase_pages Pages in the base checkpoint file (on-disk footprint).\n", pc)
+	fmt.Fprintf(w, "# TYPE %sbase_pages gauge\n", pc)
+	fmt.Fprintf(w, "%sbase_pages %d\n", pc, st.BasePages)
+	fmt.Fprintf(w, "# HELP %soverlay_slots Objects whose payloads are resident in the MVCC overlay (written since the last checkpoint).\n", pc)
+	fmt.Fprintf(w, "# TYPE %soverlay_slots gauge\n", pc)
+	fmt.Fprintf(w, "%soverlay_slots %d\n", pc, st.OverlaySlots)
+	fmt.Fprintf(w, "# TYPE %sbase_slots gauge\n", pc)
+	fmt.Fprintf(w, "%sbase_slots %d\n", pc, st.BaseSlots)
+
 	if ms == nil {
 		return
 	}

@@ -1148,6 +1148,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["store_version"] = v.Version
 		body["store_seq"] = v.Seq
 		body["role"] = s.cfg.Store.Role().String()
+		st := s.cfg.Store.Stats()
+		body["pagecache"] = map[string]any{
+			"budget_bytes":   st.CacheBytes,
+			"base_pages":     st.BasePages,
+			"resident_pages": st.PageCache.ResidentPages,
+			"hits":           st.PageCache.Hits,
+			"misses":         st.PageCache.Misses,
+			"evictions":      st.PageCache.Evictions,
+			"overlay_slots":  st.OverlaySlots,
+			"base_slots":     st.BaseSlots,
+		}
 	}
 	if s.cfg.Replica != nil {
 		body["replication"] = replicationHealth(s.cfg.Replica)

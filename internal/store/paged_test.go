@@ -1,0 +1,278 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pager"
+	"repro/internal/pdf"
+)
+
+// The paged-checkpoint suite extends the crash-injection and oracle coverage
+// to the v2 format: overlay views over a disk-backed base must answer
+// byte-identically to a fully resident store under arbitrary churn, survive
+// crashes at page boundaries of the checkpoint write, and serve datasets
+// larger than the page-cache budget.
+
+// TestOverlayVsDenseChurn is the 50-seed equivalence oracle: one store
+// checkpoints aggressively (tiny cache budget, so post-checkpoint reads
+// fault through the page cache) while a control store never checkpoints
+// (everything stays resident). Under identical op scripts their views must
+// stay indistinguishable — same tables, same regions, same C-PNN answers —
+// and the paged store must still match after a reopen from disk.
+func TestOverlayVsDenseChurn(t *testing.T) {
+	const batches, maxOps = 12, 6
+	for seed := int64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			pagedDir := t.TempDir()
+			paged, err := Open(pagedDir, Options{NoSync: true, CheckpointBytes: -1, CacheBytes: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, err := Open(t.TempDir(), Options{NoSync: true, CheckpointBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dense.Close()
+
+			scP, scD := newOpScript(seed), newOpScript(seed)
+			for i := 0; i < batches; i++ {
+				if _, err := paged.Apply(scP.batch(maxOps)); err != nil {
+					t.Fatalf("paged batch %d: %v", i, err)
+				}
+				if _, err := dense.Apply(scD.batch(maxOps)); err != nil {
+					t.Fatalf("dense batch %d: %v", i, err)
+				}
+				// Mid-churn flatten: later updates overlay the base, deletes
+				// swap lazy slots around, and queries fault payloads back in.
+				if i%3 == 2 {
+					if err := paged.Checkpoint(); err != nil {
+						t.Fatalf("checkpoint after batch %d: %v", i, err)
+					}
+				}
+				sameView(t, fmt.Sprintf("seed %d batch %d", seed, i), paged.View(), dense.View())
+			}
+			if st := paged.Stats(); st.BaseSlots == 0 && paged.View().Dataset.Len() > 0 {
+				t.Fatalf("oracle never exercised lazy slots: %+v", st)
+			}
+			paged.Close()
+
+			re, err := Open(pagedDir, Options{NoSync: true, CheckpointBytes: -1, CacheBytes: 1})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer re.Close()
+			sameView(t, fmt.Sprintf("seed %d reopen", seed), re.View(), dense.View())
+		})
+	}
+}
+
+// TestCrashDuringPagedCheckpointAtPageBoundaries plants prefixes of a real
+// v2 checkpoint as the temp-file debris a kill -9 mid-checkpoint leaves,
+// truncated at and around page boundaries. Recovery must discard the debris
+// and serve the previous checkpoint + WAL.
+func TestCrashDuringPagedCheckpointAtPageBoundaries(t *testing.T) {
+	const seed, batches, maxOps = 11, 6, 5
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := newOpScript(seed)
+	for i := 0; i < batches; i++ {
+		if _, err := s.Apply(sc.batch(maxOps)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	img := copyFiles(t, dir)
+	// A complete v2 file to cut prefixes from: checkpoint a copy of the
+	// store's final state.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	cuts := []int{0, 1, pager.PageSize, pager.PageSize + 1, 2*pager.PageSize + pager.PageSize/2}
+	if n := len(full); n > pager.PageSize {
+		cuts = append(cuts, n-pager.PageSize, n-1)
+	}
+	for _, cut := range cuts {
+		if cut > len(full) {
+			continue
+		}
+		crash := copyFiles(t, img)
+		if err := os.WriteFile(filepath.Join(crash, checkpointTmp), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(crash, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("reopen with %d-byte tmp debris: %v", cut, err)
+		}
+		sameView(t, fmt.Sprintf("tmp-debris@%d", cut), re.View(), controlView(t, seed, maxOps, batches))
+		if _, err := os.Stat(filepath.Join(crash, checkpointTmp)); !os.IsNotExist(err) {
+			t.Fatalf("tmp debris (%d bytes) not removed", cut)
+		}
+		re.Close()
+	}
+}
+
+// TestLargerThanCacheServes commits a dataset several times the page-cache
+// budget, checkpoints it to disk, and verifies queries and further updates
+// keep working — with the pool actually evicting, not silently growing.
+func TestLargerThanCacheServes(t *testing.T) {
+	dir := t.TempDir()
+	// Minimum budget: 8 pages = 32 KiB of payload cache.
+	s, err := Open(dir, Options{NoSync: true, CheckpointBytes: -1, CacheBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 3000 // histogram payloads; well past 32 KiB encoded
+	sc := newOpScript(77)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, InsertObject(sc.randomPDF()))
+	}
+	if _, err := s.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.BasePages*pager.PageSize <= int(st.CacheBytes) {
+		t.Fatalf("dataset (%d pages) not larger than cache budget (%d bytes) — test is vacuous",
+			st.BasePages, st.CacheBytes)
+	}
+	if st.BaseSlots != n || st.OverlaySlots != 0 {
+		t.Fatalf("after flatten: %d base, %d overlay slots", st.BaseSlots, st.OverlaySlots)
+	}
+
+	// Faulting every object (answer assembly touches payloads) must evict.
+	v := s.View()
+	for i := 0; i < v.Dataset.Len(); i++ {
+		if v.Dataset.Object(i).PDF == nil {
+			t.Fatalf("object %d faulted to nil", i)
+		}
+	}
+	st = s.Stats()
+	if st.PageCache.Evictions == 0 {
+		t.Fatalf("full scan over %d pages never evicted: %+v", st.BasePages, st.PageCache)
+	}
+	if int64(st.PageCache.ResidentPages)*pager.PageSize > st.CacheBytes {
+		t.Fatalf("resident %d pages exceeds budget %d bytes", st.PageCache.ResidentPages, st.CacheBytes)
+	}
+
+	// Updates over the cold base still commit and stay durable.
+	if _, err := s.Apply([]Op{UpdateObject(1, pdf.MustUniform(0, 1)), Delete(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().OverlaySlots; got != 1 {
+		t.Fatalf("overlay depth after update+delete = %d, want 1", got)
+	}
+}
+
+// TestLegacyV1CheckpointUpgrade opens a store whose disk state is the old
+// op-stream checkpoint format, and verifies the first checkpoint after that
+// upgrades the file to the paged format.
+func TestLegacyV1CheckpointUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	sc := newOpScript(21)
+	ops := make([]Op, 0, 40)
+	var nextID uint64 = 1
+	for i := 0; i < 40; i++ {
+		op := InsertObject(sc.randomPDF())
+		op.ID = nextID
+		nextID++
+		ops = append(ops, op)
+	}
+	cs := checkpointState{Version: 7, Seq: 7, NextID: nextID, Ops: ops}
+	if err := writeCheckpoint(dir, cs); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("open v1 checkpoint: %v", err)
+	}
+	v := s.View()
+	if v.Version != 7 || v.Seq != 7 || v.Dataset.Len() != 40 || v.NextID != nextID {
+		t.Fatalf("v1 recovery: version=%d seq=%d len=%d nextID=%d", v.Version, v.Seq, v.Dataset.Len(), v.NextID)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	hdr := make([]byte, 8)
+	f, err := os.Open(filepath.Join(dir, checkpointName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(hdr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if string(hdr) != ckptMagicV2 {
+		t.Fatalf("checkpoint magic after upgrade = %q", hdr)
+	}
+	re, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen v2: %v", err)
+	}
+	defer re.Close()
+	if re.View().Dataset.Len() != 40 || re.View().Version != 7 {
+		t.Fatalf("v2 reopen: len=%d version=%d", re.View().Dataset.Len(), re.View().Version)
+	}
+}
+
+// TestPagedHeaderCorruptionDetected flips bytes in the v2 header and in the
+// record log; both must fail loudly at open, not load garbage.
+func TestPagedHeaderCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := newOpScript(31)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Apply(sc.batch(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, checkpointName)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, off := range []int{0, 9, 40, 70} { // magic, version, refs — all header-CRC covered
+		b := append([]byte(nil), pristine...)
+		b[off] ^= 0xFF
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); err == nil {
+			t.Fatalf("header corruption at %d accepted", off)
+		}
+	}
+}

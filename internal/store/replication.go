@@ -180,7 +180,7 @@ func (s *Store) handleSync(r *request) {
 		} else {
 			// The log no longer covers [from, seq] (a checkpoint truncated
 			// it): bootstrap with a full snapshot instead.
-			stream, err := encodeCheckpoint(s.snapshotState())
+			stream, err := s.encodeSnapshot()
 			if err != nil {
 				r.resp <- result{err: fmt.Errorf("store: encoding snapshot: %w", err)}
 				return
@@ -403,10 +403,11 @@ func (s *Store) handleInstall(r *request) {
 		return
 	}
 	s.st = st
+	s.baseRef.Store(nil)
 	s.walSize.Store(0)
 	s.ckptSeq.Store(cs.Seq)
 	s.checkpoints.Add(1)
-	view, err := s.materialize(nil, nil, true)
+	view, err := s.materialize(nil, nil, nil, true)
 	if err != nil {
 		s.broken.Store(true)
 		r.resp <- result{err: fmt.Errorf("store: publishing snapshot view: %w", err)}

@@ -10,15 +10,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chunked"
 	"repro/internal/filter"
 	"repro/internal/geom"
+	"repro/internal/pagecache"
 	"repro/internal/pdf"
+	"repro/internal/rtree"
 	"repro/internal/uncertain"
 )
 
 // DefaultCheckpointBytes is the WAL size past which the committer takes an
 // automatic checkpoint.
 const DefaultCheckpointBytes = 8 << 20
+
+// DefaultCacheBytes is the default page-cache budget for reading object
+// payloads back from the base checkpoint file.
+const DefaultCacheBytes = 64 << 20
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
@@ -45,6 +52,12 @@ type Options struct {
 	// CheckpointBytes is the WAL size that triggers an automatic checkpoint;
 	// 0 means DefaultCheckpointBytes, negative disables auto-checkpointing.
 	CheckpointBytes int64
+	// CacheBytes bounds the buffer pool used to fault object payloads in
+	// from the base checkpoint file; 0 means DefaultCacheBytes. Datasets
+	// larger than the budget still serve — cold payloads fault in page by
+	// page and evict clock-wise — so this is the store's resident-memory
+	// knob, not a capacity limit.
+	CacheBytes int64
 	// ExplicitIDs lets upserts address stable IDs this store has never
 	// assigned: an unknown non-zero ID inserts (bumping the ID counter past
 	// it) instead of failing with ErrUnknownID. Shard member stores run in
@@ -135,26 +148,74 @@ type Stats struct {
 	Version, Seq uint64
 	// Objects1D and Objects2D count live objects.
 	Objects1D, Objects2D int
+	// PageCache reports the base checkpoint's buffer-pool counters; zero
+	// until the store writes (or recovers) a paged checkpoint.
+	PageCache pagecache.Stats
+	// BasePages counts pages in the base checkpoint file.
+	BasePages int
+	// CacheBytes is the resolved page-cache budget.
+	CacheBytes int64
+	// OverlaySlots counts 1-D objects whose decoded payloads are resident in
+	// the overlay (written since the last checkpoint); BaseSlots counts the
+	// ones served lazily from the base checkpoint file.
+	OverlaySlots, BaseSlots int
 }
 
-// state is the committer-owned mutable object table.
+// state is the committer-owned mutable object table. The 1-D family is an
+// overlay over the base checkpoint: recs keeps every object's support
+// interval resident, but decoded payloads only for objects written since the
+// last checkpoint — the rest are refs into st.base's record log. Commits
+// snapshot recs in O(n/ChunkSize) and share the slots backing array with
+// published views copy-on-write, so commit cost tracks the batch, not the
+// dataset.
 type state struct {
 	seq     uint64
 	version uint64
 	nextID  uint64
 
-	slots  []uint64 // dense slot -> stable ID (1-D)
-	pdfs   []pdf.PDF
-	slotOf map[uint64]int
+	slots     []uint64 // dense slot -> stable ID (1-D)
+	idsShared bool     // slots' backing array is aliased by a published view
+	recs      chunked.Slice[slotRec]
+	resident  int   // slots holding a decoded payload (the overlay depth)
+	base      *base // latest paged checkpoint; nil before the first one
+	slotOf    map[uint64]int
 
-	dslots  []uint64 // dense slot -> stable ID (2-D)
-	disks   []geom.Circle
-	dslotOf map[uint64]int
+	dslots     []uint64 // dense slot -> stable ID (2-D)
+	disks      []geom.Circle
+	dslotOf    map[uint64]int
+	disksDirty bool // 2-D set changed since the last published view
 }
 
 func newState() *state {
 	// Stable IDs start at 1: ID zero is the "assign me" sentinel of inserts.
 	return &state{nextID: 1, slotOf: map[uint64]int{}, dslotOf: map[uint64]int{}}
+}
+
+// region returns slot i's support interval from resident metadata.
+func (st *state) region(i int) geom.Interval {
+	r := st.recs.At(i)
+	return geom.Interval{Lo: r.lo, Hi: r.hi}
+}
+
+// pdfOf returns slot i's decoded payload, faulting it from the base
+// checkpoint when only the record ref is resident.
+func (st *state) pdfOf(i int) (pdf.PDF, error) {
+	r := st.recs.At(i)
+	if r.p != nil {
+		return r.p, nil
+	}
+	return st.base.pdfAt(r.ref)
+}
+
+// ownIDs unshares the slots backing array before a structural mutation.
+// Appends never need this — a published view's slice is capped at its
+// length, so growth past it is invisible — but a delete swaps and shrinks,
+// and a later append would then overwrite a position readers still see.
+func (st *state) ownIDs() {
+	if st.idsShared {
+		st.slots = append([]uint64(nil), st.slots...)
+		st.idsShared = false
+	}
 }
 
 // Store is the durable uncertain-object store. All mutations flow through
@@ -181,6 +242,9 @@ type Store struct {
 	logDropped     atomic.Uint64
 
 	broken atomic.Bool
+
+	baseRef atomic.Pointer[base] // mirrors st.base for Stats readers
+	overlay atomic.Int64         // mirrors st.resident for Stats readers
 
 	opsApplied  atomic.Uint64
 	commits     atomic.Uint64
@@ -220,6 +284,13 @@ func openStore(dir string, opt Options, role Role) (*Store, error) {
 	if opt.CheckpointBytes == 0 {
 		opt.CheckpointBytes = DefaultCheckpointBytes
 	}
+	if opt.CacheBytes == 0 {
+		opt.CacheBytes = DefaultCacheBytes
+	} else if opt.CacheBytes < pagecache.MinBudget {
+		// Resolve the pool's floor here so Stats reports the budget actually
+		// in force.
+		opt.CacheBytes = pagecache.MinBudget
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -237,22 +308,23 @@ func openStore(dir string, opt Options, role Role) (*Store, error) {
 	// never happened, so the previous checkpoint + WAL are authoritative.
 	os.Remove(filepath.Join(dir, checkpointTmp))
 
-	st := newState()
-	cs, haveCkpt, err := readCheckpoint(dir)
+	st, baseTree, haveCkpt, err := loadCheckpoint(dir, opt.CacheBytes)
 	if err != nil {
 		return nil, err
 	}
-	if haveCkpt {
-		st.version, st.seq, st.nextID = cs.Version, cs.Seq, cs.NextID
-		if _, _, err := applyDecoded(st, cs.Ops, nil); err != nil {
-			return nil, fmt.Errorf("store: loading checkpoint: %w", err)
-		}
-	}
+	ckptSeq := st.seq
 
 	w, recs, torn, err := openWAL(filepath.Join(dir, walName))
 	if err != nil {
 		return nil, err
 	}
+	// Collect the replay's index edits so the recovered checkpoint tree can
+	// be carried forward incrementally instead of bulk-rebuilt — recovery
+	// cost tracks the WAL, not the dataset. A truncation voids the stream.
+	var (
+		walEdits   []filter.Edit
+		walRebuild bool
+	)
 	for _, rec := range recs {
 		if rec.Seq <= st.seq {
 			continue // already covered by the checkpoint
@@ -261,9 +333,15 @@ func openStore(dir string, opt Options, role Role) (*Store, error) {
 			w.close()
 			return nil, fmt.Errorf("store: WAL sequence gap: have %d, record %d", st.seq, rec.Seq)
 		}
-		if _, _, err := applyDecoded(st, rec.Ops, nil); err != nil {
+		edits, rb, err := applyDecoded(st, rec.Ops, nil)
+		if err != nil {
 			w.close()
 			return nil, fmt.Errorf("store: replaying WAL record %d: %w", rec.Seq, err)
+		}
+		if rb {
+			walRebuild, walEdits = true, nil
+		} else {
+			walEdits = append(walEdits, edits...)
 		}
 		st.seq = rec.Seq
 		st.version++
@@ -285,15 +363,16 @@ func openStore(dir string, opt Options, role Role) (*Store, error) {
 	}
 	s.walAppended.Store(uint64(w.size))
 	s.walSize.Store(uint64(w.size))
+	s.baseRef.Store(st.base)
 	if haveCkpt {
-		s.ckptSeq.Store(cs.Seq)
+		s.ckptSeq.Store(ckptSeq)
 		// The inherited checkpoint's age starts from when the previous
 		// process wrote it, not from this boot.
 		if info, serr := os.Stat(filepath.Join(dir, checkpointName)); serr == nil {
 			s.ckptTime.Store(info.ModTime().UnixNano())
 		}
 	}
-	view, err := s.materialize(nil, nil, true)
+	view, err := s.materialize(nil, baseTree, walEdits, walRebuild)
 	if err != nil {
 		w.close()
 		return nil, err
@@ -347,7 +426,7 @@ func (s *Store) Stats() Stats {
 	if ck := s.ckptSeq.Load(); v.Seq > ck {
 		walRecs = v.Seq - ck
 	}
-	return Stats{
+	out := Stats{
 		FeedSubscribers:        subs,
 		FeedDropped:            s.watchDropped.Load(),
 		Role:                   s.role,
@@ -367,6 +446,19 @@ func (s *Store) Stats() Stats {
 		Objects1D:              v.Dataset.Len(),
 		Objects2D:              len(v.Disks),
 	}
+	out.CacheBytes = s.opt.CacheBytes
+	if b := s.baseRef.Load(); b != nil {
+		out.PageCache = b.pool.Stats()
+		out.BasePages = b.f.NumPages()
+	}
+	// The resident counter and the loaded view are separate atomics; a
+	// racing commit can skew them by a batch. Clamp instead of going negative.
+	ov := int(s.overlay.Load())
+	if ov > out.Objects1D {
+		ov = out.Objects1D
+	}
+	out.OverlaySlots, out.BaseSlots = ov, out.Objects1D-ov
+	return out
 }
 
 // Apply atomically commits a batch of ops: either every op is validated,
@@ -603,7 +695,7 @@ func (s *Store) commitGroup(group []*request) {
 			logRecs[i].WALOffset = cum
 		}
 
-		view, err := s.materialize(s.View(), edits, rebuild)
+		view, err := s.materialize(s.View(), nil, edits, rebuild)
 		if err != nil {
 			// Index maintenance failed (internal invariant violation): the
 			// durable log is fine, so a reopen recovers; this process stops.
@@ -806,44 +898,54 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 				rec.truncated = true
 				rec.changes = rec.changes[:0]
 			}
-			st.slots, st.pdfs = nil, nil
+			st.slots, st.idsShared = nil, false
+			st.recs.Truncate(0)
+			st.resident = 0
 			st.dslots, st.disks = nil, nil
 			st.slotOf = map[uint64]int{}
 			st.dslotOf = map[uint64]int{}
+			st.disksDirty = true
 			edits, rebuild = nil, true
 		case OpUniform, OpHist:
 			if st.nextID <= op.ID {
 				st.nextID = op.ID + 1
 			}
+			sup := op.PDF.Support()
 			if slot, ok := st.slotOf[op.ID]; ok {
+				old := st.region(slot)
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
 						ID: op.ID, Kind: ChangeUpdate, Slot: slot,
-						OldRect: geom.RectFromInterval(st.pdfs[slot].Support()),
-						NewRect: geom.RectFromInterval(op.PDF.Support()),
+						OldRect: geom.RectFromInterval(old),
+						NewRect: geom.RectFromInterval(sup),
 					})
 				}
 				edits = append(edits,
-					filter.DeleteEdit(st.pdfs[slot].Support(), slot),
-					filter.InsertEdit(op.PDF.Support(), slot))
-				st.pdfs[slot] = op.PDF
+					filter.DeleteEdit(old, slot),
+					filter.InsertEdit(sup, slot))
+				if st.recs.At(slot).p == nil {
+					st.resident++
+				}
+				st.recs.Set(slot, slotRec{lo: sup.Lo, hi: sup.Hi, p: op.PDF, ref: -1})
 			} else {
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
 						ID: op.ID, Kind: ChangeInsert, Slot: len(st.slots),
-						NewRect: geom.RectFromInterval(op.PDF.Support()),
+						NewRect: geom.RectFromInterval(sup),
 					})
 				}
 				slot := len(st.slots)
 				st.slots = append(st.slots, op.ID)
-				st.pdfs = append(st.pdfs, op.PDF)
+				st.recs.Append(slotRec{lo: sup.Lo, hi: sup.Hi, p: op.PDF, ref: -1})
+				st.resident++
 				st.slotOf[op.ID] = slot
-				edits = append(edits, filter.InsertEdit(op.PDF.Support(), slot))
+				edits = append(edits, filter.InsertEdit(sup, slot))
 			}
 		case OpDisk:
 			if st.nextID <= op.ID {
 				st.nextID = op.ID + 1
 			}
+			st.disksDirty = true
 			if slot, ok := st.dslotOf[op.ID]; ok {
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
@@ -866,26 +968,35 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 			}
 		case OpDelete:
 			if slot, ok := st.slotOf[op.ID]; ok {
+				old := st.region(slot)
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
 						ID: op.ID, Kind: ChangeDelete, Slot: -1,
-						OldRect: geom.RectFromInterval(st.pdfs[slot].Support()),
+						OldRect: geom.RectFromInterval(old),
 					})
 				}
 				last := len(st.slots) - 1
-				edits = append(edits, filter.DeleteEdit(st.pdfs[slot].Support(), slot))
+				edits = append(edits, filter.DeleteEdit(old, slot))
+				if st.recs.At(slot).p != nil {
+					st.resident--
+				}
+				st.ownIDs()
 				if slot != last {
 					// Move the last object into the vacated slot; its index
 					// entry must follow its dense ID.
+					lastRegion := st.region(last)
 					edits = append(edits,
-						filter.DeleteEdit(st.pdfs[last].Support(), last),
-						filter.InsertEdit(st.pdfs[last].Support(), slot))
-					st.slots[slot], st.pdfs[slot] = st.slots[last], st.pdfs[last]
+						filter.DeleteEdit(lastRegion, last),
+						filter.InsertEdit(lastRegion, slot))
+					st.slots[slot] = st.slots[last]
+					st.recs.Set(slot, st.recs.At(last))
 					st.slotOf[st.slots[slot]] = slot
 				}
-				st.slots, st.pdfs = st.slots[:last], st.pdfs[:last]
+				st.slots = st.slots[:last]
+				st.recs.Truncate(last)
 				delete(st.slotOf, op.ID)
 			} else if slot, ok := st.dslotOf[op.ID]; ok {
+				st.disksDirty = true
 				if rec != nil {
 					rec.changes = append(rec.changes, Change{
 						ID: op.ID, Kind: ChangeDelete, TwoD: true, Slot: -1,
@@ -909,76 +1020,119 @@ func applyDecoded(st *state, ops []Op, rec *deltaRec) (edits []filter.Edit, rebu
 	return edits, rebuild, nil
 }
 
-// materialize builds the immutable view of the current state. The dataset
-// and ID slices are fresh copies; the index is prev's clone with the group's
-// edits replayed (or a bulk rebuild when forced or cheaper — see
-// filter.Apply).
-func (s *Store) materialize(prev *View, edits []filter.Edit, rebuild bool) (*View, error) {
+// materialize builds the immutable view of the current state in O(Δ): the
+// dataset is a backed overlay over an O(chunks) snapshot of the slot table
+// (fresh payloads resident, unchanged ones faulted from the base checkpoint
+// on demand); the IDs slice aliases the state's copy-on-write backing; the
+// index is prev's O(1) clone with the group's edits replayed (or a bulk
+// rebuild when forced or cheaper — see filter.Apply). baseTree, when
+// non-nil, is a recovered checkpoint tree carried forward through edits
+// instead (recovery's path — it consumes baseTree).
+func (s *Store) materialize(prev *View, baseTree *rtree.Tree[int], edits []filter.Edit, rebuild bool) (*View, error) {
 	st := s.st
-	ds := uncertain.NewDataset(append([]pdf.PDF(nil), st.pdfs...))
+	ds := uncertain.NewBackedDataset(viewSource{recs: st.recs.Snapshot(), base: st.base})
 	var (
 		ix  *filter.Index
 		err error
 	)
-	if rebuild || prev == nil {
+	switch {
+	case rebuild || (prev == nil && baseTree == nil):
 		ix, err = filter.NewIndex(ds)
-	} else {
+	case baseTree != nil:
+		ix, err = filter.ApplyTree(baseTree, ds, edits)
+	default:
 		ix, err = prev.Index.Apply(ds, edits)
 	}
 	if err != nil {
 		return nil, err
 	}
-	disks := make([]Disk, len(st.disks))
-	for i := range disks {
-		disks[i] = Disk{ID: st.dslots[i], Region: st.disks[i]}
+	var disks []Disk
+	if prev != nil && !st.disksDirty {
+		disks = prev.Disks
+	} else {
+		disks = make([]Disk, len(st.disks))
+		for i := range disks {
+			disks[i] = Disk{ID: st.dslots[i], Region: st.disks[i]}
+		}
 	}
+	st.disksDirty = false
+	n := len(st.slots)
+	st.idsShared = true
+	s.overlay.Store(int64(st.resident))
 	return &View{
 		Version: st.version,
 		Seq:     st.seq,
 		Dataset: ds,
-		IDs:     append([]uint64(nil), st.slots...),
+		IDs:     st.slots[:n:n],
 		Index:   ix,
 		Disks:   disks,
 		NextID:  st.nextID,
 	}, nil
 }
 
-// snapshotState captures the live state as a checkpoint payload: every live
-// object as an upsert, plus the position counters. Runs on the committer.
-func (s *Store) snapshotState() checkpointState {
+// snapshotState captures the live state as a replication snapshot payload:
+// every live object as an upsert, plus the position counters. Faults every
+// lazy payload in from the base checkpoint (page-cache bounded). Runs on the
+// committer.
+func (s *Store) snapshotState() (checkpointState, error) {
 	st := s.st
 	ops := make([]Op, 0, len(st.slots)+len(st.dslots))
 	for i, id := range st.slots {
-		ops = append(ops, Op{Code: codeFor(st.pdfs[i]), ID: id, PDF: st.pdfs[i]})
+		p, err := st.pdfOf(i)
+		if err != nil {
+			return checkpointState{}, fmt.Errorf("store: snapshot: object %d: %w", id, err)
+		}
+		ops = append(ops, Op{Code: codeFor(p), ID: id, PDF: p})
 	}
 	for i, id := range st.dslots {
 		ops = append(ops, Op{Code: OpDisk, ID: id, Disk: st.disks[i]})
 	}
-	return checkpointState{Version: st.version, Seq: st.seq, NextID: st.nextID, Ops: ops}
+	return checkpointState{Version: st.version, Seq: st.seq, NextID: st.nextID, Ops: ops}, nil
+}
+
+// encodeSnapshot serializes the live state as a replication snapshot stream.
+func (s *Store) encodeSnapshot() ([]byte, error) {
+	cs, err := s.snapshotState()
+	if err != nil {
+		return nil, err
+	}
+	return encodeCheckpoint(cs)
 }
 
 // checkpointLocked runs on the committer goroutine with exclusive state
-// access: serialize every live object as upserts, write the pager file
-// durably, then reset the WAL (its records are now redundant).
+// access: write the paged v2 checkpoint durably, reset the WAL (its records
+// are now redundant), then flatten the overlay — every slot rebinds to its
+// record in the new base and drops its decoded payload, so resident memory
+// returns to metadata plus page-cache budget.
 func (s *Store) checkpointLocked() error {
 	if s.broken.Load() {
 		return ErrBroken
 	}
 	start := time.Now()
-	cs := s.snapshotState()
-	if err := writeCheckpoint(s.dir, cs); err != nil {
+	st := s.st
+	b, refs, err := writeCheckpointPaged(s.dir, st, s.opt.CacheBytes)
+	if err != nil {
 		return err
 	}
 	if err := s.wal.reset(); err != nil {
 		return err
 	}
+	for i, ref := range refs {
+		r := st.recs.At(i)
+		st.recs.Set(i, slotRec{lo: r.lo, hi: r.hi, ref: ref})
+	}
+	st.resident = 0
+	st.base = b
+	s.baseRef.Store(b)
+	s.overlay.Store(0)
 	s.walSize.Store(0)
-	s.ckptSeq.Store(cs.Seq)
+	s.ckptSeq.Store(st.seq)
 	s.ckptTime.Store(time.Now().UnixNano())
 	s.checkpoints.Add(1)
 	s.ckptNanos.Add(uint64(time.Since(start).Nanoseconds()))
 	s.logger().Debug("checkpoint written",
-		"seq", cs.Seq, "version", cs.Version, "objects", len(cs.Ops),
+		"seq", st.seq, "version", st.version,
+		"objects", len(st.slots)+len(st.dslots), "pages", b.f.NumPages(),
 		"elapsed", time.Since(start))
 	return nil
 }

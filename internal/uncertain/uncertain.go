@@ -34,10 +34,22 @@ type Object struct {
 // Region returns the object's uncertainty region.
 func (o Object) Region() geom.Interval { return o.PDF.Support() }
 
+// Source supplies objects by dense ID without requiring them to be resident:
+// Region must be cheap metadata (the store keeps support intervals in
+// memory), while PDF may fault the payload in from disk. A Dataset backed by
+// a Source is how the engine serves datasets larger than the page-cache
+// budget.
+type Source interface {
+	Len() int
+	Region(i int) geom.Interval
+	PDF(i int) pdf.PDF
+}
+
 // Dataset is an immutable collection of uncertain objects with dense IDs
-// 0..Len()-1.
+// 0..Len()-1, either fully materialized or backed by a Source.
 type Dataset struct {
 	objects []Object
+	src     Source // nil when materialized
 }
 
 // NewDataset builds a dataset from pdfs, assigning sequential IDs.
@@ -49,23 +61,60 @@ func NewDataset(pdfs []pdf.PDF) *Dataset {
 	return &Dataset{objects: objs}
 }
 
+// NewBackedDataset wraps a Source as a dataset. Objects are assembled on
+// demand; Region never touches payloads.
+func NewBackedDataset(src Source) *Dataset { return &Dataset{src: src} }
+
 // Len returns the number of objects.
-func (d *Dataset) Len() int { return len(d.objects) }
+func (d *Dataset) Len() int {
+	if d.src != nil {
+		return d.src.Len()
+	}
+	return len(d.objects)
+}
 
-// Object returns the object with the given ID.
-func (d *Dataset) Object(id int) Object { return d.objects[id] }
+// Object returns the object with the given ID. On a Source-backed dataset
+// this may fault the pdf payload in from disk; callers that only need the
+// uncertainty region should use Region instead.
+func (d *Dataset) Object(id int) Object {
+	if d.src != nil {
+		return Object{ID: id, PDF: d.src.PDF(id)}
+	}
+	return d.objects[id]
+}
 
-// Objects returns the backing slice; callers must not mutate it.
-func (d *Dataset) Objects() []Object { return d.objects }
+// Region returns the uncertainty region of the object with the given ID
+// without touching its pdf payload — the accessor for filtering-phase scans.
+func (d *Dataset) Region(id int) geom.Interval {
+	if d.src != nil {
+		return d.src.Region(id)
+	}
+	return d.objects[id].Region()
+}
+
+// Objects returns all objects as a slice; callers must not mutate it. On a
+// Source-backed dataset this materializes every object (faulting all
+// payloads) — iterate with Len/Region/Object when payloads aren't needed.
+func (d *Dataset) Objects() []Object {
+	if d.src != nil {
+		objs := make([]Object, d.src.Len())
+		for i := range objs {
+			objs[i] = Object{ID: i, PDF: d.src.PDF(i)}
+		}
+		return objs
+	}
+	return d.objects
+}
 
 // Domain returns the interval spanned by all uncertainty regions.
 func (d *Dataset) Domain() geom.Interval {
-	if len(d.objects) == 0 {
+	n := d.Len()
+	if n == 0 {
 		return geom.Interval{}
 	}
-	dom := d.objects[0].Region()
-	for _, o := range d.objects[1:] {
-		dom = dom.Union(o.Region())
+	dom := d.Region(0)
+	for i := 1; i < n; i++ {
+		dom = dom.Union(d.Region(i))
 	}
 	return dom
 }
@@ -73,9 +122,9 @@ func (d *Dataset) Domain() geom.Interval {
 // Validate checks every object's pdf invariants. It is O(n · pdf checks) and
 // intended for ingestion paths and tests.
 func (d *Dataset) Validate() error {
-	for _, o := range d.objects {
-		if err := pdf.Validate(o.PDF); err != nil {
-			return fmt.Errorf("uncertain: object %d: %w", o.ID, err)
+	for i, n := 0, d.Len(); i < n; i++ {
+		if err := pdf.Validate(d.Object(i).PDF); err != nil {
+			return fmt.Errorf("uncertain: object %d: %w", i, err)
 		}
 	}
 	return nil
